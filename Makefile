@@ -1,0 +1,38 @@
+# privstm — build/test/benchmark entry points.
+
+GO ?= go
+
+.PHONY: all build test race bench figures privtest stress cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One testing.B benchmark per paper figure, plus the ablations.
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# Regenerate every evaluation figure (CI scale; see EXPERIMENTS.md for
+# paper-scale invocations).
+figures:
+	$(GO) run ./cmd/stmbench -fig all -reps 3 -scale 4
+
+privtest:
+	$(GO) run ./cmd/privtest -iters 500
+
+stress:
+	$(GO) run ./cmd/stmstress -dur 30s
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean -testcache

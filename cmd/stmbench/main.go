@@ -1,0 +1,136 @@
+// Command stmbench regenerates the paper's evaluation figures: every panel
+// of Figure 3 (throughput vs. thread count for eight STM systems) and
+// Figure 4 (privatization-fence and visible-read statistics for pvrBase vs.
+// pvrCAS), plus the single-thread overhead comparison quoted in §V's text.
+//
+// Examples:
+//
+//	stmbench -fig 3a                 # one panel at CI scale
+//	stmbench -fig all -scale 1       # the full evaluation at paper scale
+//	stmbench -fig 3c -threads 1,2,4,8,16,32 -txns 100000
+//	stmbench -list                   # show the experiment index
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	stm "privstm"
+	"privstm/internal/bench"
+)
+
+func main() {
+	var (
+		figID   = flag.String("fig", "", "figure to regenerate (3a..3h, 4a/4c/4e/4g, t1, or 'all')")
+		threads = flag.String("threads", "1,2,4,8,16,32", "comma-separated thread sweep")
+		txns    = flag.Int("txns", 0, "transactions per thread (0 = duration mode; paper used 100000)")
+		dur     = flag.Duration("dur", 300*time.Millisecond, "per-cell duration in duration mode")
+		scale   = flag.Int("scale", 8, "structure-size divisor (1 = paper scale)")
+		reps    = flag.Int("reps", 1, "runs averaged per cell (paper used 3)")
+		seed    = flag.Uint64("seed", 0, "workload RNG seed (0 = default)")
+		list    = flag.Bool("list", false, "list the experiment index and exit")
+		csvPath = flag.String("csv", "", "also write raw measurements to this CSV file")
+		algos   = flag.String("algos", "", "comma-separated curve filter (figure labels, e.g. TL2,pvrStore)")
+		mix     = flag.String("mix", "", "override op mix as insert/delete/lookup (e.g. 20/20/60)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Experiment index (paper figure -> harness id):")
+		for _, f := range bench.Figures {
+			fmt.Printf("  %-3s  %-12s  %s\n", f.ID, f.Kind, f.Title)
+		}
+		return
+	}
+	if *figID == "" {
+		fmt.Fprintln(os.Stderr, "stmbench: -fig is required (try -list)")
+		os.Exit(2)
+	}
+
+	ths, err := bench.ParseThreads(*threads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stmbench:", err)
+		os.Exit(2)
+	}
+	hc := bench.HarnessConfig{
+		Threads:       ths,
+		TxnsPerThread: *txns,
+		Duration:      *dur,
+		Scale:         *scale,
+		Reps:          *reps,
+		Seed:          *seed,
+	}
+
+	fmt.Printf("# GOMAXPROCS=%d NumCPU=%d scale=1/%d\n", runtime.GOMAXPROCS(0), runtime.NumCPU(), *scale)
+	if runtime.NumCPU() < 8 {
+		fmt.Printf("# note: %d CPUs — thread counts beyond that timeshare; expect curves to flatten there\n", runtime.NumCPU())
+	}
+	fmt.Println()
+
+	var mixOverride *bench.Mix
+	if *mix != "" {
+		var ins, del, look int
+		if _, err := fmt.Sscanf(*mix, "%d/%d/%d", &ins, &del, &look); err != nil ||
+			ins < 0 || del < 0 || look < 0 || ins+del+look != 100 {
+			fmt.Fprintf(os.Stderr, "stmbench: bad -mix %q (want e.g. 20/20/60 summing to 100)\n", *mix)
+			os.Exit(2)
+		}
+		mixOverride = &bench.Mix{InsertPct: ins, DeletePct: del}
+	}
+
+	var curveFilter []stm.Algorithm
+	if *algos != "" {
+		for _, name := range strings.Split(*algos, ",") {
+			a, err := stm.ParseAlgorithm(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "stmbench:", err)
+				os.Exit(2)
+			}
+			curveFilter = append(curveFilter, a)
+		}
+	}
+
+	figs := bench.Figures
+	if *figID != "all" {
+		f, err := bench.FigureByID(*figID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stmbench:", err)
+			os.Exit(2)
+		}
+		figs = []bench.Figure{f}
+	}
+	var allMs []*bench.Measurement
+	for _, f := range figs {
+		if curveFilter != nil && f.Kind != "overhead" {
+			f.Algorithms = curveFilter
+		}
+		if mixOverride != nil && f.Kind == "throughput" {
+			f.Mix = *mixOverride
+			f.Title += fmt.Sprintf(" [mix %s]", f.Mix)
+		}
+		ms, err := bench.RunFigure(os.Stdout, f, hc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stmbench: figure %s: %v\n", f.ID, err)
+			os.Exit(1)
+		}
+		allMs = append(allMs, ms...)
+	}
+	if *csvPath != "" {
+		out, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stmbench:", err)
+			os.Exit(1)
+		}
+		bench.SortMeasurements(allMs)
+		bench.WriteCSV(out, allMs)
+		if err := out.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "stmbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# wrote %d measurements to %s\n", len(allMs), *csvPath)
+	}
+}

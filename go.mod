@@ -1,0 +1,3 @@
+module privstm
+
+go 1.22

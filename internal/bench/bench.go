@@ -1,0 +1,201 @@
+// Package bench implements the paper's §V evaluation: the three
+// microbenchmark data structures (hashtable, binary search tree,
+// multi-list), the operation-mix workload driver, and the figure
+// definitions that regenerate every panel of Figures 3 and 4.
+//
+// All data structures live entirely in transactional memory and are
+// manipulated through the public stm API, exactly as the paper's C
+// structures were manipulated through stm_read/stm_write.
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	stm "privstm"
+	"privstm/internal/rng"
+	"privstm/internal/stats"
+)
+
+// Mix is an operation distribution. Percentages must sum to ≤ 100; the
+// remainder are lookups.
+type Mix struct {
+	InsertPct int
+	DeletePct int
+}
+
+// LookupPct returns the lookup share.
+func (m Mix) LookupPct() int { return 100 - m.InsertPct - m.DeletePct }
+
+// String formats the mix the way the paper labels its panels
+// (insert/delete/lookup).
+func (m Mix) String() string {
+	return fmt.Sprintf("%d/%d/%d", m.InsertPct, m.DeletePct, m.LookupPct())
+}
+
+// The two distributions evaluated in §V.
+var (
+	ReadMostly  = Mix{InsertPct: 10, DeletePct: 10} // 80% lookups
+	WriteHeavy  = Mix{InsertPct: 40, DeletePct: 40} // 20% lookups
+	AllMixes    = []Mix{ReadMostly, WriteHeavy}
+	defaultSeed = uint64(0x5eed)
+)
+
+// Instance is one built data structure. Op executes a single randomly
+// chosen operation as one transaction; Check validates structural
+// invariants after a run.
+type Instance interface {
+	// Op runs one operation on behalf of ctx's thread.
+	Op(ctx *OpCtx, mix Mix)
+	// Check validates the structure (single-threaded, after workers join).
+	Check(s *stm.STM) error
+	// Size returns the current element count (single-threaded use).
+	Size(s *stm.STM) int
+	// Dump returns the current key set in ascending order
+	// (single-threaded use; tests compare against a model).
+	Dump(s *stm.STM) []uint64
+}
+
+// Spec describes how to build a workload instance.
+type Spec struct {
+	// Name is the label used in figure output ("hashtable", "bst",
+	// "multi-list 64x512", ...).
+	Name string
+	// HeapWords / OrecCount size the STM instance for this workload.
+	HeapWords int
+	OrecCount int
+	// Build populates a fresh structure on s (called once per run).
+	Build func(s *stm.STM, r *rng.RNG) (Instance, error)
+}
+
+// OpCtx is per-worker state: the STM thread, a private RNG, and a private
+// node free pool (nodes are recycled only after the freeing transaction has
+// committed, mirroring what a malloc-based C implementation does).
+type OpCtx struct {
+	Th   *stm.Thread
+	RNG  *rng.RNG
+	S    *stm.STM
+	free []stm.Addr
+}
+
+// AllocNode returns a node of nodeWords words: a previously freed node if
+// available, else fresh heap space.
+func (c *OpCtx) AllocNode(nodeWords int) stm.Addr {
+	if n := len(c.free); n > 0 {
+		a := c.free[n-1]
+		c.free = c.free[:n-1]
+		return a
+	}
+	return c.S.MustAlloc(nodeWords)
+}
+
+// FreeNode recycles a node. Call only after the transaction that unlinked
+// it has committed.
+func (c *OpCtx) FreeNode(a stm.Addr) { c.free = append(c.free, a) }
+
+// RunConfig drives one throughput measurement.
+type RunConfig struct {
+	Algorithm stm.Algorithm
+	Threads   int
+	// TxnsPerThread is the fixed per-thread operation count (the paper
+	// ran 10^5). If zero, Duration mode is used.
+	TxnsPerThread int
+	// Duration bounds the run in time-based mode.
+	Duration time.Duration
+	Mix      Mix
+	Seed     uint64
+}
+
+// Measurement is the outcome of one (workload, algorithm, threads, mix)
+// cell: one point on one curve of Figure 3 or 4.
+type Measurement struct {
+	Workload   string
+	Algorithm  string
+	Threads    int
+	Mix        Mix
+	Ops        uint64
+	Elapsed    time.Duration
+	Throughput float64 // operations per second
+	Stats      stats.Counters
+}
+
+// Run builds the workload and drives it with rc.Threads workers.
+func Run(spec Spec, rc RunConfig) (*Measurement, error) {
+	if rc.Threads <= 0 {
+		rc.Threads = 1
+	}
+	if rc.Seed == 0 {
+		rc.Seed = defaultSeed
+	}
+	s, err := stm.New(stm.Config{
+		Algorithm:  rc.Algorithm,
+		HeapWords:  spec.HeapWords,
+		OrecCount:  spec.OrecCount,
+		MaxThreads: rc.Threads,
+	})
+	if err != nil {
+		return nil, err
+	}
+	inst, err := spec.Build(s, rng.New(rc.Seed))
+	if err != nil {
+		return nil, err
+	}
+
+	ctxs := make([]*OpCtx, rc.Threads)
+	for i := range ctxs {
+		th, err := s.NewThread()
+		if err != nil {
+			return nil, err
+		}
+		ctxs[i] = &OpCtx{Th: th, RNG: rng.New(rc.Seed + uint64(i)*1e9), S: s}
+	}
+
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(rc.Duration)
+	start := time.Now()
+	for _, ctx := range ctxs {
+		wg.Add(1)
+		go func(ctx *OpCtx) {
+			defer wg.Done()
+			if rc.TxnsPerThread > 0 {
+				for i := 0; i < rc.TxnsPerThread; i++ {
+					inst.Op(ctx, rc.Mix)
+					ctx.Th.Stats().Ops++
+				}
+				return
+			}
+			// Duration mode: check the clock every few operations to
+			// keep timer syscalls off the hot path.
+			for done := false; !done; {
+				for i := 0; i < 32; i++ {
+					inst.Op(ctx, rc.Mix)
+					ctx.Th.Stats().Ops++
+				}
+				done = time.Now().After(deadline)
+			}
+		}(ctx)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	m := &Measurement{
+		Workload:  spec.Name,
+		Algorithm: rc.Algorithm.String(),
+		Threads:   rc.Threads,
+		Mix:       rc.Mix,
+		Elapsed:   elapsed,
+	}
+	for _, ctx := range ctxs {
+		m.Stats.Add(ctx.Th.Stats())
+	}
+	m.Ops = m.Stats.Ops
+	if elapsed > 0 {
+		m.Throughput = float64(m.Ops) / elapsed.Seconds()
+	}
+	if err := inst.Check(s); err != nil {
+		return nil, fmt.Errorf("post-run structural check failed (%s/%s): %w",
+			spec.Name, rc.Algorithm, err)
+	}
+	return m, nil
+}

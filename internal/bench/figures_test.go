@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFigureFenceStats(t *testing.T) {
+	var sb strings.Builder
+	fig, err := FigureByID("4a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := RunFigure(&sb, fig, HarnessConfig{
+		Threads: []int{1, 2}, TxnsPerThread: 200, Scale: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 algorithms × 2 mixes × 2 thread counts, each measured once and
+	// reported under both metric tables.
+	if len(ms) != 8 {
+		t.Errorf("measurements = %d, want 8", len(ms))
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"percent writers fenced", "percent visible reads skipped",
+		"pvrBase (80% lookups)", "pvrCAS (20% lookups)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFigureOverhead(t *testing.T) {
+	var sb strings.Builder
+	fig, err := FigureByID("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := RunFigure(&sb, fig, HarnessConfig{
+		Threads: []int{1}, TxnsPerThread: 200, Scale: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(StandardCurves)*3 {
+		t.Errorf("measurements = %d, want %d", len(ms), len(StandardCurves)*3)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "relative to TL2") {
+		t.Errorf("overhead table missing header:\n%s", out)
+	}
+	// TL2's own relative throughput must print as 1.00.
+	if !strings.Contains(out, "1.00") {
+		t.Errorf("TL2 row not normalized:\n%s", out)
+	}
+}
+
+func TestRunFigureReps(t *testing.T) {
+	var sb strings.Builder
+	fig, _ := FigureByID("3a")
+	fig.Algorithms = FenceCurves // shrink the run
+	ms, err := RunFigure(&sb, fig, HarnessConfig{
+		Threads: []int{1}, TxnsPerThread: 100, Scale: 8, Reps: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		if m.Ops != 300 {
+			t.Errorf("aggregated ops = %d, want 300 (3 reps × 100)", m.Ops)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	ms := []*Measurement{{
+		Workload: "w", Algorithm: "TL2", Threads: 2, Mix: ReadMostly,
+		Ops: 10, Throughput: 5,
+	}}
+	WriteCSV(&sb, ms)
+	out := sb.String()
+	if !strings.HasPrefix(out, "workload,algorithm,threads,mix,") {
+		t.Errorf("missing header: %q", out)
+	}
+	if !strings.Contains(out, `"w",TL2,2,10/10/80,10,`) {
+		t.Errorf("missing row: %q", out)
+	}
+}
+
+func TestRunFigureUnknownKind(t *testing.T) {
+	var sb strings.Builder
+	_, err := RunFigure(&sb, Figure{ID: "x", Kind: "nope"}, HarnessConfig{})
+	if err == nil {
+		t.Error("unknown kind accepted")
+	}
+}

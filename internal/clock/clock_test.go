@@ -1,0 +1,98 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestZeroValue(t *testing.T) {
+	var c Clock
+	if got := c.Now(); got != 0 {
+		t.Errorf("Now() = %d, want 0", got)
+	}
+}
+
+func TestTickAdvances(t *testing.T) {
+	var c Clock
+	for i := uint64(1); i <= 100; i++ {
+		if got := c.Tick(); got != i {
+			t.Fatalf("Tick %d = %d", i, got)
+		}
+		if got := c.Now(); got != i {
+			t.Fatalf("Now after tick %d = %d", i, got)
+		}
+	}
+}
+
+func TestTickUnique(t *testing.T) {
+	// Concurrent tickers must receive distinct, gap-free timestamps.
+	var c Clock
+	const (
+		workers = 8
+		per     = 10000
+	)
+	results := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		results[w] = make([]uint64, 0, per)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				results[w] = append(results[w], c.Tick())
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool, workers*per)
+	for _, r := range results {
+		last := uint64(0)
+		for _, ts := range r {
+			if seen[ts] {
+				t.Fatalf("timestamp %d issued twice", ts)
+			}
+			seen[ts] = true
+			if ts <= last {
+				t.Fatalf("timestamps not monotone within one worker: %d after %d", ts, last)
+			}
+			last = ts
+		}
+	}
+	if got := c.Now(); got != workers*per {
+		t.Errorf("final clock = %d, want %d", got, workers*per)
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	var c Clock
+	c.AdvanceTo(42)
+	if got := c.Now(); got != 42 {
+		t.Errorf("Now = %d, want 42", got)
+	}
+	c.AdvanceTo(10) // never moves backwards
+	if got := c.Now(); got != 42 {
+		t.Errorf("Now = %d after backwards AdvanceTo, want 42", got)
+	}
+	c.AdvanceTo(43)
+	if got := c.Now(); got != 43 {
+		t.Errorf("Now = %d, want 43", got)
+	}
+}
+
+func TestAdvanceToConcurrent(t *testing.T) {
+	var c Clock
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.AdvanceTo(uint64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Now(); got != 7999 {
+		t.Errorf("final clock = %d, want 7999", got)
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import "testing"
+
+func TestGraceStrategies(t *testing.T) {
+	cases := []struct {
+		strat      GraceStrategy
+		upSteps    []uint64 // expected values after successive raises from 0
+		downFrom   uint64
+		downResult uint64
+	}{
+		{GraceExponential, []uint64{1, 2, 4, 8, 16}, 16, 8},
+		{GraceLinear, []uint64{16, 32, 48, 64, 80}, 16, 0},
+		{GraceHybrid, []uint64{16, 32, 48, 64, 80}, 16, 8},
+	}
+	for _, c := range cases {
+		rt := newTestRT(t, 2)
+		o := rt.Orecs.At(0)
+		for i, want := range c.upSteps {
+			raiseGrace(o, c.strat, DefaultMaxGrace)
+			if got := o.Grace.Load(); got != want {
+				t.Errorf("strategy %v raise %d: grace = %d, want %d", c.strat, i, got, want)
+			}
+		}
+		o.Grace.Store(c.downFrom)
+		lowerGrace(o, c.strat)
+		if got := o.Grace.Load(); got != c.downResult {
+			t.Errorf("strategy %v lower from %d: grace = %d, want %d", c.strat, c.downFrom, got, c.downResult)
+		}
+	}
+}
+
+func TestGraceStrategyCap(t *testing.T) {
+	for _, strat := range []GraceStrategy{GraceExponential, GraceLinear, GraceHybrid} {
+		rt := newTestRT(t, 2)
+		o := rt.Orecs.At(0)
+		for i := 0; i < 100; i++ {
+			raiseGrace(o, strat, 64)
+		}
+		if got := o.Grace.Load(); got != 64 {
+			t.Errorf("strategy %v: grace = %d, want cap 64", strat, got)
+		}
+	}
+}
+
+func TestGraceLinearFloor(t *testing.T) {
+	rt := newTestRT(t, 2)
+	o := rt.Orecs.At(0)
+	o.Grace.Store(5) // below one linear step
+	lowerGrace(o, GraceLinear)
+	if got := o.Grace.Load(); got != 0 {
+		t.Errorf("grace = %d, want floor 0", got)
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"privstm/internal/heap"
+	"privstm/internal/spin"
+)
+
+// Engine is the interface every STM implementation provides. Read and
+// Write abort the running transaction by panicking with the internal
+// conflict signal (unwound inside Run); Commit returns false if the commit
+// attempt aborted. Both abort paths must leave the descriptor fully cleaned
+// up (undo rolled back, orecs released, central list departed).
+type Engine interface {
+	// Name returns the curve label used in the paper's figures
+	// (e.g. "pvrStore").
+	Name() string
+	// Begin starts a transaction on t.
+	Begin(t *Thread)
+	// Read performs a transactional load.
+	Read(t *Thread, a heap.Addr) heap.Word
+	// Write performs a transactional store.
+	Write(t *Thread, a heap.Addr, w heap.Word)
+	// Commit attempts to commit, reporting success. On failure the
+	// transaction has been rolled back and may be retried.
+	Commit(t *Thread) bool
+	// Cancel rolls back an in-flight transaction (conflict or user abort).
+	Cancel(t *Thread)
+}
+
+// conflictSignal is the panic value used to unwind a doomed transaction.
+type conflictSignal struct{}
+
+// cancelSignal unwinds a transaction the user chose to roll back; Run does
+// not retry it.
+type cancelSignal struct{ err error }
+
+// ConflictAbort unwinds the current transaction and retries it. Engines
+// call it when they detect a conflict mid-transaction.
+func (t *Thread) ConflictAbort() { panic(conflictSignal{}) }
+
+// UserCancel unwinds the current transaction, rolls it back, and makes Run
+// return err without retrying.
+func (t *Thread) UserCancel(err error) { panic(cancelSignal{err: err}) }
+
+// Run executes body as a transaction on engine e, retrying on conflict with
+// contention-management backoff. It returns nil on commit, or the error
+// passed to UserCancel if the body cancelled itself.
+//
+// Run sandboxes the body, JudoSTM-style (§IV): if the body panics for any
+// reason other than the internal signals while its read set is invalid, the
+// transaction was doomed — it may have observed inconsistent state, and the
+// panic is an artifact (e.g. an out-of-range address computed from torn
+// data). Such panics are converted into aborts and retried. A panic raised
+// while the read set is still valid is a genuine bug in the body and is
+// propagated after rollback.
+func Run(e Engine, t *Thread, body func()) error {
+	var cm spin.Backoff
+	t.Attempts = 0
+	for {
+		e.Begin(t)
+		done, err := runOnce(e, t, body)
+		if done {
+			t.Stats.Commits++
+			return err
+		}
+		t.Stats.Aborts++
+		t.Attempts++
+		cm.Wait()
+	}
+}
+
+func runOnce(e Engine, t *Thread, body func()) (done bool, err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		switch s := r.(type) {
+		case conflictSignal:
+			e.Cancel(t)
+			done = false
+		case cancelSignal:
+			e.Cancel(t)
+			done, err = true, s.err
+		default:
+			if !t.ValidateReads() {
+				// Doomed transaction: the panic came from inconsistent
+				// reads. Abort and retry.
+				e.Cancel(t)
+				done = false
+				return
+			}
+			e.Cancel(t)
+			panic(r)
+		}
+	}()
+	body()
+	return e.Commit(t), nil
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"privstm/internal/heap"
+	"privstm/internal/orec"
+)
+
+// fakeEngine is a minimal in-place engine for exercising Run's control
+// flow in isolation.
+type fakeEngine struct {
+	rt       *Runtime
+	begins   int
+	cancels  int
+	commitOK bool
+}
+
+func (f *fakeEngine) Name() string { return "fake" }
+func (f *fakeEngine) Begin(t *Thread) {
+	f.begins++
+	t.ResetTxnState()
+	t.BeginTS = f.rt.Clock.Now()
+	t.PublishActive(t.BeginTS)
+}
+func (f *fakeEngine) Read(t *Thread, a heap.Addr) heap.Word { return t.ReadHeapConsistent(a) }
+func (f *fakeEngine) Write(t *Thread, a heap.Addr, w heap.Word) {
+	if !t.AcquireOrec(f.rt.Orecs.For(a)) {
+		t.ConflictAbort()
+	}
+	t.Undo.Add(a, f.rt.Heap.AtomicLoad(a))
+	f.rt.Heap.AtomicStore(a, w)
+	t.Wrote = true
+}
+func (f *fakeEngine) Commit(t *Thread) bool {
+	if !f.commitOK {
+		f.commitOK = true // succeed on the retry
+		t.Undo.Rollback(f.rt.Heap)
+		t.Acq.RestoreAll()
+		t.PublishInactive()
+		return false
+	}
+	t.Acq.ReleaseAll(f.rt.Clock.Tick())
+	t.PublishInactive()
+	return true
+}
+func (f *fakeEngine) Cancel(t *Thread) {
+	f.cancels++
+	t.Undo.Rollback(f.rt.Heap)
+	t.Acq.RestoreAll()
+	t.PublishInactive()
+}
+
+func TestRunRetriesFailedCommit(t *testing.T) {
+	rt := newTestRT(t, 2)
+	e := &fakeEngine{rt: rt}
+	th, _ := rt.NewThread()
+	runs := 0
+	if err := Run(e, th, func() { runs++ }); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 || e.begins != 2 {
+		t.Errorf("runs=%d begins=%d, want 2/2 (one failed commit)", runs, e.begins)
+	}
+	if th.Stats.Aborts != 1 || th.Stats.Commits != 1 {
+		t.Errorf("stats: %+v", th.Stats)
+	}
+}
+
+func TestRunConflictAbortRetries(t *testing.T) {
+	rt := newTestRT(t, 2)
+	e := &fakeEngine{rt: rt, commitOK: true}
+	th, _ := rt.NewThread()
+	runs := 0
+	if err := Run(e, th, func() {
+		runs++
+		if runs == 1 {
+			th.ConflictAbort()
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 || e.cancels != 1 {
+		t.Errorf("runs=%d cancels=%d", runs, e.cancels)
+	}
+}
+
+func TestRunUserCancelNoRetry(t *testing.T) {
+	rt := newTestRT(t, 2)
+	e := &fakeEngine{rt: rt, commitOK: true}
+	th, _ := rt.NewThread()
+	sentinel := errors.New("stop")
+	runs := 0
+	err := Run(e, th, func() {
+		runs++
+		th.UserCancel(sentinel)
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if runs != 1 || e.cancels != 1 {
+		t.Errorf("runs=%d cancels=%d, want 1/1", runs, e.cancels)
+	}
+	if th.Stats.Commits != 1 {
+		t.Errorf("a cancelled transaction still counts as a completed Run: %+v", th.Stats)
+	}
+}
+
+func TestRunSandboxesDoomedPanic(t *testing.T) {
+	// A body panic while the read set is invalid is a symptom of a doomed
+	// transaction and must be retried, not propagated.
+	rt := newTestRT(t, 2)
+	e := &fakeEngine{rt: rt, commitOK: true}
+	th, _ := rt.NewThread()
+	a := rt.Heap.MustAlloc(1)
+	runs := 0
+	if err := Run(e, th, func() {
+		runs++
+		_ = e.Read(th, a)
+		if runs == 1 {
+			// Invalidate the read behind our back, then "crash".
+			o := rt.Orecs.For(a)
+			o.Owner.Store(orec.PackUnowned(rt.Clock.Tick()))
+			panic("chased a torn pointer")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 {
+		t.Errorf("runs = %d, want 2 (sandboxed retry)", runs)
+	}
+}
+
+func TestRunPropagatesGenuinePanic(t *testing.T) {
+	rt := newTestRT(t, 2)
+	e := &fakeEngine{rt: rt, commitOK: true}
+	th, _ := rt.NewThread()
+	defer func() {
+		if r := recover(); r != "real bug" {
+			t.Errorf("recovered %v, want \"real bug\"", r)
+		}
+		if e.cancels != 1 {
+			t.Errorf("cancel not run before propagation (cancels=%d)", e.cancels)
+		}
+	}()
+	_ = Run(e, th, func() { panic("real bug") })
+}
+
+func TestReadHeapConsistentAbortsOnForeignOwner(t *testing.T) {
+	rt := newTestRT(t, 2)
+	owner := newActiveThread(t, rt)
+	reader := newActiveThread(t, rt)
+	a := rt.Heap.MustAlloc(1)
+	if !owner.AcquireOrec(rt.Orecs.For(a)) {
+		t.Fatal("acquire failed")
+	}
+	aborted := false
+	func() {
+		defer func() {
+			if _, ok := recover().(conflictSignal); ok {
+				aborted = true
+			}
+		}()
+		reader.ReadHeapConsistent(a)
+	}()
+	if !aborted {
+		t.Error("read of a foreign-owned orec did not abort")
+	}
+	finish(rt, owner)
+	finish(rt, reader)
+}
+
+func TestReadHeapConsistentAbortsOnNewerTimestamp(t *testing.T) {
+	rt := newTestRT(t, 2)
+	reader := newActiveThread(t, rt)
+	a := rt.Heap.MustAlloc(1)
+	rt.Orecs.For(a).Owner.Store(orec.PackUnowned(rt.Clock.Tick()))
+	aborted := false
+	func() {
+		defer func() {
+			if _, ok := recover().(conflictSignal); ok {
+				aborted = true
+			}
+		}()
+		reader.ReadHeapConsistent(a)
+	}()
+	if !aborted {
+		t.Error("read of a too-new orec did not abort")
+	}
+	finish(rt, reader)
+}
+
+func TestAcquireWriteSetRollsBackOnFailure(t *testing.T) {
+	rt := newTestRT(t, 2)
+	a := rt.Heap.MustAlloc(1)
+	b := rt.Heap.MustAlloc(600)
+	w1 := newActiveThread(t, rt)
+	w2 := newActiveThread(t, rt)
+	if rt.Orecs.For(a) == rt.Orecs.For(b+512) {
+		t.Skip("orec collision")
+	}
+	// w1 owns b's orec; w2 wants both a and b.
+	if !w1.AcquireOrec(rt.Orecs.For(b + 512)) {
+		t.Fatal("setup acquire failed")
+	}
+	w2.Redo.Put(a, 1)
+	w2.Redo.Put(b+512, 2)
+	if w2.AcquireWriteSet() {
+		t.Fatal("AcquireWriteSet should have failed")
+	}
+	if w2.Acq.Len() != 0 {
+		t.Error("failed acquisition left entries in the acquired set")
+	}
+	if orec.IsOwned(rt.Orecs.For(a).Owner.Load()) {
+		t.Error("orec a still owned after rollback")
+	}
+	finish(rt, w1)
+	finish(rt, w2)
+}
+
+func TestPollValidateOnlyOnClockChange(t *testing.T) {
+	rt := newTestRT(t, 2)
+	th := newActiveThread(t, rt)
+	th.LastClockSeen = rt.Clock.Now()
+	th.PollValidate()
+	if th.Stats.Validations != 0 {
+		t.Error("validated although the clock did not move")
+	}
+	rt.Clock.Tick()
+	th.PollValidate()
+	if th.Stats.Validations != 1 {
+		t.Errorf("Validations = %d, want 1", th.Stats.Validations)
+	}
+	// And it published the clean point.
+	if th.ValidatedAt() != rt.Clock.Now() {
+		t.Errorf("ValidatedAt = %d, want %d", th.ValidatedAt(), rt.Clock.Now())
+	}
+	finish(rt, th)
+}
+
+func TestPollValidateAbortsOnInvalidReadSet(t *testing.T) {
+	rt := newTestRT(t, 2)
+	th := newActiveThread(t, rt)
+	a := rt.Heap.MustAlloc(1)
+	_ = th.ReadHeapConsistent(a)
+	rt.Orecs.For(a).Owner.Store(orec.PackUnowned(rt.Clock.Tick()))
+	aborted := false
+	func() {
+		defer func() {
+			if _, ok := recover().(conflictSignal); ok {
+				aborted = true
+			}
+		}()
+		th.PollValidate()
+	}()
+	if !aborted {
+		t.Error("stale read set survived PollValidate")
+	}
+	finish(rt, th)
+}

@@ -1,0 +1,162 @@
+// Package core contains the machinery shared by every STM engine in this
+// repository: the runtime (heap, orec table, global clock, central
+// transaction list, ordering locks), the per-thread transaction descriptor,
+// the retry loop, read-set validation, the partial-visibility protocols of
+// §II–III, and the privatization/validation fences.
+//
+// The paper's primary contribution — partially visible reads — lives here
+// (visibility.go, fence.go); the engine packages (internal/pvr, internal/ord,
+// internal/val, internal/hybrid, internal/tl2) compose these pieces into the
+// eight systems evaluated in §V.
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"privstm/internal/clock"
+	"privstm/internal/heap"
+	"privstm/internal/orec"
+	"privstm/internal/ticket"
+)
+
+// DefaultMaxGrace is the grace-period cap from §III-A: 256 clock steps.
+const DefaultMaxGrace = 256
+
+// DefaultHybridThreshold is the read-set size beyond which pvrHybrid
+// switches to partially visible reads (§IV: 16).
+const DefaultHybridThreshold = 16
+
+// Options configures a Runtime.
+type Options struct {
+	HeapWords  int // capacity of the simulated heap
+	OrecCount  int // number of ownership records (rounded to a power of 2)
+	BlockWords int // conflict-detection granularity in words
+	MaxThreads int // maximum concurrently registered threads
+
+	MaxGrace        uint64 // cap for adaptive grace periods (0 ⇒ DefaultMaxGrace)
+	HybridThreshold int    // read-set size that flips pvrHybrid visible (0 ⇒ 16)
+
+	// ScanTracker replaces the central list with the registry-scanning
+	// tracker (the paper's "lighter weight" future-work variant).
+	ScanTracker bool
+	// CapFenceAtCommit caps privatization-fence thresholds at the
+	// writer's commit time, eliminating the grace-period "extended
+	// delays" of §III-A (safe: a reader that began after the commit
+	// observes the committed state and cannot be doomed by it).
+	CapFenceAtCommit bool
+	// GraceStrategy selects the §III-A adaptation family (default:
+	// exponential, the paper's choice).
+	GraceStrategy GraceStrategy
+}
+
+func (o *Options) fill() {
+	if o.HeapWords == 0 {
+		o.HeapWords = 1 << 20
+	}
+	if o.OrecCount == 0 {
+		o.OrecCount = 1 << 16
+	}
+	if o.BlockWords == 0 {
+		o.BlockWords = 1
+	}
+	if o.MaxThreads == 0 {
+		o.MaxThreads = 64
+	}
+	if o.MaxGrace == 0 {
+		o.MaxGrace = DefaultMaxGrace
+	}
+	if o.HybridThreshold == 0 {
+		o.HybridThreshold = DefaultHybridThreshold
+	}
+}
+
+// Runtime is the shared state of one STM instance. All engines attached to
+// a Runtime operate on the same heap, orec table and clock, so tests can
+// compare engines on identical memory images (one engine at a time).
+type Runtime struct {
+	Heap   *heap.Heap
+	Orecs  *orec.Table
+	Clock  clock.Clock
+	Active ActiveTracker // incomplete-transaction tracker (§II-C)
+	Order  ticket.Lock   // strict-ordering ticket lock (§IV)
+	OrderQ *ticket.QueueLock
+
+	MaxGrace         uint64
+	HybridThreshold  int
+	CapFenceAtCommit bool
+	GraceStrategy    GraceStrategy
+
+	// threads is a fixed-size registry: slots are claimed with an atomic
+	// counter and published with atomic stores, so registration may
+	// safely race with visibility-liveness checks and validation fences
+	// running on already-registered threads.
+	threads []atomic.Pointer[Thread]
+	nthread atomic.Int64
+}
+
+// NewRuntime builds a runtime from opts.
+func NewRuntime(opts Options) (*Runtime, error) {
+	opts.fill()
+	if opts.MaxThreads > orec.MaxTID {
+		return nil, fmt.Errorf("core: MaxThreads %d exceeds representable TID limit %d",
+			opts.MaxThreads, orec.MaxTID)
+	}
+	rt := &Runtime{
+		Heap:             heap.New(opts.HeapWords),
+		Orecs:            orec.NewTable(opts.OrecCount, opts.BlockWords),
+		OrderQ:           ticket.NewQueueLock(),
+		MaxGrace:         opts.MaxGrace,
+		HybridThreshold:  opts.HybridThreshold,
+		CapFenceAtCommit: opts.CapFenceAtCommit,
+		GraceStrategy:    opts.GraceStrategy,
+		threads:          make([]atomic.Pointer[Thread], opts.MaxThreads),
+	}
+	if opts.ScanTracker {
+		rt.Active = NewScanTracker(rt)
+	} else {
+		rt.Active = NewListTracker(rt)
+	}
+	// Start time at 1 so that a zeroed vis word (rts = 0) can never read
+	// as a hint covering a live transaction: every begin timestamp is ≥ 1.
+	rt.Clock.Tick()
+	return rt, nil
+}
+
+// NewThread registers a new thread descriptor. Descriptors are permanent
+// (the paper's central-list nodes are statically allocated per thread); a
+// worker goroutine must use its own descriptor exclusively. NewThread is
+// safe to call while other threads are running transactions.
+func (rt *Runtime) NewThread() (*Thread, error) {
+	id := rt.nthread.Add(1) - 1
+	if id >= int64(len(rt.threads)) {
+		rt.nthread.Add(-1)
+		return nil, fmt.Errorf("core: thread limit %d reached", len(rt.threads))
+	}
+	t := &Thread{RT: rt, ID: uint64(id)}
+	rt.threads[id].Store(t)
+	return t, nil
+}
+
+// ThreadByID returns the descriptor registered under id, or nil. Liveness
+// checks in the visibility protocol use it to decide whether an orec's last
+// reader may still be running.
+func (rt *Runtime) ThreadByID(id uint64) *Thread {
+	if id >= uint64(len(rt.threads)) {
+		return nil
+	}
+	return rt.threads[id].Load()
+}
+
+// NumThreads returns how many descriptors have been registered.
+func (rt *Runtime) NumThreads() int { return int(rt.nthread.Load()) }
+
+// ForEachThread calls fn for every registered descriptor.
+func (rt *Runtime) ForEachThread(fn func(*Thread)) {
+	n := rt.nthread.Load()
+	for i := int64(0); i < n; i++ {
+		if t := rt.threads[i].Load(); t != nil {
+			fn(t)
+		}
+	}
+}

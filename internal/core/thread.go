@@ -1,0 +1,198 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"privstm/internal/heap"
+	"privstm/internal/logs"
+	"privstm/internal/orec"
+	"privstm/internal/stats"
+	"privstm/internal/txnlist"
+)
+
+// Thread is a per-worker transaction descriptor. One Thread supports one
+// transaction at a time; engines store all per-transaction state here so
+// that steady-state transactions allocate nothing.
+type Thread struct {
+	RT *Runtime
+	ID uint64
+
+	// Node is this thread's statically allocated entry in the central
+	// transaction list (§II-C).
+	Node txnlist.Node
+
+	// BeginTS is the global-clock value recorded at transaction begin.
+	BeginTS uint64
+
+	Reads logs.ReadSet
+	Undo  logs.Undo
+	Redo  logs.Redo
+	Acq   logs.Acquired
+
+	Stats stats.Counters
+
+	// Wrote is set on the first transactional write.
+	Wrote bool
+	// Visible is set while the transaction's reads are partially visible
+	// (it is on the central list).
+	Visible bool
+	// LastClockSeen is the clock value as of the last incremental
+	// validation (redo-log engines' doomed-transaction polling).
+	LastClockSeen uint64
+	// Attempts counts consecutive aborts of the current Run, for
+	// contention-management backoff.
+	Attempts int
+	// VisPub maps orecs to the rts hints this transaction published on
+	// them; the writer-side self-test (ReaderConflictScan) only treats a
+	// hint as the writer's own if it appears here. Lazily allocated,
+	// cleared per transaction.
+	VisPub map[*orec.Orec]uint64
+
+	// pub publishes (beginTS<<1 | active) for other threads: the liveness
+	// checks in the visibility protocol (§II-E) and the validation fence
+	// read it.
+	pub atomic.Uint64
+	// lastValidated publishes the clock time of this thread's most recent
+	// successful full read-set validation, for the Val engine's fence.
+	lastValidated atomic.Uint64
+	// trackerTS is the ScanTracker's registration slot:
+	// beginTS<<1 | active.
+	trackerTS atomic.Uint64
+
+	// padding to keep descriptors from false-sharing in the registry.
+	_ [8]uint64
+}
+
+// PublishActive announces that this thread runs a transaction that began at
+// ts.
+func (t *Thread) PublishActive(ts uint64) { t.pub.Store(ts<<1 | 1) }
+
+// PublishInactive announces that this thread has no live transaction.
+func (t *Thread) PublishInactive() { t.pub.Store(0) }
+
+// Published returns the announced state: begin timestamp and liveness.
+func (t *Thread) Published() (beginTS uint64, active bool) {
+	v := t.pub.Load()
+	return v >> 1, v&1 == 1
+}
+
+// SetValidated publishes a successful validation at clock time ts.
+func (t *Thread) SetValidated(ts uint64) { t.lastValidated.Store(ts) }
+
+// ValidatedAt returns the clock time of the last published validation.
+func (t *Thread) ValidatedAt() uint64 { return t.lastValidated.Load() }
+
+// ResetTxnState clears per-transaction logs and flags. Engines call it from
+// Begin.
+func (t *Thread) ResetTxnState() {
+	t.Reads.Reset()
+	t.Undo.Reset()
+	t.Redo.Reset()
+	t.Acq.Reset()
+	t.Wrote = false
+	t.Visible = false
+	if len(t.VisPub) > 0 {
+		clear(t.VisPub)
+	}
+}
+
+// ReaderMayBeLive reports whether the transaction that published a read at
+// timestamp rts under thread id tid may still be incomplete. A reader's
+// published rts is always ≥ its begin timestamp, so if thread tid is
+// currently inactive, or its live transaction began after rts, the reader
+// that wrote the hint has certainly finished (§II-E's liveness test).
+func (rt *Runtime) ReaderMayBeLive(tid, rts uint64) bool {
+	u := rt.ThreadByID(tid)
+	if u == nil {
+		return false // hint from an unregistered id: treat as dead
+	}
+	begin, active := u.Published()
+	return active && begin <= rts
+}
+
+// CheckConsistent implements the per-read timestamp test of §II-A: the orec
+// must be unowned (or owned by the reader itself) and must not have been
+// modified after the transaction began. It returns the orec's current
+// write timestamp, and false if the transaction must abort.
+func (t *Thread) CheckConsistent(o *orec.Orec) (wts uint64, ok bool) {
+	v := o.Owner.Load()
+	if orec.IsOwned(v) {
+		if orec.OwnerTID(v) == t.ID {
+			return 0, true // my own in-place write; undo log has the pre-image
+		}
+		return 0, false // defer to the prior concurrent writer: abort
+	}
+	wts = orec.WTS(v)
+	return wts, wts <= t.BeginTS
+}
+
+// ValidateReads re-runs the consistency test over the whole read set. It is
+// the commit-time validation of the redo/undo engines and the body of the
+// incremental validation used by the §IV systems.
+func (t *Thread) ValidateReads() bool {
+	n := t.Reads.Len()
+	for i := 0; i < n; i++ {
+		e := t.Reads.At(i)
+		v := e.Orec.Owner.Load()
+		if orec.IsOwned(v) {
+			if orec.OwnerTID(v) != t.ID {
+				return false
+			}
+			continue
+		}
+		if orec.WTS(v) > t.BeginTS {
+			return false
+		}
+	}
+	return true
+}
+
+// PollValidate is the incremental-validation hook of the redo-log engines
+// (Ord, Val, pvrHybrid): whenever the global clock has moved since the last
+// check — some writer committed — the full read set is revalidated before
+// the transaction consumes any further values. This is the Microsoft
+// system's incremental validation / RingSTM's commit-counter polling, and
+// it is what catches doomed transactions before they act on state mutated
+// nontransactionally by a privatizer (§IV).
+func (t *Thread) PollValidate() {
+	c := t.RT.Clock.Now()
+	if c == t.LastClockSeen {
+		return
+	}
+	t.Stats.Validations++
+	if !t.ValidateReads() {
+		t.ConflictAbort()
+	}
+	t.LastClockSeen = c
+	t.SetValidated(c)
+}
+
+// ReadHeapConsistent performs the full consistent-read dance against
+// location a: pre-check the orec, load the word, post-check that the orec
+// did not change in the interim (the standard race guard for in-place
+// writers), and log the read. Engines layer visibility and redo-lookup
+// around it.
+func (t *Thread) ReadHeapConsistent(a heap.Addr) heap.Word {
+	o := t.RT.Orecs.For(a)
+	for {
+		v1 := o.Owner.Load()
+		if orec.IsOwned(v1) {
+			if orec.OwnerTID(v1) == t.ID {
+				// Reading my own in-place write.
+				t.Reads.Add(o, a, t.BeginTS)
+				return t.RT.Heap.AtomicLoad(a)
+			}
+			t.ConflictAbort()
+		}
+		wts := orec.WTS(v1)
+		if wts > t.BeginTS {
+			t.ConflictAbort()
+		}
+		w := t.RT.Heap.AtomicLoad(a)
+		if o.Owner.Load() == v1 {
+			t.Reads.Add(o, a, wts)
+			return w
+		}
+		// The orec changed under us; retry the read.
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import "privstm/internal/txnlist"
+
+// ActiveTracker abstracts "the set of incomplete transactions" that
+// privatization fences query. Two implementations are provided:
+//
+//   - ListTracker wraps the paper's central sorted linked list (§II-C):
+//     O(1) oldest lookups, but every transaction begin/end takes a spin
+//     lock, which §V identifies as the bottleneck for short transactions.
+//
+//   - ScanTracker is the "lighter weight implementation of the central
+//     list" the paper leaves as future work: transactions only publish
+//     (begin, active) in their own descriptor slot — one uncontended
+//     atomic store — and oldest lookups scan the thread registry. Begins
+//     and ends are contention-free; the cost moves to the (much rarer)
+//     writer-side conflict scans and fence polls, which become O(threads).
+//
+// Correctness requirement shared by both: a transaction publishes itself
+// before its first read, so any writer whose commit-time scan runs after a
+// reader's visibility hint also observes that reader as incomplete.
+type ActiveTracker interface {
+	// Enter registers t with a fresh begin timestamp and returns it.
+	Enter(t *Thread) uint64
+	// EnterAt registers t under a previously assigned timestamp (late
+	// joiners: pvrWriterOnly first writes, hybrid mode switches).
+	EnterAt(t *Thread, ts uint64)
+	// Leave deregisters t after its commit/abort protocol — including
+	// undo-log rollback — completes.
+	Leave(t *Thread)
+	// OldestBegin returns a lower bound on the begin timestamp of the
+	// oldest incomplete transaction, and whether any is incomplete.
+	OldestBegin() (uint64, bool)
+	// OldestOtherBegin is OldestBegin excluding t itself.
+	OldestOtherBegin(t *Thread) (uint64, bool)
+	// Count returns the number of registered transactions (tests/stats).
+	Count() int
+}
+
+// ListTracker adapts the §II-C central list.
+type ListTracker struct {
+	rt   *Runtime
+	list *txnlist.List
+}
+
+// NewListTracker returns a tracker backed by the central list.
+func NewListTracker(rt *Runtime) *ListTracker {
+	return &ListTracker{rt: rt, list: txnlist.New()}
+}
+
+// Enter assigns a begin timestamp under the list lock and appends.
+func (lt *ListTracker) Enter(t *Thread) uint64 { return lt.list.Enter(&t.Node, &lt.rt.Clock) }
+
+// EnterAt sort-inserts a late joiner.
+func (lt *ListTracker) EnterAt(t *Thread, ts uint64) { lt.list.EnterAt(&t.Node, ts) }
+
+// Leave unlinks the node.
+func (lt *ListTracker) Leave(t *Thread) { lt.list.Remove(&t.Node) }
+
+// OldestBegin reads the head with the lock-free double-check.
+func (lt *ListTracker) OldestBegin() (uint64, bool) { return lt.list.OldestBegin() }
+
+// OldestOtherBegin skips t if it is the head.
+func (lt *ListTracker) OldestOtherBegin(t *Thread) (uint64, bool) {
+	return lt.list.OldestOtherBegin(&t.Node)
+}
+
+// Count returns the list length.
+func (lt *ListTracker) Count() int { return lt.list.Len() }
+
+// ScanTracker derives everything from the (begin, active) words the
+// threads already publish. Enter/Leave are single atomic stores; oldest
+// queries scan the registry.
+type ScanTracker struct {
+	rt *Runtime
+}
+
+// NewScanTracker returns the registry-scanning tracker.
+func NewScanTracker(rt *Runtime) *ScanTracker { return &ScanTracker{rt: rt} }
+
+// Enter samples the clock and publishes. Unlike the list tracker, no lock
+// orders the clock sample against other begins — the scan does not need
+// sortedness, only that each transaction is visible with a timestamp no
+// later than any datum it reads.
+func (st *ScanTracker) Enter(t *Thread) uint64 {
+	ts := st.rt.Clock.Now()
+	t.trackerTS.Store(ts<<1 | 1)
+	return ts
+}
+
+// EnterAt publishes a late joiner under its original timestamp.
+func (st *ScanTracker) EnterAt(t *Thread, ts uint64) { t.trackerTS.Store(ts<<1 | 1) }
+
+// Leave clears the slot.
+func (st *ScanTracker) Leave(t *Thread) { t.trackerTS.Store(0) }
+
+// OldestBegin scans all registered threads.
+func (st *ScanTracker) OldestBegin() (uint64, bool) { return st.scan(nil) }
+
+// OldestOtherBegin scans all registered threads except t.
+func (st *ScanTracker) OldestOtherBegin(t *Thread) (uint64, bool) { return st.scan(t) }
+
+func (st *ScanTracker) scan(skip *Thread) (uint64, bool) {
+	oldest, any := uint64(0), false
+	st.rt.ForEachThread(func(u *Thread) {
+		if u == skip {
+			return
+		}
+		v := u.trackerTS.Load()
+		if v&1 == 0 {
+			return
+		}
+		if ts := v >> 1; !any || ts < oldest {
+			oldest, any = ts, true
+		}
+	})
+	return oldest, any
+}
+
+// Count scans for registered transactions.
+func (st *ScanTracker) Count() int {
+	n := 0
+	st.rt.ForEachThread(func(u *Thread) {
+		if u.trackerTS.Load()&1 == 1 {
+			n++
+		}
+	})
+	return n
+}

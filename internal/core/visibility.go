@@ -1,0 +1,226 @@
+package core
+
+import (
+	"privstm/internal/orec"
+	"privstm/internal/spin"
+)
+
+// VisProto selects how partial-visibility metadata is updated.
+type VisProto int
+
+const (
+	// VisCAS updates the (rts, tid) word with compare-and-swap (§II-E).
+	VisCAS VisProto = iota
+	// VisStore updates it with the Lamport-style curr_reader store
+	// protocol of §III-B, avoiding atomic read-modify-write instructions.
+	VisStore
+)
+
+// Partial visibility — reader side (§II-B, §II-E, §III-A).
+//
+// MakeVisible publishes (or confirms) this transaction's interest in orec o.
+// The cases:
+//
+//   - The orec's read timestamp already covers us (rts ≥ our begin time) and
+//     either the multi-reader bit is set, or the hint is our own, or the
+//     hint's publisher has certainly finished the transaction that published
+//     it. Then we skip the update entirely: any writer of o will still fence,
+//     because we remain on the central list with begin ≤ rts, and a hint
+//     whose publishing transaction has completed can never be claimed by a
+//     writer as "only my own read" (see the self-test in
+//     ReaderConflictScan, which accepts a hint only if the writer itself
+//     published it in its *current* transaction).
+//
+//   - We are covered but the hint belongs to a possibly-live foreign
+//     transaction and the multi bit is clear: we must set the multi bit, or
+//     the hint's owner could later write o and treat the hint as covering
+//     only itself (§II-E's write-after-read hazard, from the other side).
+//
+//   - We are not covered: publish (now+G, us) and conservatively carry the
+//     multi bit whenever a live transaction may have been covered by the
+//     hint we overwrite. This is safe because a temporarily lost or stale
+//     hint only matters for transactions still on the central list, and the
+//     carried bit makes writers fence for them (§III-B's staleness
+//     argument).
+func (t *Thread) MakeVisible(o *orec.Orec, useGrace bool, proto VisProto) {
+	rt := t.RT
+	t.Stats.PVReads++
+	mustMulti := false // set after a detected store-protocol race
+	for {
+		v := o.Vis.Load()
+		rts, tid, multi := orec.UnpackVis(v)
+		covered := rts >= t.BeginTS
+
+		if covered {
+			if multi || (!mustMulti && (tid == t.ID || !rt.ReaderMayBeLive(tid, rts))) {
+				t.Stats.PVSkipped++
+				return
+			}
+			// Set only the multiple-readers bit.
+			nv := v | 1
+			if proto == VisCAS {
+				if o.Vis.CompareAndSwap(v, nv) {
+					t.Stats.PVMultiSets++
+					return
+				}
+				continue
+			}
+			if t.visStoreUpdate(o, v, nv) {
+				t.Stats.PVMultiSets++
+				return
+			}
+			mustMulti = true
+			continue
+		}
+
+		// Full update: rts ← now+G, tid ← us.
+		g := uint64(0)
+		if useGrace {
+			g = o.Grace.Load()
+		}
+		now := rt.Clock.Now()
+		// Carry the multi bit if any live transaction may be covered by
+		// the hint we are about to overwrite (its begin would be ≤ rts).
+		oldB, anyActive := rt.Active.OldestBegin()
+		carry := mustMulti || (anyActive && oldB <= rts)
+		nv := orec.PackVis(now+g, t.ID, carry)
+		var done bool
+		if proto == VisCAS {
+			done = o.Vis.CompareAndSwap(v, nv)
+		} else {
+			done = t.visStoreUpdate(o, v, nv)
+		}
+		if !done {
+			if proto == VisStore {
+				mustMulti = true
+			}
+			continue
+		}
+		t.Stats.PVUpdates++
+		t.notePublished(o, orec.VisRTS(nv))
+		if useGrace {
+			raiseGrace(o, rt.GraceStrategy, rt.MaxGrace)
+		}
+		return
+	}
+}
+
+// visStoreUpdate runs one attempt of the §III-B store-only protocol:
+//
+//  1. wait for curr_reader to be clear;
+//  2. claim it with a plain store of our ID;
+//  3. re-check that the vis word still holds the expected value — if not, a
+//     concurrent reader raced us: report failure so the caller retries with
+//     the multi bit;
+//  4. store the new vis value;
+//  5. re-check curr_reader — if it no longer holds our ID, a racer
+//     overlapped us and our update may be stale: report failure.
+//
+// All accesses are individual atomic loads and stores (Go atomics are
+// sequentially consistent, satisfying the paper's ordering requirement); no
+// compare-and-swap is involved, which is the protocol's entire purpose.
+func (t *Thread) visStoreUpdate(o *orec.Orec, expected, newv uint64) bool {
+	var b spin.Backoff
+	for o.CurrReader.Load() != orec.NoReader {
+		b.Wait()
+	}
+	id := t.ID + 1 // offset so thread 0 is distinguishable from NoReader
+	o.CurrReader.Store(id)
+	if o.Vis.Load() != expected {
+		// Raced before our update: withdraw (only if the slot is still
+		// ours; overwriting a racer's claim would be repaired by the
+		// racer's own step-5 check).
+		if o.CurrReader.Load() == id {
+			o.CurrReader.Store(orec.NoReader)
+		}
+		t.Stats.StoreRaces++
+		return false
+	}
+	o.Vis.Store(newv)
+	if o.CurrReader.Load() == id {
+		o.CurrReader.Store(orec.NoReader)
+		return true
+	}
+	t.Stats.StoreRaces++
+	return false
+}
+
+// notePublished records that this transaction published a hint with the
+// given rts on o. The writer-side self-test consults this log: a hint may
+// be treated as "my own read, no fence needed" only if it was published by
+// the writer's current transaction. (Without this, a stale hint — whose rts
+// can sit in the future when grace periods are on — could be claimed by the
+// publisher's *next* transaction, silently skipping a fence another live
+// reader depends on.)
+func (t *Thread) notePublished(o *orec.Orec, rts uint64) {
+	if t.VisPub == nil {
+		t.VisPub = make(map[*orec.Orec]uint64, 32)
+	}
+	t.VisPub[o] = rts
+}
+
+// publishedHere reports whether (o, rts) is a hint published by the current
+// transaction.
+func (t *Thread) publishedHere(o *orec.Orec, rts uint64) bool {
+	r, ok := t.VisPub[o]
+	return ok && r == rts
+}
+
+// GraceStrategy selects how per-orec grace periods adapt. §III-A settles
+// on exponential increase and decrease after experimenting "with other
+// strategies such as linear increase and decrease of grace periods, and
+// some hybrids"; all three families are implemented so that the ablation
+// benchmarks can reproduce that comparison.
+type GraceStrategy int
+
+const (
+	// GraceExponential doubles on success, halves on conflict (the
+	// paper's choice, and the default).
+	GraceExponential GraceStrategy = iota
+	// GraceLinear adds/subtracts a fixed step (16 clock ticks).
+	GraceLinear
+	// GraceHybrid increases linearly but backs off exponentially — the
+	// AIMD-style hybrid.
+	GraceHybrid
+)
+
+// graceLinearStep is the additive step for the linear and hybrid
+// strategies.
+const graceLinearStep = 16
+
+// raiseGrace grows o's grace period after a successful visibility update,
+// per the runtime's strategy, up to cap.
+func raiseGrace(o *orec.Orec, strat GraceStrategy, cap uint64) {
+	g := o.Grace.Load()
+	switch strat {
+	case GraceLinear, GraceHybrid:
+		g += graceLinearStep
+	default:
+		if g == 0 {
+			g = 1
+		} else {
+			g *= 2
+		}
+	}
+	if g > cap {
+		g = cap
+	}
+	o.Grace.Store(g)
+}
+
+// lowerGrace shrinks o's grace period when a writer detects a (possibly
+// false-positive) reader conflict through o.
+func lowerGrace(o *orec.Orec, strat GraceStrategy) {
+	g := o.Grace.Load()
+	switch strat {
+	case GraceLinear:
+		if g >= graceLinearStep {
+			g -= graceLinearStep
+		} else {
+			g = 0
+		}
+	default:
+		g /= 2
+	}
+	o.Grace.Store(g)
+}

@@ -1,0 +1,106 @@
+// Package heap implements the simulated transactional memory that stands in
+// for the raw process address space of the paper's C implementation.
+//
+// The paper's STM is word-based: every transactional load/store targets a
+// machine word, and conflict detection hashes the word's address into a
+// table of ownership records (§II-A). We reproduce that model with a flat
+// array of 64-bit words indexed by Addr. Transactional code accesses words
+// with sync/atomic (Go requires it when racing instrumented accesses are
+// possible); *privatized* data is accessed with plain loads and stores —
+// the zero-overhead access the paper identifies as the whole point of
+// privatization.
+package heap
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Addr is the address of one word in a Heap. Address 0 is reserved as the
+// nil address and is never returned by Alloc.
+type Addr uint64
+
+// Nil is the reserved null address.
+const Nil Addr = 0
+
+// Word is the unit of transactional access.
+type Word uint64
+
+// Heap is a flat, fixed-size word-addressed memory.
+//
+// Transactional accesses must use AtomicLoad/AtomicStore/CAS; accesses to
+// data known to be private may use Load/Store. Mixing the two on the same
+// word concurrently is a data race — exactly the race the privatization
+// techniques in this repository exist to prevent.
+type Heap struct {
+	words []uint64
+	next  atomic.Uint64 // bump pointer for Alloc
+}
+
+// New creates a heap with the given number of words (minimum 2: the nil
+// word plus one usable word).
+func New(words int) *Heap {
+	if words < 2 {
+		words = 2
+	}
+	h := &Heap{words: make([]uint64, words)}
+	h.next.Store(1) // keep address 0 as nil
+	return h
+}
+
+// Size returns the heap capacity in words.
+func (h *Heap) Size() int { return len(h.words) }
+
+// Alloc reserves n contiguous words and returns the address of the first.
+// The words are zeroed (they were never handed out before). Alloc never
+// reuses space; long-lived structures should manage free pools inside
+// transactional memory (see internal/bench), which both matches what the
+// paper's microbenchmarks do and sidesteps unsafe reclamation.
+func (h *Heap) Alloc(n int) (Addr, error) {
+	if n <= 0 {
+		return Nil, fmt.Errorf("heap: Alloc(%d): non-positive size", n)
+	}
+	for {
+		base := h.next.Load()
+		if base+uint64(n) > uint64(len(h.words)) {
+			return Nil, fmt.Errorf("heap: out of memory (cap %d words, want %d more)", len(h.words), n)
+		}
+		if h.next.CompareAndSwap(base, base+uint64(n)) {
+			return Addr(base), nil
+		}
+	}
+}
+
+// MustAlloc is Alloc that panics on exhaustion; used by workloads whose
+// sizing is known up front.
+func (h *Heap) MustAlloc(n int) Addr {
+	a, err := h.Alloc(n)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// InUse returns the number of words handed out so far (including the
+// reserved nil word).
+func (h *Heap) InUse() int { return int(h.next.Load()) }
+
+// AtomicLoad reads a word with atomic (acquire) semantics. Use for all
+// transactional reads.
+func (h *Heap) AtomicLoad(a Addr) Word {
+	return Word(atomic.LoadUint64(&h.words[a]))
+}
+
+// AtomicStore writes a word with atomic (release) semantics. Use for all
+// transactional writes, undo-log rollbacks and redo-log write-backs.
+func (h *Heap) AtomicStore(a Addr, w Word) {
+	atomic.StoreUint64(&h.words[a], uint64(w))
+}
+
+// Load reads a word with plain semantics. Only correct for data the caller
+// privately owns (e.g. after privatization).
+func (h *Heap) Load(a Addr) Word { return Word(h.words[a]) }
+
+// Store writes a word with plain semantics. Only correct for privately
+// owned data.
+func (h *Heap) Store(a Addr, w Word) { h.words[a] = uint64(w) }

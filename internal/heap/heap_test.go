@@ -1,0 +1,116 @@
+package heap
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocBasics(t *testing.T) {
+	h := New(100)
+	a, err := h.Alloc(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == Nil {
+		t.Fatal("Alloc returned the nil address")
+	}
+	b, err := h.Alloc(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b < a+10 {
+		t.Errorf("allocations overlap: %d then %d", a, b)
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	h := New(16)
+	if _, err := h.Alloc(14); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Alloc(10); err == nil {
+		t.Error("expected out-of-memory error")
+	}
+	// A smaller request that still fits must succeed.
+	if _, err := h.Alloc(1); err != nil {
+		t.Errorf("small alloc after failure: %v", err)
+	}
+}
+
+func TestAllocRejectsNonPositive(t *testing.T) {
+	h := New(16)
+	if _, err := h.Alloc(0); err == nil {
+		t.Error("Alloc(0) should fail")
+	}
+	if _, err := h.Alloc(-3); err == nil {
+		t.Error("Alloc(-3) should fail")
+	}
+}
+
+func TestAllocZeroed(t *testing.T) {
+	h := New(64)
+	a := h.MustAlloc(8)
+	for i := Addr(0); i < 8; i++ {
+		if h.Load(a+i) != 0 {
+			t.Errorf("word %d not zeroed", i)
+		}
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	h := New(256)
+	a := h.MustAlloc(128)
+	prop := func(off uint8, w uint64) bool {
+		addr := a + Addr(off)%128
+		h.Store(addr, Word(w))
+		if h.Load(addr) != Word(w) {
+			return false
+		}
+		h.AtomicStore(addr, Word(w)+1)
+		return h.AtomicLoad(addr) == Word(w)+1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAlloc(t *testing.T) {
+	h := New(1 << 16)
+	const workers = 8
+	const per = 100
+	got := make([][]Addr, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				got[w] = append(got[w], h.MustAlloc(7))
+			}
+		}(w)
+	}
+	wg.Wait()
+	// All allocations must be disjoint.
+	seen := map[Addr]bool{}
+	for _, as := range got {
+		for _, a := range as {
+			for i := Addr(0); i < 7; i++ {
+				if seen[a+i] {
+					t.Fatalf("word %d allocated twice", a+i)
+				}
+				seen[a+i] = true
+			}
+		}
+	}
+}
+
+func TestMinimumSize(t *testing.T) {
+	h := New(0)
+	if h.Size() < 2 {
+		t.Errorf("Size = %d, want ≥ 2", h.Size())
+	}
+	if h.InUse() != 1 {
+		t.Errorf("InUse = %d, want 1 (nil word reserved)", h.InUse())
+	}
+}

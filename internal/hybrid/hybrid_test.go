@@ -1,0 +1,165 @@
+package hybrid
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"privstm/internal/core"
+	"privstm/internal/heap"
+)
+
+func newRT(t *testing.T) *core.Runtime {
+	t.Helper()
+	rt, err := core.NewRuntime(core.Options{
+		HeapWords: 1 << 12, OrecCount: 1 << 8, MaxThreads: 8, HybridThreshold: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestName(t *testing.T) {
+	if New(newRT(t)).Name() != "pvrHybrid" {
+		t.Error("name wrong")
+	}
+}
+
+func TestStaysInvisibleBelowThreshold(t *testing.T) {
+	rt := newRT(t)
+	e := New(rt)
+	th, _ := rt.NewThread()
+	base := rt.Heap.MustAlloc(64)
+	rt.Clock.Tick() // a writer has committed, but the read set stays small
+	if err := core.Run(e, th, func() {
+		for i := 0; i < 8; i++ {
+			_ = e.Read(th, base+heap.Addr(i))
+		}
+		if rt.Active.Count() != 0 {
+			t.Error("transaction went visible below the threshold")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if th.Stats.ModeSwitches != 0 {
+		t.Errorf("ModeSwitches = %d", th.Stats.ModeSwitches)
+	}
+}
+
+func TestStaysInvisibleWithoutWriterCommit(t *testing.T) {
+	// Large read set but no concurrent writer commit: both conditions are
+	// required for the switch (§IV).
+	rt := newRT(t)
+	e := New(rt)
+	th, _ := rt.NewThread()
+	base := rt.Heap.MustAlloc(64)
+	if err := core.Run(e, th, func() {
+		for i := 0; i < 40; i++ {
+			_ = e.Read(th, base+heap.Addr(i))
+		}
+		if rt.Active.Count() != 0 {
+			t.Error("transaction went visible with a quiescent clock")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGoesVisiblePastThresholdAfterWriterCommit(t *testing.T) {
+	rt := newRT(t)
+	e := New(rt)
+	th, _ := rt.NewThread()
+	base := rt.Heap.MustAlloc(64)
+	rt.Clock.Tick() // simulate a concurrent writer commit after begin… see below
+	if err := core.Run(e, th, func() {
+		// The clock moves after this transaction begins:
+		rt.Clock.Tick()
+		for i := 0; i < 40; i++ {
+			_ = e.Read(th, base+heap.Addr(i))
+		}
+		if rt.Active.Count() != 1 {
+			t.Error("transaction did not go visible past the threshold")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if th.Stats.ModeSwitches != 1 {
+		t.Errorf("ModeSwitches = %d, want 1", th.Stats.ModeSwitches)
+	}
+	if rt.Active.Count() != 0 {
+		t.Error("central list not empty after commit")
+	}
+}
+
+// TestVisibleReaderFencesWriter drives the hybrid's PVR half: once a reader
+// is visible, a conflicting writer must wait at the privatization fence.
+func TestVisibleReaderFencesWriter(t *testing.T) {
+	rt := newRT(t)
+	e := New(rt)
+	r, _ := rt.NewThread()
+	w, _ := rt.NewThread()
+	base := rt.Heap.MustAlloc(64)
+
+	rIn := make(chan struct{})
+	rGo := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = core.Run(e, r, func() {
+			rt.Clock.Tick() // a writer committed since we began
+			for i := 0; i < 40; i++ {
+				_ = e.Read(r, base+heap.Addr(i))
+			}
+			close(rIn)
+			<-rGo
+		})
+	}()
+	<-rIn
+
+	committed := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = core.Run(e, w, func() { e.Write(w, base, 1) })
+		close(committed)
+	}()
+	select {
+	case <-committed:
+		t.Fatal("hybrid writer ignored a partially visible reader")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(rGo)
+	<-committed
+	wg.Wait()
+	if w.Stats.Fenced != 1 {
+		t.Errorf("Fenced = %d, want 1", w.Stats.Fenced)
+	}
+	if w.Stats.OrderWaits == 0 && w.Stats.WriterCommits != 1 {
+		t.Errorf("writer stats inconsistent: %+v", w.Stats)
+	}
+}
+
+func TestConcurrentCounter(t *testing.T) {
+	rt := newRT(t)
+	e := New(rt)
+	a := rt.Heap.MustAlloc(1)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		th, _ := rt.NewThread()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 250; j++ {
+				_ = core.Run(e, th, func() {
+					e.Write(th, a, e.Read(th, a)+1)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := rt.Heap.AtomicLoad(a); got != 1000 {
+		t.Errorf("counter = %d, want 1000", got)
+	}
+}

@@ -1,0 +1,59 @@
+package logs
+
+import (
+	"testing"
+
+	"privstm/internal/heap"
+)
+
+// FuzzRedoIndex feeds encoded op streams to the open-addressing redo index
+// and cross-checks against a Go map. Runs its seed corpus as part of
+// `go test`; `go test -fuzz=FuzzRedoIndex` explores further.
+func FuzzRedoIndex(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0, 0, 0, 0, 255, 255})
+	f.Add([]byte{9})
+	f.Add([]byte{})
+	seed := make([]byte, 300)
+	for i := range seed {
+		seed[i] = byte(i * 37)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r Redo
+		model := map[heap.Addr]heap.Word{}
+		for i := 0; i+1 < len(data); i += 2 {
+			a := heap.Addr(data[i])
+			v := heap.Word(data[i+1])
+			if data[i]%7 == 3 {
+				// Interleave lookups of arbitrary keys.
+				got, ok := r.Get(a)
+				want, wok := model[a]
+				if ok != wok || (ok && got != want) {
+					t.Fatalf("Get(%d) = %d,%v want %d,%v", a, got, ok, want, wok)
+				}
+				continue
+			}
+			r.Put(a, v)
+			model[a] = v
+		}
+		if r.Len() != len(model) {
+			t.Fatalf("Len = %d, model %d", r.Len(), len(model))
+		}
+		for a, want := range model {
+			if got, ok := r.Get(a); !ok || got != want {
+				t.Fatalf("final Get(%d) = %d,%v want %d", a, got, ok, want)
+			}
+		}
+		// Reset must fully clear.
+		r.Reset()
+		if r.Len() != 0 {
+			t.Fatal("Reset left entries")
+		}
+		for a := range model {
+			if _, ok := r.Get(a); ok {
+				t.Fatalf("Reset left key %d findable", a)
+			}
+		}
+	})
+}

@@ -1,0 +1,216 @@
+// Package logs implements the per-transaction bookkeeping shared by all
+// engines: read sets for validation, redo logs for buffered-update engines
+// (§IV), undo logs for the in-place PVR engines (§II-A), and the set of
+// acquired orecs.
+//
+// All containers are designed for reuse: a transaction descriptor owns one
+// of each, and Reset keeps the backing arrays so steady-state transactions
+// allocate nothing.
+package logs
+
+import (
+	"privstm/internal/heap"
+	"privstm/internal/orec"
+)
+
+// ReadEntry records one transactional read: which orec covered it and the
+// write timestamp observed at read time. Addr is retained so engines that
+// upgrade reads to partial visibility late (pvrWriterOnly, pvrHybrid) can
+// revisit the location.
+type ReadEntry struct {
+	Orec *orec.Orec
+	Addr heap.Addr
+	WTS  uint64
+}
+
+// ReadSet is an append-only log of reads.
+type ReadSet struct {
+	entries []ReadEntry
+}
+
+// Add appends a read.
+func (rs *ReadSet) Add(o *orec.Orec, a heap.Addr, wts uint64) {
+	rs.entries = append(rs.entries, ReadEntry{Orec: o, Addr: a, WTS: wts})
+}
+
+// Len returns the number of logged reads.
+func (rs *ReadSet) Len() int { return len(rs.entries) }
+
+// At returns the i-th entry.
+func (rs *ReadSet) At(i int) *ReadEntry { return &rs.entries[i] }
+
+// Reset empties the set, retaining capacity.
+func (rs *ReadSet) Reset() { rs.entries = rs.entries[:0] }
+
+// UndoEntry records a pre-image for in-place writes.
+type UndoEntry struct {
+	Addr heap.Addr
+	Old  heap.Word
+}
+
+// Undo is the undo log of an in-place engine. Entries are appended in write
+// order and must be rolled back in reverse, so that the oldest pre-image of
+// a multiply-written word wins.
+type Undo struct {
+	entries []UndoEntry
+}
+
+// Add logs a pre-image.
+func (u *Undo) Add(a heap.Addr, old heap.Word) {
+	u.entries = append(u.entries, UndoEntry{Addr: a, Old: old})
+}
+
+// Len returns the number of logged pre-images.
+func (u *Undo) Len() int { return len(u.entries) }
+
+// Rollback restores all pre-images to h in reverse order using atomic
+// stores (concurrent doomed readers may still be loading these words).
+func (u *Undo) Rollback(h *heap.Heap) {
+	for i := len(u.entries) - 1; i >= 0; i-- {
+		h.AtomicStore(u.entries[i].Addr, u.entries[i].Old)
+	}
+}
+
+// Reset empties the log, retaining capacity.
+func (u *Undo) Reset() { u.entries = u.entries[:0] }
+
+// RedoEntry is one buffered write.
+type RedoEntry struct {
+	Addr heap.Addr
+	Val  heap.Word
+}
+
+// Redo is a write buffer with O(1) read-your-writes lookup. Writes to the
+// same address overwrite in place, so write-back applies each address once,
+// with the latest value. The zero value is an empty log ready to use.
+//
+// The index is a small open-addressing hash table (entry index + 1, zero
+// means empty) rather than a Go map: redo lookup sits on the read hot path
+// of every buffered-update engine, and the paper's C systems pay only a
+// few instructions there.
+type Redo struct {
+	entries []RedoEntry
+	idx     []int32
+	mask    uint32
+}
+
+func (r *Redo) slot(a heap.Addr) uint32 {
+	return uint32(uint64(a)*0x9e3779b97f4a7c15>>33) & r.mask
+}
+
+func (r *Redo) grow() {
+	n := 32
+	if r.idx != nil {
+		n = len(r.idx) * 2
+	}
+	r.idx = make([]int32, n)
+	r.mask = uint32(n - 1)
+	for i := range r.entries {
+		s := r.slot(r.entries[i].Addr)
+		for r.idx[s] != 0 {
+			s = (s + 1) & r.mask
+		}
+		r.idx[s] = int32(i + 1)
+	}
+}
+
+// Put buffers a write of w to a.
+func (r *Redo) Put(a heap.Addr, w heap.Word) {
+	if r.idx == nil || len(r.entries)*4 >= len(r.idx)*3 {
+		r.grow()
+	}
+	s := r.slot(a)
+	for {
+		v := r.idx[s]
+		if v == 0 {
+			r.idx[s] = int32(len(r.entries) + 1)
+			r.entries = append(r.entries, RedoEntry{Addr: a, Val: w})
+			return
+		}
+		if r.entries[v-1].Addr == a {
+			r.entries[v-1].Val = w
+			return
+		}
+		s = (s + 1) & r.mask
+	}
+}
+
+// Get returns the buffered value for a, if any.
+func (r *Redo) Get(a heap.Addr) (heap.Word, bool) {
+	if len(r.entries) == 0 {
+		return 0, false
+	}
+	s := r.slot(a)
+	for {
+		v := r.idx[s]
+		if v == 0 {
+			return 0, false
+		}
+		if r.entries[v-1].Addr == a {
+			return r.entries[v-1].Val, true
+		}
+		s = (s + 1) & r.mask
+	}
+}
+
+// Len returns the number of distinct buffered addresses.
+func (r *Redo) Len() int { return len(r.entries) }
+
+// At returns the i-th buffered write.
+func (r *Redo) At(i int) *RedoEntry { return &r.entries[i] }
+
+// WriteBack flushes every buffered write to h with atomic stores.
+func (r *Redo) WriteBack(h *heap.Heap) {
+	for i := range r.entries {
+		h.AtomicStore(r.entries[i].Addr, r.entries[i].Val)
+	}
+}
+
+// Reset empties the log, retaining capacity.
+func (r *Redo) Reset() {
+	r.entries = r.entries[:0]
+	clear(r.idx)
+}
+
+// AcquiredEntry records ownership of one orec and the owner-word value it
+// held before acquisition, needed to restore it on abort.
+type AcquiredEntry struct {
+	Orec    *orec.Orec
+	PrevWTS uint64 // write timestamp the orec carried before we owned it
+}
+
+// Acquired is the set of orecs a writer owns.
+type Acquired struct {
+	entries []AcquiredEntry
+}
+
+// Add records ownership of o, which previously carried prevWTS.
+func (ac *Acquired) Add(o *orec.Orec, prevWTS uint64) {
+	ac.entries = append(ac.entries, AcquiredEntry{Orec: o, PrevWTS: prevWTS})
+}
+
+// Len returns the number of owned orecs.
+func (ac *Acquired) Len() int { return len(ac.entries) }
+
+// At returns the i-th entry.
+func (ac *Acquired) At(i int) *AcquiredEntry { return &ac.entries[i] }
+
+// ReleaseAll stores wts into every owned orec, making the updates visible
+// at that timestamp (commit path).
+func (ac *Acquired) ReleaseAll(wts uint64) {
+	packed := orec.PackUnowned(wts)
+	for i := range ac.entries {
+		ac.entries[i].Orec.Owner.Store(packed)
+	}
+}
+
+// RestoreAll puts each orec's previous write timestamp back (abort path).
+func (ac *Acquired) RestoreAll() {
+	for i := range ac.entries {
+		e := &ac.entries[i]
+		e.Orec.Owner.Store(orec.PackUnowned(e.PrevWTS))
+	}
+}
+
+// Reset empties the set, retaining capacity.
+func (ac *Acquired) Reset() { ac.entries = ac.entries[:0] }

@@ -1,0 +1,161 @@
+package logs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"privstm/internal/heap"
+	"privstm/internal/orec"
+)
+
+func TestReadSet(t *testing.T) {
+	var rs ReadSet
+	var o1, o2 orec.Orec
+	rs.Add(&o1, 10, 5)
+	rs.Add(&o2, 20, 7)
+	if rs.Len() != 2 {
+		t.Fatalf("Len = %d", rs.Len())
+	}
+	if e := rs.At(0); e.Orec != &o1 || e.Addr != 10 || e.WTS != 5 {
+		t.Errorf("entry 0 = %+v", e)
+	}
+	rs.Reset()
+	if rs.Len() != 0 {
+		t.Error("Reset did not empty the set")
+	}
+	rs.Add(&o2, 30, 9)
+	if e := rs.At(0); e.Orec != &o2 || e.Addr != 30 {
+		t.Errorf("entry after reuse = %+v", e)
+	}
+}
+
+func TestUndoRollbackReverseOrder(t *testing.T) {
+	h := heap.New(64)
+	a := h.MustAlloc(1)
+	var u Undo
+	h.AtomicStore(a, 1)
+	u.Add(a, 1) // pre-image of first write
+	h.AtomicStore(a, 2)
+	u.Add(a, 2) // pre-image of second write
+	h.AtomicStore(a, 3)
+	u.Rollback(h)
+	if got := h.AtomicLoad(a); got != 1 {
+		t.Errorf("rollback restored %d, want the oldest pre-image 1", got)
+	}
+}
+
+func TestUndoRollbackMultipleAddrs(t *testing.T) {
+	h := heap.New(64)
+	base := h.MustAlloc(8)
+	var u Undo
+	for i := heap.Addr(0); i < 8; i++ {
+		h.AtomicStore(base+i, heap.Word(i))
+	}
+	for i := heap.Addr(0); i < 8; i++ {
+		u.Add(base+i, h.AtomicLoad(base+i))
+		h.AtomicStore(base+i, 99)
+	}
+	u.Rollback(h)
+	for i := heap.Addr(0); i < 8; i++ {
+		if got := h.AtomicLoad(base + i); got != heap.Word(i) {
+			t.Errorf("word %d = %d after rollback", i, got)
+		}
+	}
+	u.Reset()
+	if u.Len() != 0 {
+		t.Error("Reset did not empty the log")
+	}
+}
+
+func TestRedoReadYourWrites(t *testing.T) {
+	var r Redo
+	if _, ok := r.Get(5); ok {
+		t.Fatal("empty redo log claims a value")
+	}
+	r.Put(5, 100)
+	r.Put(6, 200)
+	r.Put(5, 101) // overwrite coalesces
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (coalesced)", r.Len())
+	}
+	if v, ok := r.Get(5); !ok || v != 101 {
+		t.Errorf("Get(5) = %d,%v", v, ok)
+	}
+	if v, ok := r.Get(6); !ok || v != 200 {
+		t.Errorf("Get(6) = %d,%v", v, ok)
+	}
+}
+
+func TestRedoWriteBack(t *testing.T) {
+	h := heap.New(64)
+	base := h.MustAlloc(4)
+	var r Redo
+	r.Put(base, 1)
+	r.Put(base+1, 2)
+	r.Put(base, 3)
+	r.WriteBack(h)
+	if h.AtomicLoad(base) != 3 || h.AtomicLoad(base+1) != 2 {
+		t.Errorf("write-back produced (%d,%d)", h.AtomicLoad(base), h.AtomicLoad(base+1))
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Error("Reset did not clear entries")
+	}
+	if _, ok := r.Get(base); ok {
+		t.Error("Reset did not clear index")
+	}
+}
+
+func TestRedoModel(t *testing.T) {
+	// Property: Redo behaves as a map with last-write-wins.
+	prop := func(ops []struct {
+		A uint8
+		V uint16
+	}) bool {
+		var r Redo
+		model := map[heap.Addr]heap.Word{}
+		for _, op := range ops {
+			a, v := heap.Addr(op.A%32), heap.Word(op.V)
+			r.Put(a, v)
+			model[a] = v
+		}
+		if r.Len() != len(model) {
+			return false
+		}
+		for a, v := range model {
+			got, ok := r.Get(a)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAcquiredReleaseAndRestore(t *testing.T) {
+	var o1, o2 orec.Orec
+	o1.Owner.Store(orec.PackOwned(3))
+	o2.Owner.Store(orec.PackOwned(3))
+	var ac Acquired
+	ac.Add(&o1, 10)
+	ac.Add(&o2, 20)
+	if ac.Len() != 2 {
+		t.Fatalf("Len = %d", ac.Len())
+	}
+	ac.RestoreAll()
+	if orec.WTS(o1.Owner.Load()) != 10 || orec.WTS(o2.Owner.Load()) != 20 {
+		t.Error("RestoreAll did not restore previous timestamps")
+	}
+	o1.Owner.Store(orec.PackOwned(3))
+	o2.Owner.Store(orec.PackOwned(3))
+	ac.ReleaseAll(77)
+	if orec.WTS(o1.Owner.Load()) != 77 || orec.WTS(o2.Owner.Load()) != 77 {
+		t.Error("ReleaseAll did not publish the commit timestamp")
+	}
+	if orec.IsOwned(o1.Owner.Load()) {
+		t.Error("orec still owned after release")
+	}
+}

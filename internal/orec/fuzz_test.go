@@ -1,0 +1,46 @@
+package orec
+
+import "testing"
+
+// FuzzVisWord checks that any byte-derived (rts, tid, multi) triple
+// round-trips through the packed vis word and that the multi-set idiom
+// (v|1) never disturbs the other fields.
+func FuzzVisWord(f *testing.F) {
+	f.Add(uint64(0), uint64(0), false)
+	f.Add(uint64(1), uint64(1), true)
+	f.Add(^uint64(0), ^uint64(0), true)
+	f.Add(uint64(1)<<40, uint64(MaxTID), false)
+	f.Fuzz(func(t *testing.T, rts, tid uint64, multi bool) {
+		rts &= visRTSMask
+		tid &= MaxTID
+		v := PackVis(rts, tid, multi)
+		r, id, m := UnpackVis(v)
+		if r != rts || id != tid || m != multi {
+			t.Fatalf("roundtrip (%d,%d,%v) -> (%d,%d,%v)", rts, tid, multi, r, id, m)
+		}
+		r2, id2, m2 := UnpackVis(v | 1)
+		if r2 != rts || id2 != tid || !m2 {
+			t.Fatalf("multi-set idiom disturbed fields: (%d,%d,%v)", r2, id2, m2)
+		}
+	})
+}
+
+// FuzzOwnerWord checks owner-word encodings never alias across the
+// owned/unowned boundary.
+func FuzzOwnerWord(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(123456789))
+	f.Add(^uint64(0) >> 1)
+	f.Fuzz(func(t *testing.T, x uint64) {
+		x &= 1<<63 - 1
+		if IsOwned(PackUnowned(x)) {
+			t.Fatalf("PackUnowned(%d) aliases owned", x)
+		}
+		if !IsOwned(PackOwned(x)) {
+			t.Fatalf("PackOwned(%d) aliases unowned", x)
+		}
+		if WTS(PackUnowned(x)) != x || OwnerTID(PackOwned(x)) != x {
+			t.Fatal("field extraction wrong")
+		}
+	})
+}

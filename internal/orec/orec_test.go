@@ -1,0 +1,129 @@
+package orec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"privstm/internal/heap"
+)
+
+func TestOwnerPackingRoundTrip(t *testing.T) {
+	prop := func(wts uint64) bool {
+		wts &= 1<<63 - 1 // representable range
+		v := PackUnowned(wts)
+		return !IsOwned(v) && WTS(v) == wts
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+	prop2 := func(tid uint64) bool {
+		tid &= 1<<63 - 1
+		v := PackOwned(tid)
+		return IsOwned(v) && OwnerTID(v) == tid
+	}
+	if err := quick.Check(prop2, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVisPackingRoundTrip(t *testing.T) {
+	prop := func(rts, tid uint64, multi bool) bool {
+		rts &= visRTSMask
+		tid &= MaxTID
+		r, id, m := UnpackVis(PackVis(rts, tid, multi))
+		return r == rts && id == tid && m == multi
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVisFieldAccessorsAgree(t *testing.T) {
+	prop := func(rts, tid uint64, multi bool) bool {
+		v := PackVis(rts, tid, multi)
+		r, id, m := UnpackVis(v)
+		return VisRTS(v) == r && VisTID(v) == id && VisMulti(v) == m
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVisMultiBitIndependent(t *testing.T) {
+	v := PackVis(123, 45, false)
+	if VisMulti(v) {
+		t.Fatal("multi set unexpectedly")
+	}
+	v |= 1 // the writer-side idiom for setting the multi bit
+	rts, tid, multi := UnpackVis(v)
+	if rts != 123 || tid != 45 || !multi {
+		t.Errorf("after |1: (%d,%d,%v), want (123,45,true)", rts, tid, multi)
+	}
+}
+
+func TestOwnedUnownedDisjoint(t *testing.T) {
+	// No unowned encoding may be mistaken for an owned one.
+	for _, wts := range []uint64{0, 1, 77, 1 << 40} {
+		if IsOwned(PackUnowned(wts)) {
+			t.Errorf("PackUnowned(%d) reads as owned", wts)
+		}
+	}
+	for _, tid := range []uint64{0, 1, MaxTID} {
+		if !IsOwned(PackOwned(tid)) {
+			t.Errorf("PackOwned(%d) reads as unowned", tid)
+		}
+	}
+}
+
+func TestTableBlockGranularity(t *testing.T) {
+	tab := NewTable(1024, 4)
+	if tab.BlockWords() != 4 {
+		t.Fatalf("BlockWords = %d, want 4", tab.BlockWords())
+	}
+	// Addresses within one block share an orec.
+	for base := heap.Addr(0); base < 64; base += 4 {
+		idx := tab.Index(base)
+		for off := heap.Addr(1); off < 4; off++ {
+			if tab.Index(base+off) != idx {
+				t.Errorf("addresses %d and %d in one block map to different orecs", base, base+off)
+			}
+		}
+	}
+}
+
+func TestTableSizeRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {1000, 1024}, {1024, 1024}, {0, 1},
+	} {
+		if got := NewTable(tc.in, 1).Len(); got != tc.want {
+			t.Errorf("NewTable(%d).Len() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestTableDistribution(t *testing.T) {
+	// Consecutive blocks should scatter reasonably evenly.
+	tab := NewTable(256, 1)
+	counts := make([]int, tab.Len())
+	const n = 1 << 14
+	for a := heap.Addr(0); a < n; a++ {
+		counts[tab.Index(a)]++
+	}
+	want := n / tab.Len()
+	for i, c := range counts {
+		if c < want/4 || c > want*4 {
+			t.Errorf("slot %d holds %d addresses, want about %d", i, c, want)
+		}
+	}
+}
+
+func TestTableForStable(t *testing.T) {
+	tab := NewTable(64, 2)
+	a := heap.Addr(12345)
+	if tab.For(a) != tab.For(a) {
+		t.Error("For not stable for one address")
+	}
+	if tab.For(a) != tab.At(tab.Index(a)) {
+		t.Error("For and At(Index) disagree")
+	}
+}

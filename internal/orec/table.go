@@ -1,0 +1,60 @@
+package orec
+
+import "privstm/internal/heap"
+
+// Table maps heap addresses to orecs. Conflict detection happens "at the
+// granularity of small, contiguous, fixed-size blocks of memory" (§II-A):
+// BlockWords consecutive words share one orec, and block numbers are
+// scattered over the table with a Fibonacci multiplicative hash, like the
+// Harris–Fraser hashing the paper builds on.
+type Table struct {
+	orecs      []Orec
+	mask       uint64
+	blockShift uint
+}
+
+// NewTable creates a table with at least count orecs (rounded up to a power
+// of two) and the given block size in words (also rounded to a power of
+// two; minimum 1).
+func NewTable(count, blockWords int) *Table {
+	n := ceilPow2(count)
+	bs := uint(0)
+	for 1<<bs < blockWords {
+		bs++
+	}
+	return &Table{
+		orecs:      make([]Orec, n),
+		mask:       uint64(n - 1),
+		blockShift: bs,
+	}
+}
+
+// Len returns the number of orecs.
+func (t *Table) Len() int { return len(t.orecs) }
+
+// BlockWords returns the conflict-detection granularity in words.
+func (t *Table) BlockWords() int { return 1 << t.blockShift }
+
+// Index returns the table slot for address a. Exported so tests can verify
+// that addresses in one block collide and the distribution is uniform.
+func (t *Table) Index(a heap.Addr) int {
+	block := uint64(a) >> t.blockShift
+	return int((block * 0x9e3779b97f4a7c15 >> 17) & t.mask)
+}
+
+// For returns the orec guarding address a.
+func (t *Table) For(a heap.Addr) *Orec { return &t.orecs[t.Index(a)] }
+
+// At returns the orec at slot i; used by whole-table sweeps in tests.
+func (t *Table) At(i int) *Orec { return &t.orecs[i] }
+
+func ceilPow2(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

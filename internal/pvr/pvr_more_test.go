@@ -1,0 +1,149 @@
+package pvr
+
+import (
+	"sync"
+	"testing"
+
+	"privstm/internal/core"
+)
+
+// TestWriterOnlyInvisibleDoomedRetries: a read-only-so-far transaction
+// whose read set is invalidated by a writer commit must abort at its next
+// read's poll and succeed on retry.
+func TestWriterOnlyInvisibleDoomedRetries(t *testing.T) {
+	rt := newRT(t)
+	e := NewWriterOnly(rt)
+	r := thread(t, rt)
+	w := thread(t, rt)
+	x := rt.Heap.MustAlloc(1)
+	y := rt.Heap.MustAlloc(600)
+	if rt.Orecs.For(x) == rt.Orecs.For(y+512) {
+		t.Skip("orec collision")
+	}
+	attempts := 0
+	if err := core.Run(e, r, func() {
+		attempts++
+		_ = e.Read(r, x)
+		if attempts == 1 {
+			if err := core.Run(e, w, func() { e.Write(w, x, 5) }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_ = e.Read(r, y+512)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Errorf("attempts = %d, want 2", attempts)
+	}
+	if r.Stats.ReadOnlyCommits != 1 {
+		t.Errorf("ReadOnlyCommits = %d", r.Stats.ReadOnlyCommits)
+	}
+}
+
+// TestWriterOnlyInvisibleCancel: cancelling before the first write must
+// not touch the tracker (the transaction never joined it).
+func TestWriterOnlyInvisibleCancel(t *testing.T) {
+	rt := newRT(t)
+	e := NewWriterOnly(rt)
+	th := thread(t, rt)
+	a := rt.Heap.MustAlloc(1)
+	err := core.Run(e, th, func() {
+		_ = e.Read(th, a)
+		th.UserCancel(errSentinel)
+	})
+	if err != errSentinel {
+		t.Fatal(err)
+	}
+	if rt.Active.Count() != 0 {
+		t.Error("tracker not empty after invisible cancel")
+	}
+}
+
+// TestGoVisibleAbortsWhenDoomed: the §III-C transition itself must abort a
+// transaction whose reads were invalidated before its first write — the
+// bug the privatization stressor originally caught.
+func TestGoVisibleAbortsWhenDoomed(t *testing.T) {
+	rt := newRT(t)
+	e := NewWriterOnly(rt)
+	r := thread(t, rt)
+	w := thread(t, rt)
+	x := rt.Heap.MustAlloc(1)
+	target := rt.Heap.MustAlloc(600)
+	if rt.Orecs.For(x) == rt.Orecs.For(target+512) {
+		t.Skip("orec collision")
+	}
+	attempts := 0
+	if err := core.Run(e, r, func() {
+		attempts++
+		_ = e.Read(r, x)
+		if attempts == 1 {
+			// Invalidate the read, then let the victim attempt its first
+			// write: goVisible's revalidation must refuse.
+			if err := core.Run(e, w, func() { e.Write(w, x, 1) }); err != nil {
+				t.Fatal(err)
+			}
+			// Suppress the poll path by writing without reading again.
+		}
+		e.Write(r, target+512, 9)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Errorf("attempts = %d, want 2 (goVisible must doom attempt 1)", attempts)
+	}
+	if got := rt.Heap.AtomicLoad(target + 512); got != 9 {
+		t.Errorf("retry did not commit: %d", got)
+	}
+}
+
+// TestUndoEngineCommitValidationFails: a writer whose read set goes stale
+// after its in-place writes must roll back at commit and retry.
+func TestUndoEngineCommitValidationFails(t *testing.T) {
+	rt := newRT(t)
+	e := NewBase(rt)
+	r := thread(t, rt)
+	w := thread(t, rt)
+	x := rt.Heap.MustAlloc(1)
+	y := rt.Heap.MustAlloc(600)
+	if rt.Orecs.For(x) == rt.Orecs.For(y+512) {
+		t.Skip("orec collision")
+	}
+	// The conflicting writer must run concurrently: it will fence on the
+	// reader's visibility hint for x, and the reader's commit-time
+	// validation failure (abort, tracker exit) is what releases it.
+	attempts := 0
+	var once sync.Once
+	var wg sync.WaitGroup
+	if err := core.Run(e, r, func() {
+		attempts++
+		v := e.Read(r, x)
+		e.Write(r, y+512, v+100)
+		if attempts == 1 {
+			once.Do(func() {
+				before := rt.Clock.Now()
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					_ = core.Run(e, w, func() { e.Write(w, x, 7) })
+				}()
+				// Wait until the writer has committed (clock ticked); it
+				// is now waiting at its privatization fence for us.
+				for rt.Clock.Now() == before {
+				}
+			})
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if attempts != 2 {
+		t.Errorf("attempts = %d, want 2", attempts)
+	}
+	if got := rt.Heap.AtomicLoad(y + 512); got != 107 {
+		t.Errorf("y = %d, want 107 (committed from refreshed read)", got)
+	}
+	if r.Stats.Aborts != 1 {
+		t.Errorf("Aborts = %d", r.Stats.Aborts)
+	}
+}

@@ -1,0 +1,443 @@
+package pvr
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"privstm/internal/core"
+)
+
+func newRT(t *testing.T) *core.Runtime {
+	t.Helper()
+	rt, err := core.NewRuntime(core.Options{HeapWords: 1 << 12, OrecCount: 1 << 8, MaxThreads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func thread(t *testing.T, rt *core.Runtime) *core.Thread {
+	t.Helper()
+	th, err := rt.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return th
+}
+
+func TestVariantNames(t *testing.T) {
+	rt := newRT(t)
+	for _, tc := range []struct {
+		e    *Engine
+		want string
+	}{
+		{NewBase(rt), "pvrBase"},
+		{NewCAS(rt), "pvrCAS"},
+		{NewStore(rt), "pvrStore"},
+		{NewWriterOnly(rt), "pvrWriterOnly"},
+	} {
+		if tc.e.Name() != tc.want {
+			t.Errorf("Name = %q, want %q", tc.e.Name(), tc.want)
+		}
+	}
+}
+
+func TestInPlaceWriteAndRollback(t *testing.T) {
+	for _, mk := range []func(*core.Runtime) *Engine{NewBase, NewCAS, NewStore, NewWriterOnly} {
+		rt := newRT(t)
+		e := mk(rt)
+		th := thread(t, rt)
+		a := rt.Heap.MustAlloc(2)
+
+		// Commit path.
+		if err := core.Run(e, th, func() {
+			e.Write(th, a, 10)
+			e.Write(th, a+1, 20)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if rt.Heap.AtomicLoad(a) != 10 || rt.Heap.AtomicLoad(a+1) != 20 {
+			t.Fatalf("%s: committed values wrong", e.Name())
+		}
+
+		// In-place speculation must be visible mid-transaction and undone
+		// on user cancel.
+		err := core.Run(e, th, func() {
+			e.Write(th, a, 99)
+			if rt.Heap.AtomicLoad(a) != 99 {
+				t.Errorf("%s: in-place write not visible in memory", e.Name())
+			}
+			th.UserCancel(errSentinel)
+		})
+		if err != errSentinel {
+			t.Fatalf("%s: err = %v", e.Name(), err)
+		}
+		if got := rt.Heap.AtomicLoad(a); got != 10 {
+			t.Errorf("%s: rollback left %d, want 10", e.Name(), got)
+		}
+		// Cleanup must have left the central list empty and orecs free.
+		if rt.Active.Count() != 0 {
+			t.Errorf("%s: central list not empty after cancel", e.Name())
+		}
+	}
+}
+
+var errSentinel = errTest("sentinel")
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }
+
+func TestReadersEnterCentralList(t *testing.T) {
+	rt := newRT(t)
+	e := NewBase(rt)
+	th := thread(t, rt)
+	a := rt.Heap.MustAlloc(1)
+	entered := -1
+	if err := core.Run(e, th, func() {
+		_ = e.Read(th, a)
+		entered = rt.Active.Count()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if entered != 1 {
+		t.Errorf("central list length during txn = %d, want 1", entered)
+	}
+	if rt.Active.Count() != 0 {
+		t.Error("central list not empty after commit")
+	}
+}
+
+func TestWriterOnlyReadOnlySkipsCentralList(t *testing.T) {
+	rt := newRT(t)
+	e := NewWriterOnly(rt)
+	th := thread(t, rt)
+	a := rt.Heap.MustAlloc(1)
+	during := -1
+	if err := core.Run(e, th, func() {
+		_ = e.Read(th, a)
+		during = rt.Active.Count()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if during != 0 {
+		t.Errorf("read-only writerOnly txn appeared on central list (len %d)", during)
+	}
+	if th.Stats.ReadOnlyCommits != 1 {
+		t.Errorf("ReadOnlyCommits = %d", th.Stats.ReadOnlyCommits)
+	}
+}
+
+func TestWriterOnlyGoesVisibleOnFirstWrite(t *testing.T) {
+	rt := newRT(t)
+	e := NewWriterOnly(rt)
+	th := thread(t, rt)
+	a := rt.Heap.MustAlloc(2)
+	var before, after int
+	if err := core.Run(e, th, func() {
+		_ = e.Read(th, a)
+		before = rt.Active.Count()
+		e.Write(th, a+1, 5)
+		after = rt.Active.Count()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if before != 0 || after != 1 {
+		t.Errorf("list length before/after first write = %d/%d, want 0/1", before, after)
+	}
+	if th.Stats.ModeSwitches != 1 {
+		t.Errorf("ModeSwitches = %d", th.Stats.ModeSwitches)
+	}
+}
+
+// TestWriterFencesOnReaderConflict drives the full §II flow: a reader makes
+// a location partially visible; a writer that commits a write to the same
+// location must wait at the privatization fence until the reader finishes.
+func TestWriterFencesOnReaderConflict(t *testing.T) {
+	for _, mk := range []func(*core.Runtime) *Engine{NewBase, NewCAS, NewStore} {
+		rt := newRT(t)
+		e := mk(rt)
+		reader := thread(t, rt)
+		writer := thread(t, rt)
+		a := rt.Heap.MustAlloc(1)
+
+		readerIn := make(chan struct{})
+		readerGo := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = core.Run(e, reader, func() {
+				_ = e.Read(reader, a)
+				close(readerIn)
+				<-readerGo
+			})
+		}()
+		<-readerIn
+
+		committed := make(chan struct{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = core.Run(e, writer, func() {
+				e.Write(writer, a, 42)
+			})
+			close(committed)
+		}()
+
+		select {
+		case <-committed:
+			t.Fatalf("%s: writer returned without fencing for the live reader", e.Name())
+		case <-time.After(20 * time.Millisecond):
+		}
+		close(readerGo)
+		<-committed
+		wg.Wait()
+		if writer.Stats.Fenced != 1 {
+			t.Errorf("%s: Fenced = %d, want 1", e.Name(), writer.Stats.Fenced)
+		}
+	}
+}
+
+// TestWriterSkipsFenceWithoutConflict: disjoint access parallelism must not
+// fence (the whole point of partial visibility).
+func TestWriterSkipsFenceWithoutConflict(t *testing.T) {
+	rt := newRT(t)
+	e := NewBase(rt)
+	reader := thread(t, rt)
+	writer := thread(t, rt)
+	a := rt.Heap.MustAlloc(1)
+	b := rt.Heap.MustAlloc(1024) // far away: different orec
+
+	readerIn := make(chan struct{})
+	readerGo := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = core.Run(e, reader, func() {
+			_ = e.Read(reader, a)
+			close(readerIn)
+			<-readerGo
+		})
+	}()
+	<-readerIn
+	if rt.Orecs.For(a) == rt.Orecs.For(b+1000) {
+		t.Skip("orec collision between chosen addresses")
+	}
+	if err := core.Run(e, writer, func() { e.Write(writer, b+1000, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if writer.Stats.Fenced != 0 {
+		t.Errorf("disjoint writer fenced (%d)", writer.Stats.Fenced)
+	}
+	close(readerGo)
+	wg.Wait()
+}
+
+func TestWriteAfterReadNoSelfFence(t *testing.T) {
+	// §II-E: a transaction that reads then writes d must not fence on its
+	// own visibility hint — even with another (non-conflicting) live txn.
+	rt := newRT(t)
+	e := NewBase(rt)
+	th := thread(t, rt)
+	other := thread(t, rt)
+	a := rt.Heap.MustAlloc(1)
+
+	otherIn := make(chan struct{})
+	otherGo := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = core.Run(e, other, func() {
+			_ = e.Read(other, a+512) // unrelated location
+			close(otherIn)
+			<-otherGo
+		})
+	}()
+	<-otherIn
+	if rt.Orecs.For(a) == rt.Orecs.For(a+512) {
+		close(otherGo)
+		wg.Wait()
+		t.Skip("orec collision")
+	}
+	done := make(chan struct{})
+	go func() {
+		_ = core.Run(e, th, func() {
+			v := e.Read(th, a)
+			e.Write(th, a, v+1)
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("write-after-read fenced against itself (deadlocked on own hint)")
+	}
+	if th.Stats.Fenced != 0 {
+		t.Errorf("Fenced = %d, want 0", th.Stats.Fenced)
+	}
+	close(otherGo)
+	wg.Wait()
+}
+
+func TestSecondReaderForcesFenceViaMultiBit(t *testing.T) {
+	// §II-E's other half: if the writer itself read d but so did someone
+	// else, the multi bit must force the fence.
+	rt := newRT(t)
+	e := NewBase(rt)
+	w := thread(t, rt)
+	r := thread(t, rt)
+	a := rt.Heap.MustAlloc(1)
+
+	wIn := make(chan struct{})
+	wGo := make(chan struct{})
+	committed := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = core.Run(e, w, func() {
+			v := e.Read(w, a)
+			close(wIn)
+			<-wGo
+			e.Write(w, a, v+1)
+		})
+		close(committed)
+	}()
+	<-wIn
+
+	rIn := make(chan struct{})
+	rGo := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = core.Run(e, r, func() {
+			_ = e.Read(r, a)
+			close(rIn)
+			<-rGo
+		})
+	}()
+	<-rIn
+	close(wGo)
+	select {
+	case <-committed:
+		t.Fatal("writer ignored the second concurrent reader")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(rGo)
+	<-committed
+	wg.Wait()
+	if w.Stats.Fenced != 1 {
+		t.Errorf("Fenced = %d, want 1", w.Stats.Fenced)
+	}
+}
+
+func TestAbortedWriterDoesNotFence(t *testing.T) {
+	rt := newRT(t)
+	e := NewBase(rt)
+	r := thread(t, rt)
+	w := thread(t, rt)
+	a := rt.Heap.MustAlloc(1)
+
+	rIn := make(chan struct{})
+	rGo := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = core.Run(e, r, func() {
+			_ = e.Read(r, a)
+			close(rIn)
+			<-rGo
+		})
+	}()
+	<-rIn
+	// The writer writes a (conflicting with the reader) but cancels.
+	err := core.Run(e, w, func() {
+		e.Write(w, a, 7)
+		w.UserCancel(errSentinel)
+	})
+	if err != errSentinel {
+		t.Fatal(err)
+	}
+	if w.Stats.Fenced != 0 {
+		t.Errorf("aborted writer fenced (%d)", w.Stats.Fenced)
+	}
+	if rt.Heap.AtomicLoad(a) != 0 {
+		t.Error("cancel did not roll back")
+	}
+	close(rGo)
+	wg.Wait()
+}
+
+func TestConflictingWritersOneAborts(t *testing.T) {
+	// Encounter-time acquisition: the second writer to reach an owned orec
+	// aborts and retries.
+	rt := newRT(t)
+	e := NewBase(rt)
+	a := rt.Heap.MustAlloc(1)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		th := thread(t, rt)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				_ = core.Run(e, th, func() {
+					v := e.Read(th, a)
+					e.Write(th, a, v+1)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := rt.Heap.AtomicLoad(a); got != 800 {
+		t.Errorf("counter = %d, want 800", got)
+	}
+}
+
+func TestGraceLoweredOnWriterConflict(t *testing.T) {
+	rt := newRT(t)
+	e := NewCAS(rt)
+	r := thread(t, rt)
+	w := thread(t, rt)
+	a := rt.Heap.MustAlloc(1)
+	o := rt.Orecs.For(a)
+	o.Grace.Store(64)
+
+	rIn := make(chan struct{})
+	rGo := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = core.Run(e, r, func() {
+			_ = e.Read(r, a)
+			close(rIn)
+			<-rGo
+		})
+	}()
+	<-rIn
+	graceAfterRead := o.Grace.Load()
+	if graceAfterRead != 128 {
+		t.Errorf("grace after successful visibility update = %d, want 128", graceAfterRead)
+	}
+	done := make(chan struct{})
+	go func() {
+		_ = core.Run(e, w, func() { e.Write(w, a, 9) })
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond) // writer should now be fencing
+	close(rGo)
+	<-done
+	wg.Wait()
+	if got := o.Grace.Load(); got != graceAfterRead/2 {
+		t.Errorf("grace after writer conflict = %d, want %d", got, graceAfterRead/2)
+	}
+	if w.Stats.Fenced != 1 {
+		t.Errorf("Fenced = %d", w.Stats.Fenced)
+	}
+}

@@ -1,0 +1,110 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d collisions between differently seeded streams", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	prop := func(seed uint64, n uint16) bool {
+		bound := int(n%1000) + 1
+		r := New(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Intn(bound)
+			if v < 0 || v >= bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPctRange(t *testing.T) {
+	r := New(7)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		p := r.Pct()
+		if p < 0 || p >= 100 {
+			t.Fatalf("Pct = %d", p)
+		}
+		counts[p]++
+	}
+	// Roughly uniform: every percentile should appear.
+	for p, c := range counts {
+		if c == 0 {
+			t.Errorf("percentile %d never drawn", p)
+		}
+	}
+}
+
+func TestUniformityChiSquarish(t *testing.T) {
+	// Coarse bucket-balance check over Intn(16).
+	r := New(99)
+	const draws = 160000
+	var counts [16]int
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(16)]++
+	}
+	want := draws / 16
+	for b, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Errorf("bucket %d: %d draws, want about %d", b, c, want)
+		}
+	}
+}
+
+func TestUint32NotConstant(t *testing.T) {
+	r := New(5)
+	first := r.Uint32()
+	for i := 0; i < 100; i++ {
+		if r.Uint32() != first {
+			return
+		}
+	}
+	t.Error("Uint32 returned a constant stream")
+}
+
+func TestReseed(t *testing.T) {
+	r := New(123)
+	want := []uint64{r.Uint64(), r.Uint64(), r.Uint64()}
+	r.Seed(123)
+	for i, w := range want {
+		if got := r.Uint64(); got != w {
+			t.Fatalf("after reseed, step %d = %d, want %d", i, got, w)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package spin
+
+import "sync/atomic"
+
+// Mutex is a test-and-test-and-set spin lock with backoff — the "simple
+// spin lock" the paper uses to protect the central transaction list. The
+// zero value is unlocked.
+type Mutex struct {
+	state atomic.Uint32
+}
+
+// Lock acquires the mutex, backing off (and eventually yielding) while it
+// is contended.
+func (m *Mutex) Lock() {
+	var b Backoff
+	for {
+		if m.state.Load() == 0 && m.state.CompareAndSwap(0, 1) {
+			return
+		}
+		b.Wait()
+	}
+}
+
+// TryLock acquires the mutex if it is free, reporting success.
+func (m *Mutex) TryLock() bool {
+	return m.state.Load() == 0 && m.state.CompareAndSwap(0, 1)
+}
+
+// Unlock releases the mutex. Calling Unlock on an unlocked Mutex is a bug;
+// it panics to surface the programming error.
+func (m *Mutex) Unlock() {
+	if m.state.Swap(0) != 1 {
+		panic("spin: Unlock of unlocked Mutex")
+	}
+}

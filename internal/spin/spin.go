@@ -1,0 +1,84 @@
+// Package spin provides spin-wait utilities tuned for hosts with few
+// hardware threads.
+//
+// The paper's experiments ran on a 32-way Niagara where pure spinning is
+// cheap. Under the Go runtime on small machines, a goroutine that spins
+// without yielding can starve the very transaction it is waiting for, so
+// every wait loop in this repository uses Backoff: brief busy spinning,
+// then cooperative yielding, then exponentially growing sleeps.
+package spin
+
+import (
+	"runtime"
+	"time"
+)
+
+// Backoff implements truncated exponential backoff with yielding.
+// The zero value is ready to use.
+type Backoff struct {
+	attempts int
+}
+
+const (
+	busySpins  = 8    // iterations of pure spinning before yielding
+	yieldSpins = 16   // iterations of Gosched before sleeping
+	maxSleepUS = 1024 // cap for the sleep phase, microseconds
+)
+
+// Wait performs one backoff step. Callers invoke it once per failed
+// attempt of the guarded condition.
+func (b *Backoff) Wait() {
+	switch {
+	case b.attempts < busySpins:
+		// Busy loop proportional to attempt count. The loop body is
+		// deliberately trivial; its only purpose is to burn a few cycles
+		// without a syscall.
+		for i := 0; i < 1<<uint(b.attempts); i++ {
+			spinHint()
+		}
+	case b.attempts < busySpins+yieldSpins:
+		runtime.Gosched()
+	default:
+		exp := b.attempts - busySpins - yieldSpins
+		us := 1 << uint(min(exp, 8))
+		if us > maxSleepUS {
+			us = maxSleepUS
+		}
+		time.Sleep(time.Duration(us) * time.Microsecond)
+	}
+	b.attempts++
+}
+
+// Reset clears the backoff so the next Wait starts from the cheap phase.
+func (b *Backoff) Reset() { b.attempts = 0 }
+
+// Skip advances the schedule by n steps without waiting, so a caller that
+// knows its turn is far away starts directly in the yield/sleep phases.
+func (b *Backoff) Skip(n int) {
+	if n > 0 {
+		b.attempts += n
+	}
+}
+
+// Attempts reports how many times Wait has been called since the last
+// Reset. Tests use it to verify phase progression.
+func (b *Backoff) Attempts() int { return b.attempts }
+
+//go:noinline
+func spinHint() {}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Until spins with backoff until cond returns true. It is a convenience
+// for wait loops with no early-exit needs.
+func Until(cond func() bool) {
+	var b Backoff
+	for !cond() {
+		b.Wait()
+	}
+}

@@ -1,0 +1,97 @@
+package spin
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBackoffPhases(t *testing.T) {
+	var b Backoff
+	if b.Attempts() != 0 {
+		t.Fatal("zero value should start at 0 attempts")
+	}
+	start := time.Now()
+	for i := 0; i < busySpins+yieldSpins; i++ {
+		b.Wait()
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("busy+yield phases took %v", d)
+	}
+	if b.Attempts() != busySpins+yieldSpins {
+		t.Errorf("Attempts = %d", b.Attempts())
+	}
+	// The sleep phase must actually sleep.
+	start = time.Now()
+	b.Wait()
+	if d := time.Since(start); d < time.Microsecond {
+		t.Logf("sleep phase returned in %v (scheduler-dependent)", d)
+	}
+	b.Reset()
+	if b.Attempts() != 0 {
+		t.Error("Reset did not clear attempts")
+	}
+}
+
+func TestUntil(t *testing.T) {
+	var flag atomic.Bool
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		flag.Store(true)
+	}()
+	Until(flag.Load)
+	if !flag.Load() {
+		t.Fatal("Until returned before the condition held")
+	}
+}
+
+func TestMutexExclusion(t *testing.T) {
+	var m Mutex
+	var inside, total atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				m.Lock()
+				if inside.Add(1) != 1 {
+					t.Error("mutual exclusion violated")
+				}
+				total.Add(1)
+				inside.Add(-1)
+				m.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if total.Load() != 16000 {
+		t.Errorf("total = %d", total.Load())
+	}
+}
+
+func TestMutexTryLock(t *testing.T) {
+	var m Mutex
+	if !m.TryLock() {
+		t.Fatal("TryLock on free mutex failed")
+	}
+	if m.TryLock() {
+		t.Fatal("TryLock on held mutex succeeded")
+	}
+	m.Unlock()
+	if !m.TryLock() {
+		t.Fatal("TryLock after Unlock failed")
+	}
+	m.Unlock()
+}
+
+func TestUnlockOfUnlockedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Unlock of unlocked mutex did not panic")
+		}
+	}()
+	var m Mutex
+	m.Unlock()
+}

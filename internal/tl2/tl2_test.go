@@ -1,0 +1,122 @@
+package tl2
+
+import (
+	"sync"
+	"testing"
+
+	"privstm/internal/core"
+)
+
+func newRT(t *testing.T) *core.Runtime {
+	t.Helper()
+	rt, err := core.NewRuntime(core.Options{HeapWords: 1 << 12, OrecCount: 1 << 8, MaxThreads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestName(t *testing.T) {
+	if New(newRT(t)).Name() != "TL2" {
+		t.Error("name wrong")
+	}
+}
+
+func TestRedoSemantics(t *testing.T) {
+	rt := newRT(t)
+	e := New(rt)
+	th, _ := rt.NewThread()
+	a := rt.Heap.MustAlloc(1)
+	if err := core.Run(e, th, func() {
+		e.Write(th, a, 3)
+		if rt.Heap.AtomicLoad(a) != 0 {
+			t.Error("TL2 write leaked before commit")
+		}
+		if e.Read(th, a) != 3 {
+			t.Error("read-your-write failed")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Heap.AtomicLoad(a) != 3 {
+		t.Error("write-back missing")
+	}
+}
+
+func TestCommitValidationCatchesConflict(t *testing.T) {
+	// Reader reads x, a conflicting writer commits, reader tries to commit
+	// a write elsewhere: commit-time validation must abort and retry it.
+	rt := newRT(t)
+	e := New(rt)
+	r, _ := rt.NewThread()
+	w, _ := rt.NewThread()
+	x := rt.Heap.MustAlloc(1)
+	y := rt.Heap.MustAlloc(1)
+	if rt.Orecs.For(x) == rt.Orecs.For(y) {
+		t.Skip("orec collision")
+	}
+	attempts := 0
+	if err := core.Run(e, r, func() {
+		attempts++
+		v := e.Read(r, x)
+		if attempts == 1 {
+			if err := core.Run(e, w, func() { e.Write(w, x, 77) }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e.Write(r, y, v+1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Errorf("attempts = %d, want 2", attempts)
+	}
+	if got := rt.Heap.AtomicLoad(y); got != 78 {
+		t.Errorf("y = %d, want 78 (from the refreshed read)", got)
+	}
+}
+
+func TestSingleThreadFastPathSkipsValidation(t *testing.T) {
+	// With no other writers, wts == begin+1 and validation is skipped;
+	// just confirm a long run of solo transactions commits cleanly.
+	rt := newRT(t)
+	e := New(rt)
+	th, _ := rt.NewThread()
+	a := rt.Heap.MustAlloc(1)
+	for i := 0; i < 1000; i++ {
+		if err := core.Run(e, th, func() {
+			e.Write(th, a, e.Read(th, a)+1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rt.Heap.AtomicLoad(a); got != 1000 {
+		t.Errorf("counter = %d", got)
+	}
+	if th.Stats.Aborts != 0 {
+		t.Errorf("solo run aborted %d times", th.Stats.Aborts)
+	}
+}
+
+func TestConcurrentCounter(t *testing.T) {
+	rt := newRT(t)
+	e := New(rt)
+	a := rt.Heap.MustAlloc(1)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		th, _ := rt.NewThread()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 250; j++ {
+				_ = core.Run(e, th, func() {
+					e.Write(th, a, e.Read(th, a)+1)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := rt.Heap.AtomicLoad(a); got != 1000 {
+		t.Errorf("counter = %d, want 1000", got)
+	}
+}

@@ -1,0 +1,182 @@
+// Package txnlist implements the central list of incomplete transactions
+// (paper §II-C): every active transaction, plus every aborted transaction
+// that has not yet finished undoing its writes, appears on a list sorted by
+// begin timestamp. Privatization fences consult the head of the list to
+// find the oldest incomplete transaction.
+//
+// Following the paper: nodes are statically allocated one per thread, the
+// list is protected by a simple spin lock, and the oldest timestamp can be
+// read *without* the lock by double-checking the head pointer after reading
+// the head node's contents — correct because begin timestamps are
+// monotonically increasing, so a successfully double-checked read is a
+// lower bound on the oldest incomplete transaction.
+package txnlist
+
+import (
+	"sync/atomic"
+
+	"privstm/internal/clock"
+	"privstm/internal/spin"
+)
+
+// Node is one thread's statically allocated list entry. A node is either
+// on its owner's List or idle; it must not be shared between lists.
+type Node struct {
+	beginTS atomic.Uint64
+	next    atomic.Pointer[Node]
+	prev    *Node // maintained only under the list lock
+	in      bool  // maintained only under the list lock
+}
+
+// BeginTS returns the begin timestamp most recently assigned to the node.
+func (n *Node) BeginTS() uint64 { return n.beginTS.Load() }
+
+// List is the central transaction list. The zero value is an empty list.
+type List struct {
+	mu   spin.Mutex
+	head atomic.Pointer[Node]
+	tail *Node
+}
+
+// New returns an empty list.
+func New() *List { return &List{} }
+
+// Enter assigns n a fresh begin timestamp read from c *while holding the
+// list lock* and appends n at the tail. Sampling the clock under the lock
+// guarantees that list order and timestamp order agree, which is what makes
+// the head the oldest entry. It returns the assigned timestamp.
+func (l *List) Enter(n *Node, c *clock.Clock) uint64 {
+	l.mu.Lock()
+	ts := c.Now()
+	n.beginTS.Store(ts)
+	l.appendLocked(n)
+	l.mu.Unlock()
+	return ts
+}
+
+// EnterAt inserts n with a previously assigned timestamp ts, keeping the
+// list sorted. Late joiners — pvrWriterOnly transactions reaching their
+// first write, and hybrid transactions switching to partial visibility —
+// carry a begin timestamp that may be older than entries already on the
+// list, so this walks to the correct position.
+func (l *List) EnterAt(n *Node, ts uint64) {
+	l.mu.Lock()
+	n.beginTS.Store(ts)
+	// Find the first node with a larger timestamp; insert before it.
+	var prev *Node
+	cur := l.head.Load()
+	for cur != nil && cur.beginTS.Load() <= ts {
+		prev = cur
+		cur = cur.next.Load()
+	}
+	n.in = true
+	n.prev = prev
+	n.next.Store(cur)
+	if cur != nil {
+		cur.prev = n
+	} else {
+		l.tail = n
+	}
+	if prev != nil {
+		prev.next.Store(n)
+	} else {
+		l.head.Store(n)
+	}
+	l.mu.Unlock()
+}
+
+func (l *List) appendLocked(n *Node) {
+	n.in = true
+	n.next.Store(nil)
+	n.prev = l.tail
+	if l.tail != nil {
+		l.tail.next.Store(n)
+	} else {
+		l.head.Store(n)
+	}
+	l.tail = n
+}
+
+// Remove unlinks n. A transaction removes itself only after its commit or
+// abort protocol — including undo-log rollback — is complete, so that
+// fences keep waiting for its cleanup.
+func (l *List) Remove(n *Node) {
+	l.mu.Lock()
+	if !n.in {
+		l.mu.Unlock()
+		panic("txnlist: Remove of node not on list")
+	}
+	n.in = false
+	if n.prev != nil {
+		n.prev.next.Store(n.next.Load())
+	} else {
+		l.head.Store(n.next.Load())
+	}
+	if nxt := n.next.Load(); nxt != nil {
+		nxt.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev = nil
+	n.next.Store(nil)
+	l.mu.Unlock()
+}
+
+// OldestBegin returns a lower bound on the begin timestamp of the oldest
+// incomplete transaction, and whether the list was non-empty. It takes no
+// lock: it reads the head node's timestamp and double-checks that the head
+// pointer did not change in the interim (paper §II-C).
+func (l *List) OldestBegin() (ts uint64, ok bool) {
+	for {
+		h := l.head.Load()
+		if h == nil {
+			return 0, false
+		}
+		ts = h.beginTS.Load()
+		if l.head.Load() == h {
+			return ts, true
+		}
+	}
+}
+
+// OldestOtherBegin is OldestBegin excluding self: "if the transaction doing
+// the lookup is itself the head of the list, the next node in the list is
+// inspected" (§II-C).
+func (l *List) OldestOtherBegin(self *Node) (ts uint64, ok bool) {
+	for {
+		h := l.head.Load()
+		if h == nil {
+			return 0, false
+		}
+		if h != self {
+			ts = h.beginTS.Load()
+			if l.head.Load() == h {
+				return ts, true
+			}
+			continue
+		}
+		n := self.next.Load()
+		if n == nil {
+			if l.head.Load() == self {
+				return 0, false
+			}
+			continue
+		}
+		ts = n.beginTS.Load()
+		if l.head.Load() == self && self.next.Load() == n {
+			return ts, true
+		}
+	}
+}
+
+// Len counts the entries under the lock. Intended for tests and statistics,
+// not hot paths.
+func (l *List) Len() int {
+	l.mu.Lock()
+	n := 0
+	for cur := l.head.Load(); cur != nil; cur = cur.next.Load() {
+		n++
+	}
+	l.mu.Unlock()
+	return n
+}

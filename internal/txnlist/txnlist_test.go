@@ -1,0 +1,188 @@
+package txnlist
+
+import (
+	"sync"
+	"testing"
+
+	"privstm/internal/clock"
+)
+
+func TestEmptyList(t *testing.T) {
+	l := New()
+	if _, ok := l.OldestBegin(); ok {
+		t.Error("empty list reported an oldest entry")
+	}
+	if l.Len() != 0 {
+		t.Errorf("Len = %d", l.Len())
+	}
+}
+
+func TestEnterRemoveOrdering(t *testing.T) {
+	l := New()
+	var c clock.Clock
+	nodes := make([]*Node, 5)
+	for i := range nodes {
+		nodes[i] = &Node{}
+		c.Tick()
+		ts := l.Enter(nodes[i], &c)
+		if ts != uint64(i+1) {
+			t.Fatalf("Enter %d assigned ts %d", i, ts)
+		}
+	}
+	if got, ok := l.OldestBegin(); !ok || got != 1 {
+		t.Fatalf("OldestBegin = %d,%v want 1,true", got, ok)
+	}
+	// Remove the head twice; the oldest must advance.
+	l.Remove(nodes[0])
+	if got, _ := l.OldestBegin(); got != 2 {
+		t.Errorf("after removing head, oldest = %d", got)
+	}
+	// Remove from the middle.
+	l.Remove(nodes[2])
+	if got, _ := l.OldestBegin(); got != 2 {
+		t.Errorf("after removing middle, oldest = %d", got)
+	}
+	// Remove the tail.
+	l.Remove(nodes[4])
+	if l.Len() != 2 {
+		t.Errorf("Len = %d, want 2", l.Len())
+	}
+	l.Remove(nodes[1])
+	l.Remove(nodes[3])
+	if _, ok := l.OldestBegin(); ok {
+		t.Error("list should be empty")
+	}
+}
+
+func TestOldestOtherBegin(t *testing.T) {
+	l := New()
+	var c clock.Clock
+	a, b := &Node{}, &Node{}
+	c.Tick()
+	l.Enter(a, &c)
+	if _, ok := l.OldestOtherBegin(a); ok {
+		t.Error("sole entry should see no other")
+	}
+	c.Tick()
+	l.Enter(b, &c)
+	if got, ok := l.OldestOtherBegin(a); !ok || got != 2 {
+		t.Errorf("OldestOtherBegin(head) = %d,%v want 2,true", got, ok)
+	}
+	if got, ok := l.OldestOtherBegin(b); !ok || got != 1 {
+		t.Errorf("OldestOtherBegin(tail) = %d,%v want 1,true", got, ok)
+	}
+}
+
+func TestEnterAtSortedInsert(t *testing.T) {
+	l := New()
+	var c clock.Clock
+	c.AdvanceTo(100)
+	late := &Node{}
+	a, b := &Node{}, &Node{}
+	l.Enter(a, &c) // ts 100
+	c.AdvanceTo(200)
+	l.Enter(b, &c) // ts 200
+	// A late joiner with an old timestamp must become the head.
+	l.EnterAt(late, 50)
+	if got, _ := l.OldestBegin(); got != 50 {
+		t.Errorf("oldest = %d, want 50", got)
+	}
+	// One in the middle.
+	mid := &Node{}
+	l.EnterAt(mid, 150)
+	l.Remove(late)
+	if got, _ := l.OldestBegin(); got != 100 {
+		t.Errorf("oldest = %d, want 100", got)
+	}
+	l.Remove(a)
+	if got, _ := l.OldestBegin(); got != 150 {
+		t.Errorf("oldest = %d, want 150", got)
+	}
+	// And one at the tail position.
+	tail := &Node{}
+	l.EnterAt(tail, 999)
+	l.Remove(mid)
+	l.Remove(b)
+	if got, _ := l.OldestBegin(); got != 999 {
+		t.Errorf("oldest = %d, want 999", got)
+	}
+	l.Remove(tail)
+}
+
+func TestRemoveNotOnListPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Remove of unlisted node did not panic")
+		}
+	}()
+	New().Remove(&Node{})
+}
+
+func TestConcurrentEnterRemove(t *testing.T) {
+	l := New()
+	var c clock.Clock
+	const workers = 8
+	const iters = 3000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		n := &Node{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Tick()
+				l.Enter(n, &c)
+				// Lock-free oldest reads race with enters/removes.
+				if ts, ok := l.OldestBegin(); ok && ts > n.BeginTS() {
+					t.Errorf("oldest %d exceeds my begin %d while I am on the list", ts, n.BeginTS())
+				}
+				l.Remove(n)
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 0 {
+		t.Errorf("Len = %d after all removed", l.Len())
+	}
+}
+
+// TestOldestIsLowerBound verifies the central safety property the fence
+// relies on: while any transaction with begin timestamp T is on the list,
+// OldestBegin never returns a value greater than T.
+func TestOldestIsLowerBound(t *testing.T) {
+	l := New()
+	var c clock.Clock
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Churning writers.
+	for w := 0; w < 4; w++ {
+		n := &Node{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Tick()
+				l.Enter(n, &c)
+				l.Remove(n)
+			}
+		}()
+	}
+	// A long-lived resident; observers must never see past it.
+	resident := &Node{}
+	c.Tick()
+	l.Enter(resident, &c)
+	myTS := resident.BeginTS()
+	for i := 0; i < 200000; i++ {
+		if ts, ok := l.OldestBegin(); !ok || ts > myTS {
+			t.Fatalf("OldestBegin = %d,%v but resident began at %d", ts, ok, myTS)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	l.Remove(resident)
+}

@@ -1,0 +1,362 @@
+// Package stm is a software transactional memory library with transparent
+// privatization safety, reproducing Marathe, Spear & Scott, "Scalable
+// Techniques for Transparent Privatization in Software Transactional
+// Memory" (ICPP 2008).
+//
+// The library manages a word-addressed transactional heap. Threads execute
+// atomic blocks against it through a C-style word API (the paper's
+// stm_begin / stm_read / stm_write / stm_commit), and — with any of the
+// privatization-safe algorithms — may freely access data they have
+// privatized with zero instrumentation afterwards:
+//
+//	s, _ := stm.New(stm.Config{Algorithm: stm.PVRStore})
+//	head, _ := s.Alloc(1)
+//	th, _ := s.NewThread()
+//	th.Atomic(func(tx *stm.Tx) {
+//	    first := tx.Load(head) // transactional read
+//	    tx.Store(head, 0)      // transactional write: privatize the list
+//	    _ = first
+//	})
+//	// After the transaction commits the detached structure is private:
+//	// plain, uninstrumented access is safe under every algorithm except
+//	// the TL2 baseline.
+//
+// Eight algorithms are provided (see Algorithm); they correspond one-to-one
+// to the curves in the paper's Figure 3.
+package stm
+
+import (
+	"fmt"
+
+	"privstm/internal/core"
+	"privstm/internal/heap"
+	"privstm/internal/hybrid"
+	"privstm/internal/ord"
+	"privstm/internal/pvr"
+	"privstm/internal/stats"
+	"privstm/internal/tl2"
+	"privstm/internal/val"
+)
+
+// Addr is the address of one word of transactional memory. The zero Addr
+// is the nil address; it is valid to load and store (it hashes to an orec
+// like any other word) but is never returned by Alloc, so programs can use
+// it as a null pointer.
+type Addr = heap.Addr
+
+// Word is the unit of transactional access.
+type Word = heap.Word
+
+// Nil is the reserved null address.
+const Nil = heap.Nil
+
+// Algorithm selects the STM implementation.
+type Algorithm int
+
+// The eight systems evaluated in the paper's §V.
+const (
+	// TL2 is the privatization-UNSAFE baseline modeled on Transactional
+	// Locking II. Use it only for comparison; privatized data may race.
+	TL2 Algorithm = iota
+	// Ord is the strict in-order commit scheme (Detlefs et al. style).
+	Ord
+	// OrdQueue is Ord with a CLH queue lock instead of a ticket lock.
+	OrdQueue
+	// Val executes a validation fence at the end of every writer
+	// transaction.
+	Val
+	// PVRBase is the basic partially-visible-reads scheme (§II).
+	PVRBase
+	// PVRCAS adds adaptive grace periods (§III-A).
+	PVRCAS
+	// PVRStore replaces the visibility CAS with the store-only protocol
+	// (§III-B).
+	PVRStore
+	// PVRWriterOnly adds the read-only transaction optimization (§III-C).
+	PVRWriterOnly
+	// PVRHybrid dynamically combines strict ordering with partial
+	// visibility (§IV).
+	PVRHybrid
+)
+
+// Algorithms lists every available algorithm in the order the paper's
+// figures present them.
+var Algorithms = []Algorithm{TL2, Ord, Val, PVRBase, PVRCAS, PVRStore, PVRWriterOnly, PVRHybrid}
+
+// String returns the curve label used in the paper's figures.
+func (a Algorithm) String() string {
+	switch a {
+	case TL2:
+		return "TL2"
+	case Ord:
+		return "Ord"
+	case OrdQueue:
+		return "OrdQueue"
+	case Val:
+		return "Val"
+	case PVRBase:
+		return "pvrBase"
+	case PVRCAS:
+		return "pvrCAS"
+	case PVRStore:
+		return "pvrStore"
+	case PVRWriterOnly:
+		return "pvrWriterOnly"
+	case PVRHybrid:
+		return "pvrHybrid"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm maps a figure label (case-sensitive, e.g. "pvrStore")
+// back to its Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for _, a := range append([]Algorithm{OrdQueue}, Algorithms...) {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("stm: unknown algorithm %q", s)
+}
+
+// Safe reports whether the algorithm guarantees transparent privatization
+// safety (every algorithm but the TL2 baseline).
+func (a Algorithm) Safe() bool { return a != TL2 }
+
+// Config configures an STM instance. The zero value selects TL2 with
+// defaults; set Algorithm explicitly.
+type Config struct {
+	Algorithm Algorithm
+	// HeapWords is the transactional heap capacity (default 1<<20).
+	HeapWords int
+	// OrecCount is the ownership-record table size (default 1<<16,
+	// rounded up to a power of two).
+	OrecCount int
+	// BlockWords is the conflict-detection granularity (default 1 word).
+	BlockWords int
+	// MaxThreads bounds concurrently registered threads (default 64).
+	MaxThreads int
+	// MaxGrace caps adaptive grace periods (default 256, the paper's
+	// experimental setting).
+	MaxGrace uint64
+	// HybridThreshold is the read-set size at which PVRHybrid switches to
+	// partial visibility (default 16, the paper's setting).
+	HybridThreshold int
+	// ScanTracker replaces the central transaction list with a lock-free
+	// registry scan — the "lighter weight implementation of the central
+	// list" the paper proposes as future work (§II-C). Begins and ends
+	// become single uncontended stores; oldest-transaction queries become
+	// O(MaxThreads).
+	ScanTracker bool
+	// CapFenceAtCommit bounds privatization-fence thresholds by the
+	// writer's commit time, eliminating the grace-period "extended
+	// delays" of §III-A (a §II-D future-work optimization).
+	CapFenceAtCommit bool
+	// GraceStrategy selects how grace periods adapt (§III-A): the
+	// default GraceExponential is the paper's choice; GraceLinear and
+	// GraceHybrid reproduce the alternatives the authors report trying.
+	GraceStrategy GraceStrategy
+}
+
+// GraceStrategy re-exports the §III-A adaptation families.
+type GraceStrategy = core.GraceStrategy
+
+// The grace adaptation strategies of §III-A.
+const (
+	GraceExponential = core.GraceExponential
+	GraceLinear      = core.GraceLinear
+	GraceHybrid      = core.GraceHybrid
+)
+
+// STM is one transactional memory instance: a heap, its metadata, and an
+// algorithm. Create with New; register worker threads with NewThread.
+type STM struct {
+	cfg    Config
+	rt     *core.Runtime
+	engine core.Engine
+}
+
+// New creates an STM instance.
+func New(cfg Config) (*STM, error) {
+	rt, err := core.NewRuntime(core.Options{
+		HeapWords:        cfg.HeapWords,
+		OrecCount:        cfg.OrecCount,
+		BlockWords:       cfg.BlockWords,
+		MaxThreads:       cfg.MaxThreads,
+		MaxGrace:         cfg.MaxGrace,
+		HybridThreshold:  cfg.HybridThreshold,
+		ScanTracker:      cfg.ScanTracker,
+		CapFenceAtCommit: cfg.CapFenceAtCommit,
+		GraceStrategy:    cfg.GraceStrategy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &STM{cfg: cfg, rt: rt}
+	switch cfg.Algorithm {
+	case TL2:
+		s.engine = tl2.New(rt)
+	case Ord:
+		s.engine = ord.New(rt)
+	case OrdQueue:
+		s.engine = ord.NewQueue(rt)
+	case Val:
+		s.engine = val.New(rt)
+	case PVRBase:
+		s.engine = pvr.NewBase(rt)
+	case PVRCAS:
+		s.engine = pvr.NewCAS(rt)
+	case PVRStore:
+		s.engine = pvr.NewStore(rt)
+	case PVRWriterOnly:
+		s.engine = pvr.NewWriterOnly(rt)
+	case PVRHybrid:
+		s.engine = hybrid.New(rt)
+	default:
+		return nil, fmt.Errorf("stm: unknown algorithm %v", cfg.Algorithm)
+	}
+	return s, nil
+}
+
+// MustNew is New that panics on error, for tests and examples with static
+// configurations.
+func MustNew(cfg Config) *STM {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Algorithm returns the configured algorithm.
+func (s *STM) Algorithm() Algorithm { return s.cfg.Algorithm }
+
+// Alloc reserves n contiguous zeroed words of transactional memory.
+func (s *STM) Alloc(n int) (Addr, error) { return s.rt.Heap.Alloc(n) }
+
+// MustAlloc is Alloc that panics on heap exhaustion.
+func (s *STM) MustAlloc(n int) Addr { return s.rt.Heap.MustAlloc(n) }
+
+// DirectLoad reads a word with no instrumentation. It is safe only for
+// data the calling thread privately owns — freshly allocated words not yet
+// published, or data privatized by a committed transaction under a
+// privatization-safe algorithm.
+func (s *STM) DirectLoad(a Addr) Word { return s.rt.Heap.Load(a) }
+
+// DirectStore writes a word with no instrumentation. See DirectLoad for
+// the ownership requirements.
+func (s *STM) DirectStore(a Addr, w Word) { s.rt.Heap.Store(a, w) }
+
+// AtomicLoad reads a word with atomic semantics outside any transaction.
+// Tests and checkers that deliberately race (e.g. against the TL2
+// baseline) use it to keep Go's race detector out of the experiment.
+func (s *STM) AtomicLoad(a Addr) Word { return s.rt.Heap.AtomicLoad(a) }
+
+// AtomicStore writes a word with atomic semantics outside any transaction.
+func (s *STM) AtomicStore(a Addr, w Word) { s.rt.Heap.AtomicStore(a, w) }
+
+// Stats aggregates the execution counters of every registered thread.
+// Safe to call after workers finish (per-thread counters are unsynchronized
+// while their thread runs).
+func (s *STM) Stats() stats.Counters {
+	var agg stats.Counters
+	s.rt.ForEachThread(func(t *core.Thread) { agg.Add(&t.Stats) })
+	return agg
+}
+
+// Thread is a per-goroutine transaction context. A Thread must not be used
+// concurrently; create one per worker with NewThread.
+type Thread struct {
+	s *STM
+	t *core.Thread
+	// tx is the reusable transaction handle passed to Atomic bodies.
+	tx Tx
+	// trace, when non-nil, records events (see EnableTrace).
+	trace *traceRing
+}
+
+// NewThread registers a new worker thread.
+func (s *STM) NewThread() (*Thread, error) {
+	t, err := s.rt.NewThread()
+	if err != nil {
+		return nil, err
+	}
+	th := &Thread{s: s, t: t}
+	th.tx.th = th
+	return th, nil
+}
+
+// MustNewThread is NewThread that panics on the thread-limit error.
+func (s *STM) MustNewThread() *Thread {
+	th, err := s.NewThread()
+	if err != nil {
+		panic(err)
+	}
+	return th
+}
+
+// Stats returns this thread's execution counters.
+func (th *Thread) Stats() *stats.Counters { return &th.t.Stats }
+
+// Atomic executes body as a transaction, retrying transparently on
+// conflict. It returns nil on commit, or the error passed to Tx.Cancel.
+//
+// The body may be executed several times; it must not have side effects
+// outside the transactional heap (other than via Tx). A body that panics
+// while its reads are consistent propagates the panic after rollback; a
+// panic raised by a doomed transaction (inconsistent reads) is converted
+// into a retry, sandboxing user code against torn state.
+func (th *Thread) Atomic(body func(tx *Tx)) error {
+	if th.trace == nil {
+		return core.Run(th.s.engine, th.t, func() { body(&th.tx) })
+	}
+	attempt := Word(0)
+	err := core.Run(th.s.engine, th.t, func() {
+		attempt++
+		th.trace.add(TraceEvent{Kind: TraceAttempt, Val: attempt})
+		body(&th.tx)
+	})
+	kind := TraceCommit
+	if err != nil {
+		kind = TraceCancel
+	}
+	th.trace.add(TraceEvent{Kind: kind})
+	return err
+}
+
+// Tx is the handle for transactional operations inside Atomic.
+type Tx struct {
+	th *Thread
+}
+
+// Load performs a transactional read of a.
+func (tx *Tx) Load(a Addr) Word {
+	w := tx.th.s.engine.Read(tx.th.t, a)
+	if tx.th.trace != nil {
+		tx.th.trace.add(TraceEvent{Kind: TraceRead, Addr: a, Val: w})
+	}
+	return w
+}
+
+// Store performs a transactional write of w to a.
+func (tx *Tx) Store(a Addr, w Word) {
+	tx.th.s.engine.Write(tx.th.t, a, w)
+	if tx.th.trace != nil {
+		tx.th.trace.add(TraceEvent{Kind: TraceWrite, Addr: a, Val: w})
+	}
+}
+
+// LoadAddr reads a word that stores a heap address (a "pointer" in the
+// transactional heap).
+func (tx *Tx) LoadAddr(a Addr) Addr { return Addr(tx.Load(a)) }
+
+// StoreAddr writes a heap address into a word.
+func (tx *Tx) StoreAddr(a Addr, p Addr) { tx.Store(a, Word(p)) }
+
+// Retry aborts the transaction and re-executes it from the start.
+func (tx *Tx) Retry() { tx.th.t.ConflictAbort() }
+
+// Cancel rolls the transaction back and makes Atomic return err without
+// retrying.
+func (tx *Tx) Cancel(err error) { tx.th.t.UserCancel(err) }

@@ -1,0 +1,84 @@
+package tlib
+
+import (
+	"fmt"
+	"testing"
+
+	stm "privstm"
+)
+
+// Benchmarks for the transactional structures, per algorithm, measuring
+// the end-to-end cost of small composed transactions.
+
+func benchAlgos() []stm.Algorithm {
+	return []stm.Algorithm{stm.TL2, stm.Ord, stm.PVRStore, stm.PVRWriterOnly}
+}
+
+func BenchmarkQueueTransfer(b *testing.B) {
+	for _, alg := range benchAlgos() {
+		b.Run(alg.String(), func(b *testing.B) {
+			s := newSTM(b, alg)
+			th := s.MustNewThread()
+			q1, _ := NewQueue(s, 64)
+			q2, _ := NewQueue(s, 64)
+			seed := s.MustNewThread()
+			_ = seed.Atomic(func(tx *stm.Tx) {
+				for i := 0; i < 32; i++ {
+					_ = q1.Enqueue(tx, stm.Word(i))
+				}
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = th.Atomic(func(tx *stm.Tx) {
+					if v, ok := q1.Dequeue(tx); ok {
+						_ = q2.Enqueue(tx, v)
+					}
+					if v, ok := q2.Dequeue(tx); ok {
+						_ = q1.Enqueue(tx, v)
+					}
+				})
+			}
+		})
+	}
+}
+
+func BenchmarkMapPutGet(b *testing.B) {
+	for _, alg := range benchAlgos() {
+		b.Run(alg.String(), func(b *testing.B) {
+			s := newSTM(b, alg)
+			th := s.MustNewThread()
+			m, _ := NewMap(s, 64, 256)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := stm.Word(i % 200)
+				_ = th.Atomic(func(tx *stm.Tx) {
+					_ = m.Put(tx, k, stm.Word(i))
+					_, _ = m.Get(tx, k+1)
+				})
+			}
+		})
+	}
+}
+
+func BenchmarkCounterContention(b *testing.B) {
+	for _, stripes := range []int{1, 8} {
+		b.Run(fmt.Sprintf("stripes-%d", stripes), func(b *testing.B) {
+			s, err := stm.New(stm.Config{
+				Algorithm: stm.PVRStore, HeapWords: 1 << 12, OrecCount: 256, MaxThreads: 64,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sc, _ := NewStripedCounter(s, stripes)
+			var n uint64
+			b.RunParallel(func(pb *testing.PB) {
+				th := s.MustNewThread()
+				n++
+				hint := n
+				for pb.Next() {
+					_ = th.Atomic(func(tx *stm.Tx) { sc.Add(tx, hint, 1) })
+				}
+			})
+		})
+	}
+}

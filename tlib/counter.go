@@ -1,0 +1,123 @@
+package tlib
+
+import stm "privstm"
+
+// Counter is a single-word transactional counter. Composable but a
+// conflict hotspot: every increment is a read-modify-write of one word.
+type Counter struct {
+	cell stm.Addr
+}
+
+// NewCounter allocates a counter starting at zero.
+func NewCounter(s *stm.STM) (*Counter, error) {
+	a, err := s.Alloc(1)
+	if err != nil {
+		return nil, err
+	}
+	return &Counter{cell: a}, nil
+}
+
+// Add adjusts the counter by delta inside tx.
+func (c *Counter) Add(tx *stm.Tx, delta int64) {
+	tx.Store(c.cell, stm.Word(int64(tx.Load(c.cell))+delta))
+}
+
+// Value reads the counter inside tx.
+func (c *Counter) Value(tx *stm.Tx) int64 { return int64(tx.Load(c.cell)) }
+
+// StripedCounter spreads increments over per-stripe cells so concurrent
+// writers rarely conflict; reading the total costs a scan of all stripes.
+// This is the classic trade the paper's conflict-detection granularity
+// discussion motivates: each stripe is padded to its own orec block.
+type StripedCounter struct {
+	base    stm.Addr
+	stripes int
+	stride  stm.Addr
+}
+
+// NewStripedCounter allocates a counter with the given stripe count.
+// Stripes are spread 8 words apart so that (with default block size) each
+// lands under its own orec.
+func NewStripedCounter(s *stm.STM, stripes int) (*StripedCounter, error) {
+	if stripes < 1 {
+		stripes = 1
+	}
+	const stride = 8
+	base, err := s.Alloc(stripes * stride)
+	if err != nil {
+		return nil, err
+	}
+	return &StripedCounter{base: base, stripes: stripes, stride: stride}, nil
+}
+
+// Add adjusts one stripe, chosen by the caller's hint (use a thread id or
+// RNG draw). Different hints conflict only when they collide mod stripes.
+func (c *StripedCounter) Add(tx *stm.Tx, hint uint64, delta int64) {
+	cell := c.base + stm.Addr(hint%uint64(c.stripes))*c.stride
+	tx.Store(cell, stm.Word(int64(tx.Load(cell))+delta))
+}
+
+// Value sums all stripes inside tx.
+func (c *StripedCounter) Value(tx *stm.Tx) int64 {
+	var sum int64
+	for i := 0; i < c.stripes; i++ {
+		sum += int64(tx.Load(c.base + stm.Addr(i)*c.stride))
+	}
+	return sum
+}
+
+// Ring is a bounded transactional ring buffer over a contiguous word
+// array — the array-structured counterpart to Queue (no pool, no links).
+type Ring struct {
+	data stm.Addr
+	cap  int
+	head stm.Addr // next slot to read
+	tail stm.Addr // next slot to write
+	size stm.Addr
+}
+
+// NewRing allocates a ring holding up to capacity words.
+func NewRing(s *stm.STM, capacity int) (*Ring, error) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	data, err := s.Alloc(capacity + 3)
+	if err != nil {
+		return nil, err
+	}
+	return &Ring{
+		data: data, cap: capacity,
+		head: data + stm.Addr(capacity),
+		tail: data + stm.Addr(capacity) + 1,
+		size: data + stm.Addr(capacity) + 2,
+	}, nil
+}
+
+// Put appends v; returns ErrFull when the ring is full.
+func (r *Ring) Put(tx *stm.Tx, v stm.Word) error {
+	n := tx.Load(r.size)
+	if int(n) == r.cap {
+		return ErrFull
+	}
+	t := tx.Load(r.tail)
+	tx.Store(r.data+stm.Addr(t), v)
+	tx.Store(r.tail, (t+1)%stm.Word(r.cap))
+	tx.Store(r.size, n+1)
+	return nil
+}
+
+// Take removes the oldest element; ok is false on empty.
+func (r *Ring) Take(tx *stm.Tx) (v stm.Word, ok bool) {
+	n := tx.Load(r.size)
+	if n == 0 {
+		return 0, false
+	}
+	h := tx.Load(r.head)
+	v = tx.Load(r.data + stm.Addr(h))
+	tx.Store(r.head, (h+1)%stm.Word(r.cap))
+	tx.Store(r.size, n-1)
+	return v, true
+}
+
+// Len returns the element count inside tx.
+func (r *Ring) Len(tx *stm.Tx) int { return int(tx.Load(r.size)) }

@@ -1,0 +1,83 @@
+package tlib_test
+
+import (
+	"fmt"
+
+	stm "privstm"
+	"privstm/tlib"
+)
+
+// Operations on several structures compose into one atomic step.
+func Example() {
+	s := stm.MustNew(stm.Config{Algorithm: stm.PVRStore, HeapWords: 1 << 14})
+	th := s.MustNewThread()
+
+	inbox, _ := tlib.NewQueue(s, 16)
+	index, _ := tlib.NewMap(s, 8, 16)
+	count, _ := tlib.NewCounter(s)
+
+	// Producer: enqueue + index + count, atomically.
+	_ = th.Atomic(func(tx *stm.Tx) {
+		_ = inbox.Enqueue(tx, 42)
+		_ = index.Put(tx, 42, 1)
+		count.Add(tx, 1)
+	})
+	// Consumer: dequeue + unindex + count, atomically.
+	_ = th.Atomic(func(tx *stm.Tx) {
+		v, ok := inbox.Dequeue(tx)
+		if ok {
+			index.Delete(tx, v)
+			count.Add(tx, -1)
+		}
+		fmt.Println("got:", v)
+	})
+	_ = th.Atomic(func(tx *stm.Tx) {
+		fmt.Println("len:", inbox.Len(tx), "indexed:", index.Len(tx), "count:", count.Value(tx))
+	})
+	// Output:
+	// got: 42
+	// len: 0 indexed: 0 count: 0
+}
+
+// SkipList iterates in key order.
+func ExampleSkipList() {
+	s := stm.MustNew(stm.Config{Algorithm: stm.Ord, HeapWords: 1 << 14})
+	th := s.MustNewThread()
+	sl, _ := tlib.NewSkipList(s, 16)
+	_ = th.Atomic(func(tx *stm.Tx) {
+		for _, k := range []stm.Word{30, 10, 20} {
+			_ = sl.Put(tx, k, k*2)
+		}
+		sl.Range(tx, func(k, v stm.Word) bool {
+			fmt.Println(k, "->", v)
+			return true
+		})
+	})
+	// Output:
+	// 10 -> 20
+	// 20 -> 40
+	// 30 -> 60
+}
+
+// PQueue pops in priority order regardless of insertion order.
+func ExamplePQueue() {
+	s := stm.MustNew(stm.Config{Algorithm: stm.PVRHybrid, HeapWords: 1 << 12})
+	th := s.MustNewThread()
+	pq, _ := tlib.NewPQueue(s, 8)
+	_ = th.Atomic(func(tx *stm.Tx) {
+		for _, d := range []stm.Word{300, 100, 200} {
+			_ = pq.Insert(tx, d)
+		}
+		for {
+			v, ok := pq.PopMin(tx)
+			if !ok {
+				break
+			}
+			fmt.Println(v)
+		}
+	})
+	// Output:
+	// 100
+	// 200
+	// 300
+}

@@ -1,0 +1,141 @@
+package tlib
+
+import stm "privstm"
+
+// Map is a bounded transactional hash map from word keys to word values:
+// fixed buckets of sorted singly linked lists, the same organization as
+// the paper's hashtable microbenchmark.
+//
+// Node layout: [next, key, value].
+type Map struct {
+	s       *stm.STM
+	buckets stm.Addr
+	nbkt    int
+	size    stm.Addr
+	pool    pool
+}
+
+const mNodeWords = 3
+
+// NewMap allocates a map with the given bucket count (rounded up to ≥1)
+// and element capacity.
+func NewMap(s *stm.STM, buckets, capacity int) (*Map, error) {
+	if buckets < 1 {
+		buckets = 1
+	}
+	p, err := newPool(s, capacity, mNodeWords)
+	if err != nil {
+		return nil, err
+	}
+	b, err := s.Alloc(buckets + 1)
+	if err != nil {
+		return nil, err
+	}
+	return &Map{s: s, buckets: b, nbkt: buckets, size: b + stm.Addr(buckets), pool: p}, nil
+}
+
+func (m *Map) bucket(k stm.Word) stm.Addr {
+	h := uint64(k) * 0x9e3779b97f4a7c15 >> 17
+	return m.buckets + stm.Addr(h%uint64(m.nbkt))
+}
+
+// find walks k's bucket, returning the link word pointing at the first
+// node with key ≥ k and that node (or Nil).
+func (m *Map) find(tx *stm.Tx, k stm.Word) (link, node stm.Addr) {
+	link = m.bucket(k)
+	node = tx.LoadAddr(link)
+	for node != stm.Nil && tx.Load(node+1) < k {
+		link = node
+		node = tx.LoadAddr(node)
+	}
+	return link, node
+}
+
+// Put inserts or updates k → v inside tx. Returns ErrFull when a new entry
+// is needed but the pool is drained.
+func (m *Map) Put(tx *stm.Tx, k, v stm.Word) error {
+	link, node := m.find(tx, k)
+	if node != stm.Nil && tx.Load(node+1) == k {
+		tx.Store(node+2, v)
+		return nil
+	}
+	n, err := m.pool.alloc(tx)
+	if err != nil {
+		return err
+	}
+	tx.Store(n+1, k)
+	tx.Store(n+2, v)
+	tx.StoreAddr(n, node)
+	tx.StoreAddr(link, n)
+	tx.Store(m.size, tx.Load(m.size)+1)
+	return nil
+}
+
+// Get returns the value for k inside tx.
+func (m *Map) Get(tx *stm.Tx, k stm.Word) (v stm.Word, ok bool) {
+	_, node := m.find(tx, k)
+	if node == stm.Nil || tx.Load(node+1) != k {
+		return 0, false
+	}
+	return tx.Load(node + 2), true
+}
+
+// Delete removes k inside tx, reporting whether it was present.
+func (m *Map) Delete(tx *stm.Tx, k stm.Word) bool {
+	link, node := m.find(tx, k)
+	if node == stm.Nil || tx.Load(node+1) != k {
+		return false
+	}
+	tx.StoreAddr(link, tx.LoadAddr(node))
+	tx.Store(m.size, tx.Load(m.size)-1)
+	m.pool.release(tx, node)
+	return true
+}
+
+// Len returns the entry count inside tx.
+func (m *Map) Len(tx *stm.Tx) int { return int(tx.Load(m.size)) }
+
+// Range calls fn for every entry inside tx, in bucket order, stopping if
+// fn returns false. The whole iteration is part of the transaction's read
+// set: it commits only against a consistent snapshot.
+func (m *Map) Range(tx *stm.Tx, fn func(k, v stm.Word) bool) {
+	for b := 0; b < m.nbkt; b++ {
+		for n := tx.LoadAddr(m.buckets + stm.Addr(b)); n != stm.Nil; n = tx.LoadAddr(n) {
+			if !fn(tx.Load(n+1), tx.Load(n+2)) {
+				return
+			}
+		}
+	}
+}
+
+// Set is a transactional set of words, a Map with no values.
+type Set struct{ m *Map }
+
+// NewSet allocates a set.
+func NewSet(s *stm.STM, buckets, capacity int) (*Set, error) {
+	m, err := NewMap(s, buckets, capacity)
+	if err != nil {
+		return nil, err
+	}
+	return &Set{m: m}, nil
+}
+
+// Add inserts k, reporting whether it was newly added.
+func (s *Set) Add(tx *stm.Tx, k stm.Word) (added bool, err error) {
+	if s.Contains(tx, k) {
+		return false, nil
+	}
+	return true, s.m.Put(tx, k, 1)
+}
+
+// Remove deletes k, reporting whether it was present.
+func (s *Set) Remove(tx *stm.Tx, k stm.Word) bool { return s.m.Delete(tx, k) }
+
+// Contains reports membership.
+func (s *Set) Contains(tx *stm.Tx, k stm.Word) bool {
+	_, ok := s.m.Get(tx, k)
+	return ok
+}
+
+// Len returns the cardinality inside tx.
+func (s *Set) Len(tx *stm.Tx) int { return s.m.Len(tx) }

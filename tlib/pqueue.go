@@ -1,0 +1,99 @@
+package tlib
+
+import stm "privstm"
+
+// PQueue is a bounded transactional min-priority queue: a classic binary
+// heap laid out in a contiguous region of transactional words. Unlike the
+// linked structures, its conflict footprint is a root-to-leaf path, which
+// makes it a good stress case for per-block conflict detection.
+//
+// Layout: [size, elem0, elem1, ...].
+type PQueue struct {
+	meta stm.Addr // size word; elements follow
+	cap  int
+}
+
+// NewPQueue allocates a priority queue holding up to capacity words.
+func NewPQueue(s *stm.STM, capacity int) (*PQueue, error) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	a, err := s.Alloc(capacity + 1)
+	if err != nil {
+		return nil, err
+	}
+	return &PQueue{meta: a, cap: capacity}, nil
+}
+
+func (p *PQueue) slot(i int) stm.Addr { return p.meta + 1 + stm.Addr(i) }
+
+// Insert adds v inside tx; returns ErrFull at capacity.
+func (p *PQueue) Insert(tx *stm.Tx, v stm.Word) error {
+	n := int(tx.Load(p.meta))
+	if n == p.cap {
+		return ErrFull
+	}
+	// Sift up.
+	i := n
+	for i > 0 {
+		parent := (i - 1) / 2
+		pv := tx.Load(p.slot(parent))
+		if pv <= v {
+			break
+		}
+		tx.Store(p.slot(i), pv)
+		i = parent
+	}
+	tx.Store(p.slot(i), v)
+	tx.Store(p.meta, stm.Word(n+1))
+	return nil
+}
+
+// Min returns the smallest element without removing it.
+func (p *PQueue) Min(tx *stm.Tx) (v stm.Word, ok bool) {
+	if tx.Load(p.meta) == 0 {
+		return 0, false
+	}
+	return tx.Load(p.slot(0)), true
+}
+
+// PopMin removes and returns the smallest element.
+func (p *PQueue) PopMin(tx *stm.Tx) (v stm.Word, ok bool) {
+	n := int(tx.Load(p.meta))
+	if n == 0 {
+		return 0, false
+	}
+	v = tx.Load(p.slot(0))
+	last := tx.Load(p.slot(n - 1))
+	n--
+	tx.Store(p.meta, stm.Word(n))
+	if n == 0 {
+		return v, true
+	}
+	// Sift the last element down from the root.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small, sv := -1, last
+		if l < n {
+			if lv := tx.Load(p.slot(l)); lv < sv {
+				small, sv = l, lv
+			}
+		}
+		if r < n {
+			if rv := tx.Load(p.slot(r)); rv < sv {
+				small, sv = r, rv
+			}
+		}
+		if small < 0 {
+			break
+		}
+		tx.Store(p.slot(i), sv)
+		i = small
+	}
+	tx.Store(p.slot(i), last)
+	return v, true
+}
+
+// Len returns the element count inside tx.
+func (p *PQueue) Len(tx *stm.Tx) int { return int(tx.Load(p.meta)) }

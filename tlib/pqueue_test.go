@@ -1,0 +1,172 @@
+package tlib
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	stm "privstm"
+)
+
+func TestPQueueOrdering(t *testing.T) {
+	s := newSTM(t, stm.PVRStore)
+	th := s.MustNewThread()
+	pq, err := NewPQueue(s, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []stm.Word{9, 3, 7, 1, 8, 2, 2, 5}
+	_ = th.Atomic(func(tx *stm.Tx) {
+		for _, v := range in {
+			if err := pq.Insert(tx, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if v, ok := pq.Min(tx); !ok || v != 1 {
+			t.Errorf("Min = %d,%v", v, ok)
+		}
+		want := append([]stm.Word(nil), in...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for _, w := range want {
+			v, ok := pq.PopMin(tx)
+			if !ok || v != w {
+				t.Errorf("PopMin = %d,%v want %d", v, ok, w)
+			}
+		}
+		if _, ok := pq.PopMin(tx); ok {
+			t.Error("empty queue popped")
+		}
+	})
+}
+
+func TestPQueueCapacity(t *testing.T) {
+	s := newSTM(t, stm.TL2)
+	th := s.MustNewThread()
+	pq, _ := NewPQueue(s, 2)
+	_ = th.Atomic(func(tx *stm.Tx) {
+		_ = pq.Insert(tx, 1)
+		_ = pq.Insert(tx, 2)
+		if err := pq.Insert(tx, 3); !errors.Is(err, ErrFull) {
+			t.Errorf("overflow = %v", err)
+		}
+	})
+}
+
+// TestPQueueModel: heap order against a sorted-slice model under random
+// interleavings of inserts and pops within one transaction stream.
+func TestPQueueModel(t *testing.T) {
+	s := newSTM(t, stm.Ord)
+	th := s.MustNewThread()
+	pq, _ := NewPQueue(s, 256)
+	var model []stm.Word
+	prop := func(ops []uint16) bool {
+		ok := true
+		_ = th.Atomic(func(tx *stm.Tx) {
+			for _, op := range ops {
+				if op%3 == 0 && len(model) > 0 {
+					got, has := pq.PopMin(tx)
+					if !has || got != model[0] {
+						ok = false
+						return
+					}
+					model = model[1:]
+					continue
+				}
+				v := stm.Word(op)
+				if err := pq.Insert(tx, v); err != nil {
+					// Capacity is part of the model too.
+					if !errors.Is(err, ErrFull) || len(model) != 256 {
+						ok = false
+						return
+					}
+					continue
+				}
+				at := sort.Search(len(model), func(i int) bool { return model[i] >= v })
+				model = append(model, 0)
+				copy(model[at+1:], model[at:])
+				model[at] = v
+			}
+			if pq.Len(tx) != len(model) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPQueueConcurrentDrain: concurrent producers and consumers move a
+// known multiset through the queue; nothing is lost or duplicated.
+func TestPQueueConcurrentDrain(t *testing.T) {
+	for _, alg := range []stm.Algorithm{stm.TL2, stm.PVRStore, stm.PVRHybrid} {
+		t.Run(alg.String(), func(t *testing.T) {
+			s := newSTM(t, alg)
+			pq, _ := NewPQueue(s, 512)
+			const perProducer = 100
+			var wg sync.WaitGroup
+			for w := 0; w < 2; w++ {
+				th := s.MustNewThread()
+				base := stm.Word(w * 1000)
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perProducer; i++ {
+						v := base + stm.Word(i)
+						_ = th.Atomic(func(tx *stm.Tx) {
+							if err := pq.Insert(tx, v); err != nil {
+								tx.Cancel(err)
+							}
+						})
+					}
+				}()
+			}
+			seen := make(chan stm.Word, 2*perProducer)
+			var cwg sync.WaitGroup
+			done := make(chan struct{})
+			for w := 0; w < 2; w++ {
+				th := s.MustNewThread()
+				cwg.Add(1)
+				go func() {
+					defer cwg.Done()
+					for {
+						var v stm.Word
+						var ok bool
+						_ = th.Atomic(func(tx *stm.Tx) { v, ok = pq.PopMin(tx) })
+						if ok {
+							seen <- v
+							continue
+						}
+						select {
+						case <-done:
+							return
+						default:
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			// Producers finished; let consumers drain, then stop them.
+			for len(seen) < 2*perProducer {
+			}
+			close(done)
+			cwg.Wait()
+			close(seen)
+			got := map[stm.Word]int{}
+			for v := range seen {
+				got[v]++
+			}
+			if len(got) != 2*perProducer {
+				t.Fatalf("distinct values = %d, want %d", len(got), 2*perProducer)
+			}
+			for v, n := range got {
+				if n != 1 {
+					t.Errorf("value %d seen %d times", v, n)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,128 @@
+package tlib
+
+import stm "privstm"
+
+// Queue is a bounded transactional FIFO queue of words.
+//
+// Node layout: [next, value]. An empty queue has head = tail = Nil.
+type Queue struct {
+	s    *stm.STM
+	head stm.Addr // word: address of first node
+	tail stm.Addr // word: address of last node
+	size stm.Addr // word: element count
+	pool pool
+}
+
+const qNodeWords = 2
+
+// NewQueue allocates a queue with room for capacity elements.
+func NewQueue(s *stm.STM, capacity int) (*Queue, error) {
+	p, err := newPool(s, capacity, qNodeWords)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := s.Alloc(3)
+	if err != nil {
+		return nil, err
+	}
+	return &Queue{s: s, head: meta, tail: meta + 1, size: meta + 2, pool: p}, nil
+}
+
+// Enqueue appends v inside tx. Returns ErrFull at capacity.
+func (q *Queue) Enqueue(tx *stm.Tx, v stm.Word) error {
+	n, err := q.pool.alloc(tx)
+	if err != nil {
+		return err
+	}
+	tx.StoreAddr(n, stm.Nil)
+	tx.Store(n+1, v)
+	if t := tx.LoadAddr(q.tail); t != stm.Nil {
+		tx.StoreAddr(t, n)
+	} else {
+		tx.StoreAddr(q.head, n)
+	}
+	tx.StoreAddr(q.tail, n)
+	tx.Store(q.size, tx.Load(q.size)+1)
+	return nil
+}
+
+// Dequeue removes and returns the oldest element inside tx; ok is false on
+// an empty queue.
+func (q *Queue) Dequeue(tx *stm.Tx) (v stm.Word, ok bool) {
+	h := tx.LoadAddr(q.head)
+	if h == stm.Nil {
+		return 0, false
+	}
+	v = tx.Load(h + 1)
+	next := tx.LoadAddr(h)
+	tx.StoreAddr(q.head, next)
+	if next == stm.Nil {
+		tx.StoreAddr(q.tail, stm.Nil)
+	}
+	tx.Store(q.size, tx.Load(q.size)-1)
+	q.pool.release(tx, h)
+	return v, true
+}
+
+// Peek returns the oldest element without removing it.
+func (q *Queue) Peek(tx *stm.Tx) (v stm.Word, ok bool) {
+	h := tx.LoadAddr(q.head)
+	if h == stm.Nil {
+		return 0, false
+	}
+	return tx.Load(h + 1), true
+}
+
+// Len returns the element count inside tx.
+func (q *Queue) Len(tx *stm.Tx) int { return int(tx.Load(q.size)) }
+
+// Stack is a bounded transactional LIFO stack of words.
+// Node layout: [next, value].
+type Stack struct {
+	s    *stm.STM
+	top  stm.Addr
+	size stm.Addr
+	pool pool
+}
+
+// NewStack allocates a stack with room for capacity elements.
+func NewStack(s *stm.STM, capacity int) (*Stack, error) {
+	p, err := newPool(s, capacity, 2)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := s.Alloc(2)
+	if err != nil {
+		return nil, err
+	}
+	return &Stack{s: s, top: meta, size: meta + 1, pool: p}, nil
+}
+
+// Push adds v inside tx. Returns ErrFull at capacity.
+func (st *Stack) Push(tx *stm.Tx, v stm.Word) error {
+	n, err := st.pool.alloc(tx)
+	if err != nil {
+		return err
+	}
+	tx.Store(n+1, v)
+	tx.StoreAddr(n, tx.LoadAddr(st.top))
+	tx.StoreAddr(st.top, n)
+	tx.Store(st.size, tx.Load(st.size)+1)
+	return nil
+}
+
+// Pop removes and returns the newest element; ok is false on empty.
+func (st *Stack) Pop(tx *stm.Tx) (v stm.Word, ok bool) {
+	t := tx.LoadAddr(st.top)
+	if t == stm.Nil {
+		return 0, false
+	}
+	v = tx.Load(t + 1)
+	tx.StoreAddr(st.top, tx.LoadAddr(t))
+	tx.Store(st.size, tx.Load(st.size)-1)
+	st.pool.release(tx, t)
+	return v, true
+}
+
+// Len returns the element count inside tx.
+func (st *Stack) Len(tx *stm.Tx) int { return int(tx.Load(st.size)) }

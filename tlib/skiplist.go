@@ -1,0 +1,168 @@
+package tlib
+
+import (
+	"math/bits"
+
+	stm "privstm"
+)
+
+// SkipList is a bounded transactional ordered map with O(log n) expected
+// search. Levels are derived deterministically from a hash of the key
+// (trailing-zero geometric distribution), so the structure needs no random
+// state and two lists built from the same key set are identical — handy
+// for tests and for the engine-agnostic determinism suite.
+//
+// Node layout: [key, value, next0, next1, ... next_{maxLevel-1}]. All
+// nodes are allocated at full width from one pool; a node of level L uses
+// next0..next_{L-1}.
+type SkipList struct {
+	s        *stm.STM
+	head     stm.Addr // maxLevel next pointers
+	size     stm.Addr
+	maxLevel int
+	pool     pool
+}
+
+const (
+	slKey   = 0
+	slVal   = 1
+	slNext0 = 2
+
+	slMaxLevel = 8
+)
+
+// NewSkipList allocates a skip list with room for capacity entries.
+func NewSkipList(s *stm.STM, capacity int) (*SkipList, error) {
+	p, err := newPool(s, capacity, slNext0+slMaxLevel)
+	if err != nil {
+		return nil, err
+	}
+	head, err := s.Alloc(slMaxLevel + 1)
+	if err != nil {
+		return nil, err
+	}
+	return &SkipList{
+		s: s, head: head, size: head + slMaxLevel,
+		maxLevel: slMaxLevel, pool: p,
+	}, nil
+}
+
+// levelOf derives a node's level (1..maxLevel) from its key: a hash's
+// trailing zeros give the usual p=1/2 geometric distribution.
+func (sl *SkipList) levelOf(k stm.Word) int {
+	h := uint64(k)*0x9e3779b97f4a7c15 + 0x7f4a7c15
+	h ^= h >> 29
+	lvl := bits.TrailingZeros64(h|1<<uint(sl.maxLevel-1)) + 1
+	if lvl > sl.maxLevel {
+		lvl = sl.maxLevel
+	}
+	return lvl
+}
+
+// headLink returns the head's level-l link word.
+func (sl *SkipList) headLink(l int) stm.Addr { return sl.head + stm.Addr(l) }
+
+// nodeLink returns node n's level-l link word.
+func nodeLink(n stm.Addr, l int) stm.Addr { return n + slNext0 + stm.Addr(l) }
+
+// findPreds fills preds[l] with the link word after which k belongs at
+// each level, and returns the node at level 0 with key ≥ k (or Nil).
+func (sl *SkipList) findPreds(tx *stm.Tx, k stm.Word, preds []stm.Addr) stm.Addr {
+	link := sl.headLink(sl.maxLevel - 1)
+	for l := sl.maxLevel - 1; l >= 0; l-- {
+		if l < sl.maxLevel-1 {
+			// Drop down: continue from the same predecessor at the next
+			// level. Whether preds[l+1] is a head link (head+l+1) or a
+			// node link (n+slNext0+l+1), the level-l link of the same
+			// predecessor sits exactly one word lower.
+			link = preds[l+1] - 1
+		}
+		for {
+			n := tx.LoadAddr(link)
+			if n == stm.Nil || tx.Load(n+slKey) >= k {
+				break
+			}
+			link = nodeLink(n, l)
+		}
+		preds[l] = link
+	}
+	return tx.LoadAddr(preds[0])
+}
+
+// Put inserts or updates k → v. Returns ErrFull when a new node is needed
+// but the pool is drained.
+func (sl *SkipList) Put(tx *stm.Tx, k, v stm.Word) error {
+	preds := make([]stm.Addr, sl.maxLevel)
+	n := sl.findPreds(tx, k, preds)
+	if n != stm.Nil && tx.Load(n+slKey) == k {
+		tx.Store(n+slVal, v)
+		return nil
+	}
+	node, err := sl.pool.alloc(tx)
+	if err != nil {
+		return err
+	}
+	tx.Store(node+slKey, k)
+	tx.Store(node+slVal, v)
+	lvl := sl.levelOf(k)
+	for l := 0; l < lvl; l++ {
+		tx.StoreAddr(nodeLink(node, l), tx.LoadAddr(preds[l]))
+		tx.StoreAddr(preds[l], node)
+	}
+	for l := lvl; l < sl.maxLevel; l++ {
+		tx.StoreAddr(nodeLink(node, l), stm.Nil)
+	}
+	tx.Store(sl.size, tx.Load(sl.size)+1)
+	return nil
+}
+
+// Get returns the value stored under k.
+func (sl *SkipList) Get(tx *stm.Tx, k stm.Word) (v stm.Word, ok bool) {
+	preds := make([]stm.Addr, sl.maxLevel)
+	n := sl.findPreds(tx, k, preds)
+	if n == stm.Nil || tx.Load(n+slKey) != k {
+		return 0, false
+	}
+	return tx.Load(n + slVal), true
+}
+
+// Delete removes k, reporting whether it was present.
+func (sl *SkipList) Delete(tx *stm.Tx, k stm.Word) bool {
+	preds := make([]stm.Addr, sl.maxLevel)
+	n := sl.findPreds(tx, k, preds)
+	if n == stm.Nil || tx.Load(n+slKey) != k {
+		return false
+	}
+	lvl := sl.levelOf(k)
+	for l := 0; l < lvl; l++ {
+		// At levels the node occupies, the predecessor link points at it.
+		if tx.LoadAddr(preds[l]) == n {
+			tx.StoreAddr(preds[l], tx.LoadAddr(nodeLink(n, l)))
+		}
+	}
+	tx.Store(sl.size, tx.Load(sl.size)-1)
+	sl.pool.release(tx, n)
+	return true
+}
+
+// Len returns the entry count inside tx.
+func (sl *SkipList) Len(tx *stm.Tx) int { return int(tx.Load(sl.size)) }
+
+// Min returns the smallest key and its value.
+func (sl *SkipList) Min(tx *stm.Tx) (k, v stm.Word, ok bool) {
+	n := tx.LoadAddr(sl.headLink(0))
+	if n == stm.Nil {
+		return 0, 0, false
+	}
+	return tx.Load(n + slKey), tx.Load(n + slVal), true
+}
+
+// Range calls fn over entries in ascending key order, stopping when fn
+// returns false.
+func (sl *SkipList) Range(tx *stm.Tx, fn func(k, v stm.Word) bool) {
+	for n := tx.LoadAddr(sl.headLink(0)); n != stm.Nil; n = tx.LoadAddr(nodeLink(n, 0)) {
+		if !fn(tx.Load(n+slKey), tx.Load(n+slVal)) {
+			return
+		}
+	}
+}

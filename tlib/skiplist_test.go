@@ -1,0 +1,199 @@
+package tlib
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	stm "privstm"
+)
+
+func TestSkipListBasics(t *testing.T) {
+	s := newSTM(t, stm.PVRStore)
+	th := s.MustNewThread()
+	sl, err := NewSkipList(s, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = th.Atomic(func(tx *stm.Tx) {
+		if _, ok := sl.Get(tx, 5); ok {
+			t.Error("empty list found a key")
+		}
+		for _, k := range []stm.Word{50, 10, 30, 20, 40} {
+			if err := sl.Put(tx, k, k*10); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if sl.Len(tx) != 5 {
+			t.Errorf("Len = %d", sl.Len(tx))
+		}
+		if v, ok := sl.Get(tx, 30); !ok || v != 300 {
+			t.Errorf("Get(30) = %d,%v", v, ok)
+		}
+		// Update in place.
+		_ = sl.Put(tx, 30, 999)
+		if v, _ := sl.Get(tx, 30); v != 999 {
+			t.Errorf("updated Get(30) = %d", v)
+		}
+		if sl.Len(tx) != 5 {
+			t.Error("update changed Len")
+		}
+		if k, _, ok := sl.Min(tx); !ok || k != 10 {
+			t.Errorf("Min = %d,%v", k, ok)
+		}
+		// Ordered iteration.
+		var keys []stm.Word
+		sl.Range(tx, func(k, v stm.Word) bool {
+			keys = append(keys, k)
+			return true
+		})
+		want := []stm.Word{10, 20, 30, 40, 50}
+		if len(keys) != len(want) {
+			t.Fatalf("Range saw %v", keys)
+		}
+		for i := range want {
+			if keys[i] != want[i] {
+				t.Errorf("Range order %v, want %v", keys, want)
+			}
+		}
+		// Deletes.
+		if !sl.Delete(tx, 10) || sl.Delete(tx, 10) {
+			t.Error("Delete semantics wrong")
+		}
+		if !sl.Delete(tx, 50) || !sl.Delete(tx, 30) {
+			t.Error("Delete of middle/last failed")
+		}
+		if sl.Len(tx) != 2 {
+			t.Errorf("Len after deletes = %d", sl.Len(tx))
+		}
+	})
+}
+
+func TestSkipListCapacityAndReuse(t *testing.T) {
+	s := newSTM(t, stm.TL2)
+	th := s.MustNewThread()
+	sl, _ := NewSkipList(s, 3)
+	_ = th.Atomic(func(tx *stm.Tx) {
+		for k := stm.Word(1); k <= 3; k++ {
+			if err := sl.Put(tx, k, k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sl.Put(tx, 9, 9); !errors.Is(err, ErrFull) {
+			t.Errorf("overflow = %v", err)
+		}
+		sl.Delete(tx, 2)
+		if err := sl.Put(tx, 9, 9); err != nil {
+			t.Errorf("Put after Delete: %v", err)
+		}
+	})
+}
+
+func TestSkipListModel(t *testing.T) {
+	s := newSTM(t, stm.Ord)
+	th := s.MustNewThread()
+	sl, _ := NewSkipList(s, 256)
+	model := map[stm.Word]stm.Word{}
+	prop := func(ops []struct {
+		K   uint8
+		V   uint16
+		Del bool
+	}) bool {
+		good := true
+		_ = th.Atomic(func(tx *stm.Tx) {
+			for _, op := range ops {
+				k := stm.Word(op.K)
+				if op.Del {
+					had := sl.Delete(tx, k)
+					_, want := model[k]
+					if had != want {
+						good = false
+					}
+					delete(model, k)
+				} else {
+					if err := sl.Put(tx, k, stm.Word(op.V)); err != nil {
+						good = false
+						return
+					}
+					model[k] = stm.Word(op.V)
+				}
+			}
+			if sl.Len(tx) != len(model) {
+				good = false
+			}
+			for k, want := range model {
+				if got, ok := sl.Get(tx, k); !ok || got != want {
+					good = false
+				}
+			}
+			// Order check.
+			last := stm.Word(0)
+			first := true
+			sl.Range(tx, func(k, _ stm.Word) bool {
+				if !first && k <= last {
+					good = false
+				}
+				last, first = k, false
+				return true
+			})
+		})
+		return good
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkipListConcurrent(t *testing.T) {
+	for _, alg := range []stm.Algorithm{stm.TL2, stm.PVRStore, stm.PVRWriterOnly} {
+		t.Run(alg.String(), func(t *testing.T) {
+			s := newSTM(t, alg)
+			sl, _ := NewSkipList(s, 1024)
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				th := s.MustNewThread()
+				base := stm.Word(w * 256)
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 120; i++ {
+						k := base + stm.Word(i)
+						_ = th.Atomic(func(tx *stm.Tx) {
+							if err := sl.Put(tx, k, k+1); err != nil {
+								tx.Cancel(err)
+							}
+						})
+						if i%3 == 0 {
+							_ = th.Atomic(func(tx *stm.Tx) { sl.Delete(tx, k) })
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			th := s.MustNewThread()
+			_ = th.Atomic(func(tx *stm.Tx) {
+				want := 4 * 80 // 120 - 40 deleted per worker
+				if sl.Len(tx) != want {
+					t.Errorf("Len = %d, want %d", sl.Len(tx), want)
+				}
+				n := 0
+				last, first := stm.Word(0), true
+				sl.Range(tx, func(k, v stm.Word) bool {
+					if v != k+1 {
+						t.Errorf("entry %d -> %d", k, v)
+					}
+					if !first && k <= last {
+						t.Errorf("order violated at %d", k)
+					}
+					last, first = k, false
+					n++
+					return true
+				})
+				if n != sl.Len(tx) {
+					t.Errorf("Range saw %d, Len %d", n, sl.Len(tx))
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,108 @@
+package stm
+
+import "fmt"
+
+// TraceKind classifies a traced event.
+type TraceKind uint8
+
+// Event kinds recorded by the per-thread tracer.
+const (
+	// TraceAttempt marks the start of one execution attempt of an atomic
+	// block; Val carries the attempt number within the current Atomic
+	// call (≥2 means the previous attempt aborted and was retried).
+	TraceAttempt TraceKind = iota
+	// TraceRead records a transactional load (Addr, Val).
+	TraceRead
+	// TraceWrite records a transactional store (Addr, Val).
+	TraceWrite
+	// TraceCommit marks a successful Atomic completion.
+	TraceCommit
+	// TraceCancel marks an Atomic that ended via Tx.Cancel.
+	TraceCancel
+)
+
+// String names the kind.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceAttempt:
+		return "attempt"
+	case TraceRead:
+		return "read"
+	case TraceWrite:
+		return "write"
+	case TraceCommit:
+		return "commit"
+	case TraceCancel:
+		return "cancel"
+	default:
+		return fmt.Sprintf("TraceKind(%d)", uint8(k))
+	}
+}
+
+// TraceEvent is one recorded event.
+type TraceEvent struct {
+	Kind TraceKind
+	Addr Addr
+	Val  Word
+}
+
+// String formats the event compactly.
+func (e TraceEvent) String() string {
+	switch e.Kind {
+	case TraceRead, TraceWrite:
+		return fmt.Sprintf("%s %d=%d", e.Kind, e.Addr, e.Val)
+	case TraceAttempt:
+		return fmt.Sprintf("%s #%d", e.Kind, e.Val)
+	default:
+		return e.Kind.String()
+	}
+}
+
+// traceRing is a bounded ring of events; old events are overwritten.
+type traceRing struct {
+	buf     []TraceEvent
+	next    int
+	wrapped bool
+}
+
+func (r *traceRing) add(e TraceEvent) {
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapped = true
+	}
+}
+
+// snapshot returns events oldest-first.
+func (r *traceRing) snapshot() []TraceEvent {
+	if !r.wrapped {
+		return append([]TraceEvent(nil), r.buf[:r.next]...)
+	}
+	out := make([]TraceEvent, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// EnableTrace starts recording this thread's transactional events into a
+// ring of the given capacity (minimum 16). Tracing costs a few nanoseconds
+// per operation; it is intended for debugging, not production benchmarks.
+// Calling it again resets the ring.
+func (th *Thread) EnableTrace(capacity int) {
+	if capacity < 16 {
+		capacity = 16
+	}
+	th.trace = &traceRing{buf: make([]TraceEvent, capacity)}
+}
+
+// DisableTrace stops recording and discards the ring.
+func (th *Thread) DisableTrace() { th.trace = nil }
+
+// Trace returns the recorded events, oldest first. It must be called
+// between transactions (a Thread is single-goroutine by contract).
+func (th *Thread) Trace() []TraceEvent {
+	if th.trace == nil {
+		return nil
+	}
+	return th.trace.snapshot()
+}

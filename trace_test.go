@@ -1,0 +1,120 @@
+package stm
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTraceRecordsCommit(t *testing.T) {
+	s := newSTM(t, PVRStore)
+	th := s.MustNewThread()
+	a := s.MustAlloc(1)
+	th.EnableTrace(64)
+	if err := th.Atomic(func(tx *Tx) {
+		tx.Store(a, 5)
+		_ = tx.Load(a)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ev := th.Trace()
+	want := []TraceEvent{
+		{Kind: TraceAttempt, Val: 1},
+		{Kind: TraceWrite, Addr: a, Val: 5},
+		{Kind: TraceRead, Addr: a, Val: 5},
+		{Kind: TraceCommit},
+	}
+	if len(ev) != len(want) {
+		t.Fatalf("trace = %v", ev)
+	}
+	for i := range want {
+		if ev[i] != want[i] {
+			t.Errorf("trace[%d] = %v, want %v", i, ev[i], want[i])
+		}
+	}
+	th.DisableTrace()
+	if th.Trace() != nil {
+		t.Error("trace survived DisableTrace")
+	}
+}
+
+func TestTraceRecordsRetries(t *testing.T) {
+	s := newSTM(t, PVRBase)
+	flag := s.MustAlloc(1)
+	th := s.MustNewThread()
+	setter := s.MustNewThread()
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		_ = setter.Atomic(func(tx *Tx) { tx.Store(flag, 1) })
+	}()
+	th.EnableTrace(256)
+	_ = th.Atomic(func(tx *Tx) {
+		if tx.Load(flag) == 0 {
+			tx.Retry()
+		}
+	})
+	ev := th.Trace()
+	attempts := 0
+	var maxAttempt Word
+	for _, e := range ev {
+		if e.Kind == TraceAttempt {
+			attempts++
+			maxAttempt = e.Val
+		}
+	}
+	if attempts < 2 || int(maxAttempt) != attempts {
+		t.Errorf("attempts = %d (max tag %d); trace tail: %v", attempts, maxAttempt, ev[max(0, len(ev)-6):])
+	}
+	if ev[len(ev)-1].Kind != TraceCommit {
+		t.Errorf("last event = %v, want commit", ev[len(ev)-1])
+	}
+}
+
+func TestTraceCancelAndWrap(t *testing.T) {
+	s := newSTM(t, TL2)
+	th := s.MustNewThread()
+	a := s.MustAlloc(1)
+	th.EnableTrace(16)
+	err := th.Atomic(func(tx *Tx) {
+		tx.Cancel(errSentinelTrace)
+	})
+	if err != errSentinelTrace {
+		t.Fatal(err)
+	}
+	ev := th.Trace()
+	if ev[len(ev)-1].Kind != TraceCancel {
+		t.Errorf("last = %v, want cancel", ev[len(ev)-1])
+	}
+	// Overflow the ring; only the newest 16 events survive.
+	for i := 0; i < 30; i++ {
+		_ = th.Atomic(func(tx *Tx) { tx.Store(a, Word(i)) })
+	}
+	ev = th.Trace()
+	if len(ev) != 16 {
+		t.Errorf("ring holds %d, want 16", len(ev))
+	}
+	if ev[len(ev)-1].Kind != TraceCommit {
+		t.Errorf("last after wrap = %v", ev[len(ev)-1])
+	}
+}
+
+func TestTraceKindStrings(t *testing.T) {
+	if TraceRead.String() != "read" || TraceKind(99).String() == "" {
+		t.Error("kind strings wrong")
+	}
+	e := TraceEvent{Kind: TraceWrite, Addr: 3, Val: 9}
+	if e.String() != "write 3=9" {
+		t.Errorf("event string = %q", e.String())
+	}
+	if (TraceEvent{Kind: TraceAttempt, Val: 2}).String() != "attempt #2" {
+		t.Error("attempt string wrong")
+	}
+	if (TraceEvent{Kind: TraceCommit}).String() != "commit" {
+		t.Error("commit string wrong")
+	}
+}
+
+var errSentinelTrace = errTrace("stop")
+
+type errTrace string
+
+func (e errTrace) Error() string { return string(e) }
