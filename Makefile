@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race bench figures privtest stress cover clean
+.PHONY: all build test race bench figures privtest stress cover clean lint
 
-all: build test
+all: build test lint
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,12 @@ build:
 
 test:
 	$(GO) test ./...
+
+# STM-specific static checks (see internal/analysis and CORRECTNESS.md
+# "Static checks"): atomic access discipline, metadata accessor discipline,
+# transaction-body purity, lock-copy freedom.
+lint:
+	$(GO) run ./cmd/stmlint ./...
 
 race:
 	$(GO) test -race ./...

@@ -1,0 +1,87 @@
+// Command stmlint statically enforces the STM runtime's concurrency
+// invariants: atomic access discipline, metadata accessor discipline,
+// transaction-body purity, and lock-copy freedom. See internal/analysis
+// and the "Static checks" section of CORRECTNESS.md.
+//
+// Usage:
+//
+//	stmlint [-rules list] [packages]
+//
+// Packages follow the go tool's pattern shape (default "./..."). The
+// process exits 0 when no findings remain, 1 when findings are reported,
+// and 2 on load/usage errors. Suppress an individual finding with a
+// trailing or preceding "//stmlint:ignore <rule> <reason>" comment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"privstm/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("stmlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := fs.Bool("list", false, "list available rules and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: stmlint [-rules list] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	suite := analysis.Analyzers()
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(stdout, "%-20s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *rules != "" {
+		want := make(map[string]bool)
+		for _, r := range strings.Split(*rules, ",") {
+			want[strings.TrimSpace(r)] = true
+		}
+		var filtered []*analysis.Analyzer
+		for _, a := range suite {
+			if want[a.Name] {
+				filtered = append(filtered, a)
+				delete(want, a.Name)
+			}
+		}
+		for r := range want {
+			fmt.Fprintf(stderr, "stmlint: unknown rule %q\n", r)
+			return 2
+		}
+		suite = filtered
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "stmlint:", err)
+		return 2
+	}
+	prog, err := analysis.Load(cwd, fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	diags := prog.Run(suite)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d.Format(cwd))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "stmlint: %d finding(s) in %d package(s)\n", len(diags), len(prog.Pkgs))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func devNull(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// TestExitCodes pins the process contract: 0 on a clean tree, 1 on
+// findings, 2 on usage/load errors.
+func TestExitCodes(t *testing.T) {
+	null := devNull(t)
+	fixtures := filepath.Join("..", "..", "internal", "analysis", "testdata", "src")
+
+	if got := run([]string{"../.."}, null, null); got != 0 {
+		t.Errorf("clean repo: exit %d, want 0", got)
+	}
+	if got := run([]string{filepath.Join(fixtures, "mixedatomic")}, null, null); got != 1 {
+		t.Errorf("violation fixture: exit %d, want 1", got)
+	}
+	if got := run([]string{fixtures + "/..."}, null, null); got != 1 {
+		t.Errorf("all fixtures: exit %d, want 1", got)
+	}
+	if got := run([]string{"-rules", "nosuchrule", "../.."}, null, null); got != 2 {
+		t.Errorf("unknown rule: exit %d, want 2", got)
+	}
+	if got := run([]string{"./does-not-exist"}, null, null); got != 2 {
+		t.Errorf("bad pattern: exit %d, want 2", got)
+	}
+	if got := run([]string{"-list"}, null, null); got != 0 {
+		t.Errorf("-list: exit %d, want 0", got)
+	}
+	if got := run([]string{"-rules", "txnpurity", fixtures + "/..."}, null, null); got != 1 {
+		t.Errorf("rule subset on fixtures: exit %d, want 1", got)
+	}
+}

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// CopyLock returns the copylock analyzer.
+//
+// Invariant: spin mutexes, orecs, and every typed atomic are identity
+// objects — the protocol synchronizes on their *address* (a CAS on a
+// copied orec word serializes nothing). Copying a value that contains one
+// silently forks that identity: the copy's lock state is garbage, and the
+// cache-line padding that prevents false sharing is lost. The rule flags
+// by-value receivers, parameters, results, assignments, dereferences and
+// range clauses whose type transitively contains a spin.Mutex, a sync
+// lock, or a sync/atomic typed value.
+//
+// go vet's copylocks covers the sync types; this rule exists because the
+// repo's own spin.Mutex and atomic-bearing metadata structs (orec.Orec,
+// core.Thread, …) are invisible to vet.
+func CopyLock() *Analyzer {
+	return &Analyzer{
+		Name: "copylock",
+		Doc:  "values containing spin mutexes, orecs, or atomics must not be copied",
+		Run:  runCopyLock,
+	}
+}
+
+type copyLockChecker struct {
+	p     *Program
+	cache map[types.Type]string
+}
+
+// isBlank reports whether e is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func runCopyLock(p *Program) []Diagnostic {
+	c := &copyLockChecker{p: p, cache: make(map[types.Type]string)}
+	var diags []Diagnostic
+	report := func(node ast.Node, what, lock string) {
+		diags = append(diags, Diagnostic{
+			Pos:     p.Fset.Position(node.Pos()),
+			Rule:    "copylock",
+			Message: fmt.Sprintf("%s copies a value containing %s; pass a pointer instead", what, lock),
+		})
+	}
+	for _, pkg := range p.Pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					c.checkFuncSig(info, n.Recv, n.Type, report)
+				case *ast.FuncLit:
+					c.checkFuncSig(info, nil, n.Type, report)
+				case *ast.AssignStmt:
+					for i, rhs := range n.Rhs {
+						// `_ = x` marks a value as deliberately unused; no
+						// second copy outlives the statement.
+						if len(n.Lhs) == len(n.Rhs) && isBlank(n.Lhs[i]) {
+							continue
+						}
+						if lock := c.copiedLock(info, rhs); lock != "" {
+							report(rhs, "assignment", lock)
+						}
+					}
+				case *ast.ReturnStmt:
+					for _, res := range n.Results {
+						// Only flag dereference copies: returning a local
+						// by value is the constructor idiom and creates no
+						// sharing.
+						if star, ok := unparen(res).(*ast.StarExpr); ok {
+							if lock := c.lockIn(info, star); lock != "" {
+								report(res, "return", lock)
+							}
+						}
+					}
+				case *ast.RangeStmt:
+					if n.Value == nil || isBlank(n.Value) {
+						return true
+					}
+					if t, ok := info.Types[n.X]; ok {
+						var elem types.Type
+						switch seq := t.Type.Underlying().(type) {
+						case *types.Slice:
+							elem = seq.Elem()
+						case *types.Array:
+							elem = seq.Elem()
+						case *types.Pointer: // range over *array
+							if arr, ok := seq.Elem().Underlying().(*types.Array); ok {
+								elem = arr.Elem()
+							}
+						}
+						if elem != nil {
+							if lock := c.contains(elem); lock != "" {
+								report(n.Value, "range clause", lock)
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// checkFuncSig flags by-value receivers, parameters and results.
+func (c *copyLockChecker) checkFuncSig(info *types.Info, recv *ast.FieldList,
+	ftype *ast.FuncType, report func(ast.Node, string, string)) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t, ok := info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if lock := c.contains(t.Type); lock != "" {
+				report(field.Type, what, lock)
+			}
+		}
+	}
+	check(recv, "by-value receiver")
+	check(ftype.Params, "by-value parameter")
+	check(ftype.Results, "by-value result")
+}
+
+// copiedLock reports the lock inside an RHS expression that copies an
+// existing value (identifier, field, element, or dereference). Composite
+// literals and calls construct fresh values and are not copies of a shared
+// original.
+func (c *copyLockChecker) copiedLock(info *types.Info, rhs ast.Expr) string {
+	switch unparen(rhs).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return c.lockIn(info, rhs)
+	}
+	return ""
+}
+
+func (c *copyLockChecker) lockIn(info *types.Info, e ast.Expr) string {
+	t, ok := info.Types[unparen(e)]
+	if !ok {
+		return ""
+	}
+	return c.contains(t.Type)
+}
+
+// contains reports a description of the first lock-like component found in
+// t (transitively through structs and arrays), or "".
+func (c *copyLockChecker) contains(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if s, ok := c.cache[t]; ok {
+		return s
+	}
+	c.cache[t] = "" // cycle guard; overwritten below
+	res := c.containsUncached(t)
+	c.cache[t] = res
+	return res
+}
+
+func (c *copyLockChecker) containsUncached(t types.Type) string {
+	if n, ok := t.(*types.Named); ok {
+		obj := n.Obj()
+		if pkg := obj.Pkg(); pkg != nil {
+			switch {
+			case pkg.Path() == "sync/atomic":
+				return "a sync/atomic." + obj.Name()
+			case pkg.Path() == "sync" &&
+				(obj.Name() == "Mutex" || obj.Name() == "RWMutex" || obj.Name() == "WaitGroup" ||
+					obj.Name() == "Cond" || obj.Name() == "Once" || obj.Name() == "Pool" || obj.Name() == "Map"):
+				return "a sync." + obj.Name()
+			case pkg.Name() == "spin" && obj.Name() == "Mutex":
+				return "a spin.Mutex"
+			}
+		}
+		return c.contains(n.Underlying())
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if s := c.contains(u.Field(i).Type()); s != "" {
+				return s
+			}
+		}
+	case *types.Array:
+		return c.contains(u.Elem())
+	}
+	return ""
+}

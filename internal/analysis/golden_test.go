@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// runFixture loads fixture packages from testdata/src, runs one analyzer,
+// and returns the formatted diagnostics with paths relative to
+// testdata/src.
+func runFixture(t *testing.T, a *Analyzer, patterns ...string) []string {
+	t.Helper()
+	src, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load(src, patterns...)
+	if err != nil {
+		t.Fatalf("loading %v: %v", patterns, err)
+	}
+	var out []string
+	for _, d := range prog.Run([]*Analyzer{a}) {
+		out = append(out, d.Format(src))
+	}
+	return out
+}
+
+// checkGolden compares got against testdata/<name>.golden, rewriting it
+// under -update.
+func checkGolden(t *testing.T, name string, got []string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	text := strings.Join(got, "\n")
+	if len(got) > 0 {
+		text += "\n"
+	}
+	if *update {
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/analysis -run %s -update`): %v", t.Name(), err)
+	}
+	if string(want) != text {
+		t.Errorf("diagnostics differ from %s\n--- got ---\n%s--- want ---\n%s", path, text, want)
+	}
+}
+
+func TestMixedAtomicGolden(t *testing.T) {
+	checkGolden(t, "mixedatomic", runFixture(t, MixedAtomic(), "mixedatomic"))
+}
+
+func TestAccessorDisciplineGolden(t *testing.T) {
+	checkGolden(t, "accessordiscipline",
+		runFixture(t, AccessorDiscipline(), "accessor/..."))
+}
+
+func TestTxnPurityGolden(t *testing.T) {
+	checkGolden(t, "txnpurity", runFixture(t, TxnPurity(), "txnpurity"))
+}
+
+func TestCopyLockGolden(t *testing.T) {
+	checkGolden(t, "copylock", runFixture(t, CopyLock(), "copylock/..."))
+}
+
+// TestFixturesTripTheLinter is the acceptance check that the violation
+// fixtures make the default suite exit nonzero territory: every rule must
+// produce at least one finding on its own fixture.
+func TestFixturesTripTheLinter(t *testing.T) {
+	for _, tc := range []struct {
+		analyzer *Analyzer
+		patterns []string
+	}{
+		{MixedAtomic(), []string{"mixedatomic"}},
+		{AccessorDiscipline(), []string{"accessor/..."}},
+		{TxnPurity(), []string{"txnpurity"}},
+		{CopyLock(), []string{"copylock/..."}},
+	} {
+		if got := runFixture(t, tc.analyzer, tc.patterns...); len(got) == 0 {
+			t.Errorf("%s: no findings on its violation fixture", tc.analyzer.Name)
+		}
+	}
+}
+
+// TestRepoIsClean runs the full default suite over the real module — the
+// same invocation `make lint` uses — and requires zero findings, so a
+// regression in the runtime's access discipline fails `go test ./...` too.
+func TestRepoIsClean(t *testing.T) {
+	prog, err := Load(filepath.Join("..", ".."), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := prog.Run(Analyzers()); len(diags) != 0 {
+		for _, d := range diags {
+			t.Errorf("%s", d.Format(prog.ModRoot))
+		}
+	}
+}
+
+// TestAllowlist verifies the accessordiscipline escape hatch: allowlisted
+// client packages may touch protected fields directly.
+func TestAllowlist(t *testing.T) {
+	a := NewAccessorDiscipline(defaultProtectedPkgs, map[string]bool{"client": true})
+	if got := runFixture(t, a, "accessor/..."); len(got) != 0 {
+		t.Errorf("allowlisted package still flagged:\n%s", strings.Join(got, "\n"))
+	}
+}
+
+// TestRuleNamesAreStable pins the rule identifiers that ignore comments
+// and CI reference.
+func TestRuleNamesAreStable(t *testing.T) {
+	want := []string{"mixedatomic", "accessordiscipline", "txnpurity", "copylock"}
+	got := Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no doc", a.Name)
+		}
+	}
+}

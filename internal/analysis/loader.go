@@ -1,0 +1,336 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	// ImportPath is the module-qualified import path (e.g.
+	// "privstm/internal/core"). Command packages keep their path even
+	// though nothing imports them.
+	ImportPath string
+	// Dir is the absolute directory the sources were read from.
+	Dir string
+	// Name is the package clause name.
+	Name string
+	// Files are the parsed non-test source files, sorted by file name.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the type-checker's fact tables for Files.
+	Info *types.Info
+}
+
+// Program is a set of packages loaded together: all analyzers run over one
+// Program so cross-package facts (e.g. "this field is accessed atomically
+// somewhere") are visible everywhere.
+type Program struct {
+	Fset *token.FileSet
+	// Pkgs are the packages named by the load patterns, sorted by import
+	// path. Dependency packages pulled in only via imports are available
+	// through the loader cache but are not analyzed.
+	Pkgs []*Package
+
+	// ModRoot and ModPath describe the enclosing module.
+	ModRoot string
+	ModPath string
+}
+
+// Load locates the module containing dir, resolves the patterns against
+// it, and parses and type-checks every matched package (test files are
+// skipped). Patterns follow the go tool's shape: "./..." walks the whole
+// module, "dir/..." walks a subtree, anything else names one directory.
+func Load(dir string, patterns ...string) (*Program, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modRoot, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	l := &loader{
+		fset:       token.NewFileSet(),
+		modRoot:    modRoot,
+		modPath:    modPath,
+		pkgs:       make(map[string]*Package),
+		inProgress: make(map[string]bool),
+		stdCache:   make(map[string]*types.Package),
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var dirs []string
+	seen := make(map[string]bool)
+	for _, pat := range patterns {
+		ds, err := resolvePattern(abs, pat)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range ds {
+			if !seen[d] {
+				seen[d] = true
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("stmlint: no packages match %v", patterns)
+	}
+	sort.Strings(dirs)
+	prog := &Program{Fset: l.fset, ModRoot: modRoot, ModPath: modPath}
+	for _, d := range dirs {
+		ip, err := l.importPathFor(d)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := l.loadModulePkg(ip)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			prog.Pkgs = append(prog.Pkgs, pkg)
+		}
+	}
+	return prog, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, path string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("stmlint: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("stmlint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// resolvePattern expands one pattern into package directories.
+func resolvePattern(base, pat string) ([]string, error) {
+	recursive := false
+	if pat == "all" {
+		pat, recursive = ".", true
+	}
+	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		recursive = true
+		pat = rest
+		if pat == "" {
+			pat = "."
+		}
+	}
+	dir := pat
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(base, dir)
+	}
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		return nil, fmt.Errorf("stmlint: pattern %q: not a directory: %s", pat, dir)
+	}
+	if !recursive {
+		if len(goSources(dir)) == 0 {
+			return nil, fmt.Errorf("stmlint: no Go files in %s", dir)
+		}
+		return []string{dir}, nil
+	}
+	var out []string
+	err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != dir && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if len(goSources(p)) > 0 {
+			out = append(out, p)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// goSources lists the non-test .go files of dir, sorted.
+func goSources(dir string) []string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		out = append(out, filepath.Join(dir, name))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// loader parses and type-checks module packages recursively, acting as the
+// types.Importer for intra-module imports and delegating standard-library
+// imports to the gc importer (with a from-source fallback, so the tool
+// works even where no export data is installed).
+type loader struct {
+	fset             *token.FileSet
+	modRoot, modPath string
+
+	pkgs       map[string]*Package
+	inProgress map[string]bool
+
+	stdGC    types.Importer
+	stdSrc   types.Importer
+	stdCache map[string]*types.Package
+}
+
+// importPathFor maps an absolute directory inside the module to its import
+// path.
+func (l *loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.modRoot, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("stmlint: %s is outside module %s", dir, l.modRoot)
+	}
+	if rel == "." {
+		return l.modPath, nil
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// dirFor inverts importPathFor.
+func (l *loader) dirFor(importPath string) string {
+	if importPath == l.modPath {
+		return l.modRoot
+	}
+	rel := strings.TrimPrefix(importPath, l.modPath+"/")
+	return filepath.Join(l.modRoot, filepath.FromSlash(rel))
+}
+
+// Import implements types.Importer for the type-checker: module packages
+// are loaded from source recursively, everything else is standard library.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		pkg, err := l.loadModulePkg(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.importStd(path)
+}
+
+func (l *loader) importStd(path string) (*types.Package, error) {
+	if p, ok := l.stdCache[path]; ok {
+		return p, nil
+	}
+	if l.stdGC == nil {
+		l.stdGC = importer.Default()
+	}
+	p, err := l.stdGC.Import(path)
+	if err != nil {
+		if l.stdSrc == nil {
+			l.stdSrc = importer.ForCompiler(l.fset, "source", nil)
+		}
+		var srcErr error
+		if p, srcErr = l.stdSrc.Import(path); srcErr != nil {
+			return nil, fmt.Errorf("stmlint: import %q: %v (source fallback: %v)", path, err, srcErr)
+		}
+	}
+	l.stdCache[path] = p
+	return p, nil
+}
+
+// loadModulePkg parses and type-checks one module package (memoized).
+func (l *loader) loadModulePkg(importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if l.inProgress[importPath] {
+		return nil, fmt.Errorf("stmlint: import cycle through %q", importPath)
+	}
+	l.inProgress[importPath] = true
+	defer delete(l.inProgress, importPath)
+
+	dir := l.dirFor(importPath)
+	srcs := goSources(dir)
+	if len(srcs) == 0 {
+		return nil, fmt.Errorf("stmlint: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	name := ""
+	for _, src := range srcs {
+		f, err := parser.ParseFile(l.fset, src, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if name == "" {
+			name = f.Name.Name
+		} else if f.Name.Name != name {
+			return nil, fmt.Errorf("stmlint: %s: mixed packages %q and %q", dir, name, f.Name.Name)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("stmlint: type-check %s: %v", importPath, firstErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("stmlint: type-check %s: %v", importPath, err)
+	}
+	pkg := &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Name:       name,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,33 @@
+// Package client is the stmlint accessordiscipline fixture: it touches
+// protected metadata fields from outside their packages.
+package client
+
+import (
+	"privstm/internal/analysis/testdata/src/accessor/clock"
+	"privstm/internal/analysis/testdata/src/accessor/orec"
+)
+
+// Good uses only accessors and atomic method calls.
+func Good(o *orec.Orec, c *clock.Clock) uint64 {
+	w := o.Owner.Load() // clean: atomic method call on the field
+	o.Owner.Store(w | 1)
+	o.SetWTS(c.Tick()) // clean: accessor methods
+	return o.WTS()
+}
+
+// Bad reaches into the protected structs directly.
+func Bad(o *orec.Orec, c *clock.Clock) uint64 {
+	o.Wts = 9            // want flagged: plain field write from outside
+	w := o.Wts           // want flagged: plain field read from outside
+	own := o.Owner       // want flagged: copying the atomic word, not calling through it
+	ts := c.NowTS.Add(1) // clean: atomic method call
+	pc := &c.NowTS       // want flagged: leaking the address sidesteps the accessor
+	_ = pc
+	return w + ts + own.Load()
+}
+
+// Suppressed shows the escape hatch.
+func Suppressed(o *orec.Orec) uint64 {
+	//stmlint:ignore accessordiscipline single-threaded test harness setup
+	return o.Wts
+}

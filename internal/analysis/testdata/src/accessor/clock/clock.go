@@ -1,0 +1,14 @@
+// Package clock is a stmlint test fixture standing in for the global
+// version clock: its name puts it in the protected set.
+package clock
+
+import "sync/atomic"
+
+// Clock exposes its counter so the fixture's client can violate the
+// discipline; the real package keeps it unexported.
+type Clock struct {
+	NowTS atomic.Uint64
+}
+
+// Tick advances the clock.
+func (c *Clock) Tick() uint64 { return c.NowTS.Add(1) }

@@ -1,0 +1,18 @@
+// Package orec is a stmlint test fixture standing in for the runtime's
+// ownership-record package: its name puts it in the protected set.
+package orec
+
+import "sync/atomic"
+
+// Orec mimics the real ownership record: an atomic owner word plus a
+// plain field that only this package's accessors may touch.
+type Orec struct {
+	Owner atomic.Uint64
+	Wts   uint64
+}
+
+// WTS is the accessor for the plain field.
+func (o *Orec) WTS() uint64 { return o.Wts }
+
+// SetWTS is the mutating accessor.
+func (o *Orec) SetWTS(v uint64) { o.Wts = v }

@@ -1,0 +1,57 @@
+// Package copylock is a stmlint test fixture: values containing spin
+// locks and atomics copied by value.
+package copylock
+
+import (
+	"sync/atomic"
+
+	"privstm/internal/analysis/testdata/src/copylock/spin"
+)
+
+// Orec carries an atomic word: copying it forks the protocol's identity.
+type Orec struct {
+	Owner atomic.Uint64
+	pad   [6]uint64
+}
+
+// Table embeds locks transitively (struct → array → struct → atomic).
+type Table struct {
+	mu    spin.Mutex
+	orecs [4]Orec
+}
+
+// Plain has no lock-like fields and may be copied freely.
+type Plain struct {
+	a, b uint64
+}
+
+// ByValue has a by-value receiver. // want flagged below
+func (t Table) ByValue() int { return len(t.orecs) } // want flagged: receiver copy
+
+// ByPointer is the correct shape.
+func (t *Table) ByPointer() int { return len(t.orecs) }
+
+// Consume takes an orec by value. // want flagged below
+func Consume(o Orec) uint64 { return o.Owner.Load() } // want flagged: parameter copy
+
+// Copies exercises the assignment/element/range copy checks.
+func Copies(t *Table, orecs []Orec, p Plain) {
+	local := *t               // want flagged: dereference copy
+	o := orecs[0]             // want flagged: element copy
+	q := p                    // clean: Plain carries no locks
+	fresh := Orec{}           // clean: composite literal constructs, not copies
+	for _, e := range orecs { // want flagged: range copies each element
+		_ = e
+	}
+	_, _, _, _ = local, o, q, fresh
+}
+
+// Deref returns a copy through a pointer. // want flagged below
+func Deref(t *Table) Table { return *t } // want flagged: by-value result and dereference return
+
+// Suppressed shows the escape hatch.
+func Suppressed(o *Orec) uint64 {
+	//stmlint:ignore copylock snapshot of a quiesced orec in a single-threaded test
+	snapshot := *o
+	return snapshot.Owner.Load()
+}

@@ -1,0 +1,14 @@
+// Package spin is a stmlint test fixture standing in for the runtime's
+// spin-lock package; copylock recognizes its Mutex by package name.
+package spin
+
+// Mutex mimics the real test-and-test-and-set lock.
+type Mutex struct {
+	state uint32
+}
+
+// Lock is a stub.
+func (m *Mutex) Lock() { m.state = 1 }
+
+// Unlock is a stub.
+func (m *Mutex) Unlock() { m.state = 0 }

@@ -1,0 +1,43 @@
+// Package mixedatomic is a stmlint test fixture: counters mixing
+// sync/atomic and plain access, with clean code alongside.
+package mixedatomic
+
+import "sync/atomic"
+
+// Counters mixes access disciplines on purpose.
+type Counters struct {
+	hits   int64
+	misses int64
+	slots  []uint64
+	clean  atomic.Int64 // typed atomic: invisible to the rule
+	plain  int64        // never accessed atomically: also invisible
+}
+
+// Bump updates the counters atomically.
+func (c *Counters) Bump(i int) {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64((&c.misses), 1)
+	atomic.StoreUint64(&c.slots[i], 7)
+	c.clean.Add(1)
+	c.plain++
+}
+
+// Snapshot reads them back with plain loads: every field read here that
+// Bump touched with sync/atomic must be flagged.
+func (c *Counters) Snapshot() (int64, int64, uint64) {
+	h := c.hits                 // want flagged: plain read of atomic field
+	c.misses = 0                // want flagged: plain write of atomic field
+	n := len(c.slots)           // clean: len does not race with element atomics
+	e := c.slots[0]             // want flagged: plain element access
+	for _, s := range c.slots { // want flagged: range copies elements
+		e += s
+	}
+	_ = n
+	return h, c.plain, e
+}
+
+// Suppressed demonstrates the ignore directive.
+func (c *Counters) Suppressed() int64 {
+	//stmlint:ignore mixedatomic read-only snapshot taken after workers join
+	return c.hits
+}

@@ -1,0 +1,78 @@
+// Package txnpurity is a stmlint test fixture: function literals passed to
+// Atomic/Run containing irrevocable side effects.
+package txnpurity
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+// Thread is an in-module stand-in for stm.Thread; a method named Atomic
+// taking a function literal marks a transaction body.
+type Thread struct{}
+
+// Atomic pretends to run body transactionally.
+func (t *Thread) Atomic(body func()) error { body(); return nil }
+
+// Run is the in-module stand-in for core.Run.
+func Run(body func()) { body() }
+
+var (
+	mu   sync.Mutex
+	ch   = make(chan int, 1)
+	word uint64
+)
+
+// sleepHelper hides an irrevocable effect one call deep.
+func sleepHelper() {
+	time.Sleep(time.Millisecond)
+}
+
+// pureHelper is fine.
+func pureHelper() uint64 { return word + 1 }
+
+// Bodies exercises every violation class.
+func Bodies(t *Thread) {
+	_ = t.Atomic(func() {
+		time.Sleep(time.Millisecond) // want flagged: sleep
+	})
+	_ = t.Atomic(func() {
+		ch <- 1 // want flagged: channel send
+		<-ch    // want flagged: channel receive
+	})
+	_ = t.Atomic(func() {
+		select { // want flagged: select
+		case v := <-ch:
+			word = uint64(v)
+		default:
+		}
+	})
+	_ = t.Atomic(func() {
+		close(ch)   // want flagged: close
+		go func() { // want flagged: goroutine launch
+			word++
+		}()
+	})
+	_ = t.Atomic(func() {
+		mu.Lock() // want flagged: mutex acquisition
+		defer mu.Unlock()
+		_, _ = os.ReadFile("/etc/hostname") // want flagged: os I/O
+	})
+	Run(func() {
+		sleepHelper() // want flagged: transitive same-package sleep
+		pureHelper()  // clean
+	})
+	Run(func() {
+		for v := range ch { // want flagged: ranging over a channel
+			word = uint64(v)
+		}
+	})
+	_ = t.Atomic(func() { // clean body
+		word = pureHelper()
+	})
+	_ = t.Atomic(func() {
+		//stmlint:ignore txnpurity deliberate: demonstrating suppression
+		time.Sleep(time.Microsecond)
+	})
+}

@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// TxnPurity returns the txnpurity analyzer.
+//
+// Invariant (doomed-transaction failure mode, CORRECTNESS.md §2): the body
+// of an atomic block may execute several times — aborted attempts are
+// rolled back and retried, and a *doomed* attempt may run briefly on
+// inconsistent reads before validation catches it. Any irrevocable side
+// effect inside the body therefore escapes the rollback: sleeps stall the
+// whole commit pipeline (every fence waits on the central list's oldest
+// entry), channel operations and mutex acquisitions can deadlock against a
+// doomed attempt that will never commit, and os/net I/O is replayed once
+// per retry. The rule checks every function literal passed to
+// stm.Atomic/core.Run, plus (transitively) the same-package functions it
+// calls.
+func TxnPurity() *Analyzer {
+	return &Analyzer{
+		Name: "txnpurity",
+		Doc:  "transaction bodies must not sleep, use channels, lock mutexes, launch goroutines, or do os/net I/O",
+		Run:  runTxnPurity,
+	}
+}
+
+// impurity is one irrevocable effect found in a function body.
+type impurity struct {
+	pos  token.Pos
+	what string
+}
+
+type purityChecker struct {
+	p   *Program
+	pkg *Package
+	// summaries memoizes per-function impurity lists for the transitive
+	// same-package closure; inProgress breaks recursion cycles.
+	summaries  map[*types.Func][]impurity
+	inProgress map[*types.Func]bool
+	funcDecls  map[*types.Func]*ast.FuncDecl
+}
+
+func runTxnPurity(p *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range p.Pkgs {
+		pc := &purityChecker{
+			p:          p,
+			pkg:        pkg,
+			summaries:  make(map[*types.Func][]impurity),
+			inProgress: make(map[*types.Func]bool),
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicBlockCall(p, pkg.Info, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					lit, ok := unparen(arg).(*ast.FuncLit)
+					if !ok {
+						continue
+					}
+					for _, imp := range pc.checkBody(lit.Body) {
+						diags = append(diags, Diagnostic{
+							Pos:     p.Fset.Position(imp.pos),
+							Rule:    "txnpurity",
+							Message: "transaction body " + imp.what + "; atomic blocks may re-execute and must not perform irrevocable effects",
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// isAtomicBlockCall recognizes the entry points that execute a function
+// literal transactionally: a method named Atomic, or a function named Run,
+// declared inside this module (stm.Thread.Atomic, core.Run, and the test
+// fixtures' stand-ins). Calls without a literal argument are never matched.
+func isAtomicBlockCall(p *Program, info *types.Info, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return false
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	if path := fn.Pkg().Path(); path != p.ModPath && !strings.HasPrefix(path, p.ModPath+"/") {
+		return false
+	}
+	switch fn.Name() {
+	case "Atomic":
+		return fn.Type().(*types.Signature).Recv() != nil
+	case "Run":
+		return true
+	default:
+		return false
+	}
+}
+
+// checkBody scans one body for impurities, following calls to functions
+// declared in the same package (their findings are reported at the call
+// site, with the callee named).
+func (pc *purityChecker) checkBody(body ast.Node) []impurity {
+	var out []impurity
+	info := pc.pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			out = append(out, impurity{n.Pos(), "performs a channel send"})
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				out = append(out, impurity{n.Pos(), "performs a channel receive"})
+			}
+		case *ast.SelectStmt:
+			out = append(out, impurity{n.Pos(), "blocks in a select statement"})
+		case *ast.GoStmt:
+			out = append(out, impurity{n.Pos(), "launches a goroutine"})
+		case *ast.RangeStmt:
+			if t, ok := info.Types[n.X]; ok {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					out = append(out, impurity{n.Pos(), "ranges over a channel"})
+				}
+			}
+		case *ast.CallExpr:
+			out = append(out, pc.checkCall(n)...)
+		}
+		return true
+	})
+	return out
+}
+
+// checkCall classifies one call inside a transaction body.
+func (pc *purityChecker) checkCall(call *ast.CallExpr) []impurity {
+	info := pc.pkg.Info
+	var id *ast.Ident
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil
+	}
+	switch obj := info.Uses[id].(type) {
+	case *types.Builtin:
+		if obj.Name() == "close" {
+			return []impurity{{call.Pos(), "closes a channel"}}
+		}
+	case *types.Func:
+		if what := impureCallee(obj); what != "" {
+			return []impurity{{call.Pos(), what}}
+		}
+		// Transitive closure over same-package callees only: calls into
+		// the STM runtime itself (tx.Load etc.) are the instrumented
+		// operations the rule exists to protect, not violations.
+		if obj.Pkg() == pc.pkg.Types {
+			if inner := pc.summarize(obj); len(inner) > 0 {
+				return []impurity{{call.Pos(), fmt.Sprintf("calls %s, which %s", obj.Name(), inner[0].what)}}
+			}
+		}
+	}
+	return nil
+}
+
+// impureCallee classifies callees that are irrevocable by themselves,
+// returning a description or "".
+func impureCallee(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	path, name := pkg.Path(), fn.Name()
+	switch {
+	case path == "time" && (name == "Sleep" || name == "After" || name == "Tick" || name == "NewTimer" || name == "NewTicker"):
+		return "calls time." + name
+	case path == "os" || strings.HasPrefix(path, "os/") ||
+		path == "net" || strings.HasPrefix(path, "net/"):
+		return "performs I/O via " + pkg.Name() + "." + name
+	}
+	// Mutex acquisition: Lock/RLock on sync's or this repo's spin lock
+	// types. A doomed transaction that aborts between Lock and Unlock
+	// leaves the mutex held forever.
+	if name == "Lock" || name == "RLock" {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if n := namedOf(sig.Recv().Type()); n != nil && n.Obj().Pkg() != nil {
+				if rp := n.Obj().Pkg(); rp.Path() == "sync" || rp.Name() == "spin" {
+					return "acquires a " + rp.Name() + "." + n.Obj().Name()
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// summarize computes (memoized) the impurities of a same-package function
+// or method with a known body.
+func (pc *purityChecker) summarize(fn *types.Func) []impurity {
+	if s, ok := pc.summaries[fn]; ok {
+		return s
+	}
+	if pc.inProgress[fn] {
+		return nil
+	}
+	decl := pc.declOf(fn)
+	if decl == nil || decl.Body == nil {
+		pc.summaries[fn] = nil
+		return nil
+	}
+	pc.inProgress[fn] = true
+	s := pc.checkBody(decl.Body)
+	delete(pc.inProgress, fn)
+	pc.summaries[fn] = s
+	return s
+}
+
+// declOf finds the FuncDecl defining fn within the checker's package.
+func (pc *purityChecker) declOf(fn *types.Func) *ast.FuncDecl {
+	if pc.funcDecls == nil {
+		pc.funcDecls = make(map[*types.Func]*ast.FuncDecl)
+		for _, f := range pc.pkg.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					if obj, ok := pc.pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						pc.funcDecls[obj] = fd
+					}
+				}
+			}
+		}
+	}
+	return pc.funcDecls[fn]
+}

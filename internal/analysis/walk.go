@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// walkStack traverses root in ast.Inspect order, passing each node together
+// with its ancestor stack (stack[0] is root's parent side; the node itself
+// is not included). Returning false prunes the subtree.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// unparen strips any number of surrounding parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// fieldOf reports the struct field a selector expression denotes, or nil if
+// the selector is not a field access (package qualifier, method value, …).
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	f, _ := s.Obj().(*types.Var)
+	return f
+}
+
+// deref removes one level of pointer indirection.
+func deref(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// namedOf returns the named type behind t (through one pointer), if any.
+func namedOf(t types.Type) *types.Named {
+	n, _ := deref(t).(*types.Named)
+	return n
+}
+
+// isSyncAtomicType reports whether t (through one pointer) is one of the
+// typed atomics of sync/atomic (atomic.Uint64, atomic.Pointer[T], …).
+func isSyncAtomicType(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// atomicOpNames are the sync/atomic package-level operation prefixes.
+var atomicOpPrefixes = []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"}
+
+// isAtomicOpName reports whether name looks like a sync/atomic package
+// function that operates on a pointed-to location.
+func isAtomicOpName(name string) bool {
+	for _, p := range atomicOpPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// syncAtomicCall recognizes calls of the form atomic.XxxNN(&target, ...)
+// where atomic resolves to sync/atomic, and returns the address-of operand
+// (nil otherwise).
+func syncAtomicCall(info *types.Info, call *ast.CallExpr) ast.Expr {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !isAtomicOpName(sel.Sel.Name) {
+		return nil
+	}
+	id, ok := unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "sync/atomic" {
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	return unparen(call.Args[0])
+}
+
+// addressedField digs through &expr and any index expressions to the
+// struct-field selector being addressed: &s.f, &s.f[i], &s.a[i].f all
+// resolve to a selector. It returns the innermost field selector, the
+// field it denotes, and whether the address goes through an index (i.e.
+// the atomic target is an *element* of the field, not the field word
+// itself); selector and field are nil when the operand is not field-based.
+func addressedField(info *types.Info, addr ast.Expr) (sel *ast.SelectorExpr, f *types.Var, indexed bool) {
+	u, ok := addr.(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil, nil, false
+	}
+	e := unparen(u.X)
+	for {
+		if ix, ok := e.(*ast.IndexExpr); ok {
+			e = unparen(ix.X)
+			indexed = true
+			continue
+		}
+		break
+	}
+	s, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil, false
+	}
+	f = fieldOf(info, s)
+	if f == nil {
+		return nil, nil, false
+	}
+	return s, f, indexed
+}
+
+// qualifiedFieldName renders a field as pkg.Type.Field for diagnostics,
+// using the receiver type recorded in the selection when available.
+func qualifiedFieldName(recv types.Type, f *types.Var) string {
+	qual := func(p *types.Package) string { return p.Name() }
+	if n := namedOf(recv); n != nil {
+		return types.TypeString(n, qual) + "." + f.Name()
+	}
+	if f.Pkg() != nil {
+		return f.Pkg().Name() + "." + f.Name()
+	}
+	return f.Name()
+}
+
+// relTo renders a position as "file:line" with the file path relative to
+// the module root, for stable cross-machine diagnostics.
+func (p *Program) relTo(pos token.Pos) string {
+	position := p.Fset.Position(pos)
+	name := position.Filename
+	if rel, err := filepath.Rel(p.ModRoot, name); err == nil && !strings.HasPrefix(rel, "..") {
+		name = filepath.ToSlash(rel)
+	}
+	return fmt.Sprintf("%s:%d", name, position.Line)
+}

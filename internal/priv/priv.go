@@ -81,15 +81,19 @@ type Result struct {
 	TxOps int64
 }
 
-// Clean reports whether the run observed no violations at all.
+// Clean reports whether the run observed no violations at all. The counters
+// written by worker goroutines are read atomically so Clean is safe to call
+// even while a run is still in flight.
 func (r *Result) Clean() bool {
-	return r.DelayedCleanup == 0 && r.DoomedReads == 0 && r.FinalCorrupt == 0
+	return atomic.LoadInt64(&r.DelayedCleanup) == 0 &&
+		atomic.LoadInt64(&r.DoomedReads) == 0 && r.FinalCorrupt == 0
 }
 
 // String summarizes the result.
 func (r *Result) String() string {
 	return fmt.Sprintf("privatizations=%d txOps=%d delayedCleanup=%d doomedReads=%d finalCorrupt=%d",
-		r.Privatizations, r.TxOps, r.DelayedCleanup, r.DoomedReads, r.FinalCorrupt)
+		r.Privatizations, atomic.LoadInt64(&r.TxOps),
+		atomic.LoadInt64(&r.DelayedCleanup), atomic.LoadInt64(&r.DoomedReads), r.FinalCorrupt)
 }
 
 // Run executes the stress scenario and returns the observation counts.
