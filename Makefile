@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench figures privtest stress cover clean lint
+.PHONY: all build test race bench bench-json bench-smoke figures privtest stress cover clean lint
 
 all: build test lint
 
@@ -25,6 +25,17 @@ race:
 # One testing.B benchmark per paper figure, plus the ablations.
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# Commit-path baseline for regression checks: the figures most sensitive
+# to the oldest-begin tracker and snapshot extension (3e, 3g, t1), as a
+# JSON file comparable with `go run ./cmd/stmbench -compare old new`.
+bench-json:
+	$(GO) run ./cmd/stmbench -fig 3e,3g,t1 -reps 3 -json BENCH_commitpath.json
+
+# Single-iteration pass over the hot-path benchmarks; catches bit-rot
+# without paying for a real measurement run (used by CI).
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x ./internal/bench ./internal/txnlist
 
 # Regenerate every evaluation figure (CI scale; see EXPERIMENTS.md for
 # paper-scale invocations).

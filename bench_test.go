@@ -194,16 +194,16 @@ func BenchmarkAblationWriteCommit(b *testing.B) {
 // BenchmarkCentralList isolates the §II-C incomplete-transaction tracker —
 // the bottleneck the paper identifies for short transactions — comparing
 // the paper's locked central list against the lock-free registry-scan
-// tracker this repo implements as the paper's proposed future work.
+// tracker and the cached-watermark slot tracker (the default).
 func BenchmarkCentralList(b *testing.B) {
 	for _, tc := range []struct {
-		name string
-		scan bool
-	}{{"list", false}, {"scan", true}} {
+		name    string
+		tracker stm.TrackerKind
+	}{{"list", stm.TrackerList}, {"scan", stm.TrackerScan}, {"slot", stm.TrackerSlot}} {
 		b.Run(tc.name, func(b *testing.B) {
 			s := stm.MustNew(stm.Config{
 				Algorithm: stm.PVRBase, HeapWords: 1 << 10, OrecCount: 64,
-				MaxThreads: 128, ScanTracker: tc.scan,
+				MaxThreads: 128, Tracker: tc.tracker,
 			})
 			a := s.MustAlloc(1)
 			b.RunParallel(func(pb *testing.PB) {
@@ -339,19 +339,19 @@ func BenchmarkAblationGraceStrategy(b *testing.B) {
 	}
 }
 
-// BenchmarkAblationTrackerUnderLoad compares the two trackers on the
+// BenchmarkAblationTrackerUnderLoad compares the three trackers on the
 // paper's short-transaction workload (hashtable), where §V blames the
 // central list for pvr flattening.
 func BenchmarkAblationTrackerUnderLoad(b *testing.B) {
 	spec := bench.Hashtable(64, 256)
 	for _, tc := range []struct {
-		name string
-		scan bool
-	}{{"list", false}, {"scan", true}} {
+		name    string
+		tracker stm.TrackerKind
+	}{{"list", stm.TrackerList}, {"scan", stm.TrackerScan}, {"slot", stm.TrackerSlot}} {
 		b.Run(tc.name, func(b *testing.B) {
 			s := stm.MustNew(stm.Config{
 				Algorithm: stm.PVRStore, HeapWords: spec.HeapWords,
-				OrecCount: spec.OrecCount, MaxThreads: 128, ScanTracker: tc.scan,
+				OrecCount: spec.OrecCount, MaxThreads: 128, Tracker: tc.tracker,
 			})
 			inst, err := spec.Build(s, rng.New(1))
 			if err != nil {

@@ -7,7 +7,10 @@
 //
 //	stmbench -fig 3a                 # one panel at CI scale
 //	stmbench -fig all -scale 1       # the full evaluation at paper scale
+//	stmbench -fig 3e,3g,t1 -json out.json
 //	stmbench -fig 3c -threads 1,2,4,8,16,32 -txns 100000
+//	stmbench -fig 3e -tracker list -noextend   # pre-optimization ablation
+//	stmbench -compare old.json new.json        # per-cell throughput deltas
 //	stmbench -list                   # show the experiment index
 package main
 
@@ -16,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -25,19 +29,40 @@ import (
 
 func main() {
 	var (
-		figID   = flag.String("fig", "", "figure to regenerate (3a..3h, 4a/4c/4e/4g, t1, or 'all')")
-		threads = flag.String("threads", "1,2,4,8,16,32", "comma-separated thread sweep")
-		txns    = flag.Int("txns", 0, "transactions per thread (0 = duration mode; paper used 100000)")
-		dur     = flag.Duration("dur", 300*time.Millisecond, "per-cell duration in duration mode")
-		scale   = flag.Int("scale", 8, "structure-size divisor (1 = paper scale)")
-		reps    = flag.Int("reps", 1, "runs averaged per cell (paper used 3)")
-		seed    = flag.Uint64("seed", 0, "workload RNG seed (0 = default)")
-		list    = flag.Bool("list", false, "list the experiment index and exit")
-		csvPath = flag.String("csv", "", "also write raw measurements to this CSV file")
-		algos   = flag.String("algos", "", "comma-separated curve filter (figure labels, e.g. TL2,pvrStore)")
-		mix     = flag.String("mix", "", "override op mix as insert/delete/lookup (e.g. 20/20/60)")
+		figID    = flag.String("fig", "", "comma-separated figures to regenerate (3a..3h, 4a/4c/4e/4g, t1, or 'all')")
+		threads  = flag.String("threads", "1,2,4,8,16,32", "comma-separated thread sweep")
+		txns     = flag.Int("txns", 0, "transactions per thread (0 = duration mode; paper used 100000)")
+		dur      = flag.Duration("dur", 300*time.Millisecond, "per-cell duration in duration mode")
+		scale    = flag.Int("scale", 8, "structure-size divisor (1 = paper scale)")
+		reps     = flag.Int("reps", 1, "runs averaged per cell (paper used 3)")
+		seed     = flag.Uint64("seed", 0, "workload RNG seed (0 = default)")
+		list     = flag.Bool("list", false, "list the experiment index and exit")
+		csvPath  = flag.String("csv", "", "also write raw measurements to this CSV file")
+		jsonPath = flag.String("json", "", "also write raw measurements to this JSON file (for -compare)")
+		algos    = flag.String("algos", "", "comma-separated curve filter (figure labels, e.g. TL2,pvrStore)")
+		mix      = flag.String("mix", "", "override op mix as insert/delete/lookup (e.g. 20/20/60)")
+		tracker  = flag.String("tracker", "slot", "incomplete-transaction tracker: slot, list, or scan")
+		noextend = flag.Bool("noextend", false, "disable snapshot extension (pre-optimization ablation)")
+		compare  = flag.Bool("compare", false, "compare two -json files: stmbench -compare old.json new.json")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+		mutexPrf = flag.String("mutexprofile", "", "write a mutex-contention profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "stmbench: -compare needs exactly two JSON files: old new")
+			os.Exit(2)
+		}
+		worst, err := bench.Compare(os.Stdout, flag.Arg(0), flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stmbench:", err)
+			os.Exit(1)
+		}
+		_ = worst
+		return
+	}
 
 	if *list {
 		fmt.Println("Experiment index (paper figure -> harness id):")
@@ -51,21 +76,83 @@ func main() {
 		os.Exit(2)
 	}
 
+	var trackerKind stm.TrackerKind
+	switch *tracker {
+	case "slot", "":
+		trackerKind = stm.TrackerSlot
+	case "list":
+		trackerKind = stm.TrackerList
+	case "scan":
+		trackerKind = stm.TrackerScan
+	default:
+		fmt.Fprintf(os.Stderr, "stmbench: bad -tracker %q (want slot, list, or scan)\n", *tracker)
+		os.Exit(2)
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stmbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "stmbench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *mutexPrf != "" {
+		// Sample every contention event; the spin-heavy STM paths make the
+		// default sampling rate miss the interesting short waits.
+		runtime.SetMutexProfileFraction(1)
+		defer func() {
+			f, err := os.Create(*mutexPrf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "stmbench:", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "stmbench:", err)
+			}
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "stmbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush the final allocation state
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "stmbench:", err)
+			}
+		}()
+	}
+
 	ths, err := bench.ParseThreads(*threads)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stmbench:", err)
 		os.Exit(2)
 	}
 	hc := bench.HarnessConfig{
-		Threads:       ths,
-		TxnsPerThread: *txns,
-		Duration:      *dur,
-		Scale:         *scale,
-		Reps:          *reps,
-		Seed:          *seed,
+		Threads:          ths,
+		TxnsPerThread:    *txns,
+		Duration:         *dur,
+		Scale:            *scale,
+		Reps:             *reps,
+		Seed:             *seed,
+		Tracker:          trackerKind,
+		DisableExtension: *noextend,
 	}
 
-	fmt.Printf("# GOMAXPROCS=%d NumCPU=%d scale=1/%d\n", runtime.GOMAXPROCS(0), runtime.NumCPU(), *scale)
+	fmt.Printf("# GOMAXPROCS=%d NumCPU=%d scale=1/%d tracker=%s extension=%s\n",
+		runtime.GOMAXPROCS(0), runtime.NumCPU(), *scale, *tracker, onOff(!*noextend))
 	if runtime.NumCPU() < 8 {
 		fmt.Printf("# note: %d CPUs — thread counts beyond that timeshare; expect curves to flatten there\n", runtime.NumCPU())
 	}
@@ -94,14 +181,18 @@ func main() {
 		}
 	}
 
-	figs := bench.Figures
-	if *figID != "all" {
-		f, err := bench.FigureByID(*figID)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "stmbench:", err)
-			os.Exit(2)
+	var figs []bench.Figure
+	if *figID == "all" {
+		figs = bench.Figures
+	} else {
+		for _, id := range strings.Split(*figID, ",") {
+			f, err := bench.FigureByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "stmbench:", err)
+				os.Exit(2)
+			}
+			figs = append(figs, f)
 		}
-		figs = []bench.Figure{f}
 	}
 	var allMs []*bench.Measurement
 	for _, f := range figs {
@@ -133,4 +224,29 @@ func main() {
 		}
 		fmt.Printf("# wrote %d measurements to %s\n", len(allMs), *csvPath)
 	}
+	if *jsonPath != "" {
+		out, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stmbench:", err)
+			os.Exit(1)
+		}
+		bench.SortMeasurements(allMs)
+		label := fmt.Sprintf("tracker=%s extension=%s scale=1/%d", *tracker, onOff(!*noextend), *scale)
+		werr := bench.WriteJSON(out, label, allMs)
+		if cerr := out.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "stmbench:", werr)
+			os.Exit(1)
+		}
+		fmt.Printf("# wrote %d measurements to %s\n", len(allMs), *jsonPath)
+	}
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
 }

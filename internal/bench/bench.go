@@ -105,11 +105,18 @@ type RunConfig struct {
 	Duration time.Duration
 	Mix      Mix
 	Seed     uint64
+	// Tracker selects the incomplete-transaction tracker (ablations).
+	Tracker stm.TrackerKind
+	// DisableExtension turns off snapshot extension (ablations).
+	DisableExtension bool
 }
 
 // Measurement is the outcome of one (workload, algorithm, threads, mix)
 // cell: one point on one curve of Figure 3 or 4.
 type Measurement struct {
+	// Fig is the figure ID the cell belongs to ("3e", "t1", ...); set by
+	// RunFigure, empty for direct Run calls.
+	Fig        string
 	Workload   string
 	Algorithm  string
 	Threads    int
@@ -129,10 +136,12 @@ func Run(spec Spec, rc RunConfig) (*Measurement, error) {
 		rc.Seed = defaultSeed
 	}
 	s, err := stm.New(stm.Config{
-		Algorithm:  rc.Algorithm,
-		HeapWords:  spec.HeapWords,
-		OrecCount:  spec.OrecCount,
-		MaxThreads: rc.Threads,
+		Algorithm:                rc.Algorithm,
+		HeapWords:                spec.HeapWords,
+		OrecCount:                spec.OrecCount,
+		MaxThreads:               rc.Threads,
+		Tracker:                  rc.Tracker,
+		DisableSnapshotExtension: rc.DisableExtension,
 	})
 	if err != nil {
 		return nil, err

@@ -103,6 +103,11 @@ type HarnessConfig struct {
 	// Reps is the number of runs averaged per cell (the paper used 3).
 	Reps int
 	Seed uint64
+	// Tracker selects the incomplete-transaction tracker for every cell
+	// (ablations; default is the slot tracker).
+	Tracker stm.TrackerKind
+	// DisableExtension turns off snapshot extension for every cell.
+	DisableExtension bool
 }
 
 func (hc *HarnessConfig) fill() {
@@ -150,16 +155,22 @@ func runCell(spec Spec, rc RunConfig, reps int) (*Measurement, error) {
 // returning the raw measurements.
 func RunFigure(w io.Writer, fig Figure, hc HarnessConfig) ([]*Measurement, error) {
 	hc.fill()
+	var ms []*Measurement
+	var err error
 	switch fig.Kind {
 	case "throughput":
-		return runThroughput(w, fig, hc)
+		ms, err = runThroughput(w, fig, hc)
 	case "fence-stats":
-		return runFenceStats(w, fig, hc)
+		ms, err = runFenceStats(w, fig, hc)
 	case "overhead":
-		return runOverhead(w, hc)
+		ms, err = runOverhead(w, hc)
 	default:
 		return nil, fmt.Errorf("bench: unknown figure kind %q", fig.Kind)
 	}
+	for _, m := range ms {
+		m.Fig = fig.ID
+	}
+	return ms, err
 }
 
 func runThroughput(w io.Writer, fig Figure, hc HarnessConfig) ([]*Measurement, error) {
@@ -180,6 +191,7 @@ func runThroughput(w io.Writer, fig Figure, hc HarnessConfig) ([]*Measurement, e
 			m, err := runCell(fig.Spec(hc.Scale), RunConfig{
 				Algorithm: alg, Threads: th, Mix: fig.Mix,
 				TxnsPerThread: hc.TxnsPerThread, Duration: hc.Duration, Seed: hc.Seed,
+				Tracker: hc.Tracker, DisableExtension: hc.DisableExtension,
 			}, hc.Reps)
 			if err != nil {
 				return nil, err
@@ -213,6 +225,7 @@ func runFenceStats(w io.Writer, fig Figure, hc HarnessConfig) ([]*Measurement, e
 				m, err := runCell(fig.Spec(hc.Scale), RunConfig{
 					Algorithm: alg, Threads: th, Mix: mix,
 					TxnsPerThread: hc.TxnsPerThread, Duration: hc.Duration, Seed: hc.Seed,
+					Tracker: hc.Tracker, DisableExtension: hc.DisableExtension,
 				}, hc.Reps)
 				if err != nil {
 					return nil, err
@@ -268,6 +281,7 @@ func runOverhead(w io.Writer, hc HarnessConfig) ([]*Measurement, error) {
 			m, err := runCell(sp, RunConfig{
 				Algorithm: alg, Threads: 1, Mix: ReadMostly,
 				TxnsPerThread: hc.TxnsPerThread, Duration: hc.Duration, Seed: hc.Seed,
+				Tracker: hc.Tracker, DisableExtension: hc.DisableExtension,
 			}, hc.Reps)
 			if err != nil {
 				return nil, err

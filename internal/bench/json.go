@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// jsonMeasurement is the stable on-disk form of one cell. It flattens
+// Measurement to primitives so baseline files survive internal struct
+// changes, and carries the run configuration needed to match cells across
+// files.
+type jsonMeasurement struct {
+	Fig        string  `json:"fig,omitempty"`
+	Workload   string  `json:"workload"`
+	Algorithm  string  `json:"algorithm"`
+	Threads    int     `json:"threads"`
+	Mix        string  `json:"mix"`
+	Ops        uint64  `json:"ops"`
+	Seconds    float64 `json:"seconds"`
+	Throughput float64 `json:"ops_per_sec"`
+	Aborts     uint64  `json:"aborts"`
+	Commits    uint64  `json:"commits"`
+	Fenced     uint64  `json:"fenced"`
+	Validation uint64  `json:"validations"`
+	Extensions uint64  `json:"extensions"`
+}
+
+// jsonFile is the envelope written by WriteJSON.
+type jsonFile struct {
+	// Label describes the configuration that produced the file (e.g.
+	// "tracker=slot extension=on"); Compare prints it in its header.
+	Label string            `json:"label,omitempty"`
+	Cells []jsonMeasurement `json:"cells"`
+}
+
+// cellKey identifies a measurement across baseline and candidate files.
+func (jm *jsonMeasurement) cellKey() string {
+	return fmt.Sprintf("%s|%s|%s|%d|%s", jm.Fig, jm.Workload, jm.Algorithm, jm.Threads, jm.Mix)
+}
+
+// WriteJSON writes measurements (with a configuration label) as a stable
+// JSON document for later comparison with Compare.
+func WriteJSON(w io.Writer, label string, ms []*Measurement) error {
+	f := jsonFile{Label: label}
+	for _, m := range ms {
+		f.Cells = append(f.Cells, jsonMeasurement{
+			Fig:        m.Fig,
+			Workload:   m.Workload,
+			Algorithm:  m.Algorithm,
+			Threads:    m.Threads,
+			Mix:        m.Mix.String(),
+			Ops:        m.Ops,
+			Seconds:    m.Elapsed.Seconds(),
+			Throughput: m.Throughput,
+			Aborts:     m.Stats.Aborts,
+			Commits:    m.Stats.Commits,
+			Fenced:     m.Stats.Fenced,
+			Validation: m.Stats.Validations,
+			Extensions: m.Stats.Extensions,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// ReadJSON loads a document produced by WriteJSON.
+func ReadJSON(path string) (label string, cells []jsonMeasurement, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, err
+	}
+	var f jsonFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return "", nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return f.Label, f.Cells, nil
+}
+
+// Compare prints a per-cell throughput delta table between two WriteJSON
+// documents, matching cells by (fig, workload, algorithm, threads, mix).
+// Cells present in only one file are listed separately. It returns the
+// worst (most negative) percentage change over the matched cells.
+func Compare(w io.Writer, oldPath, newPath string) (worstPct float64, err error) {
+	oldLabel, oldCells, err := ReadJSON(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newLabel, newCells, err := ReadJSON(newPath)
+	if err != nil {
+		return 0, err
+	}
+	oldBy := make(map[string]*jsonMeasurement, len(oldCells))
+	for i := range oldCells {
+		oldBy[oldCells[i].cellKey()] = &oldCells[i]
+	}
+
+	fmt.Fprintf(w, "baseline:  %s (%s)\n", oldPath, orUnlabeled(oldLabel))
+	fmt.Fprintf(w, "candidate: %s (%s)\n\n", newPath, orUnlabeled(newLabel))
+	fmt.Fprintf(w, "%-4s %-22s %-14s %7s %9s  %12s %12s %8s\n",
+		"fig", "workload", "algorithm", "threads", "mix", "old ops/s", "new ops/s", "delta")
+
+	matched := 0
+	var unmatchedNew []string
+	sorted := append([]jsonMeasurement(nil), newCells...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].cellKey() < sorted[j].cellKey() })
+	for i := range sorted {
+		nc := &sorted[i]
+		oc, ok := oldBy[nc.cellKey()]
+		if !ok {
+			unmatchedNew = append(unmatchedNew, nc.cellKey())
+			continue
+		}
+		delete(oldBy, nc.cellKey())
+		pct := 0.0
+		if oc.Throughput > 0 {
+			pct = 100 * (nc.Throughput - oc.Throughput) / oc.Throughput
+		}
+		if matched == 0 || pct < worstPct {
+			worstPct = pct
+		}
+		matched++
+		fmt.Fprintf(w, "%-4s %-22s %-14s %7d %9s  %12.0f %12.0f %+7.1f%%\n",
+			nc.Fig, nc.Workload, nc.Algorithm, nc.Threads, nc.Mix,
+			oc.Throughput, nc.Throughput, pct)
+	}
+	fmt.Fprintf(w, "\n%d cells compared; worst delta %+.1f%%\n", matched, worstPct)
+	if len(unmatchedNew) > 0 {
+		fmt.Fprintf(w, "only in candidate: %d cells\n", len(unmatchedNew))
+	}
+	if len(oldBy) > 0 {
+		fmt.Fprintf(w, "only in baseline: %d cells\n", len(oldBy))
+	}
+	return worstPct, nil
+}
+
+func orUnlabeled(label string) string {
+	if label == "" {
+		return "unlabeled"
+	}
+	return label
+}

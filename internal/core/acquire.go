@@ -4,7 +4,8 @@ import "privstm/internal/orec"
 
 // AcquireOrec attempts to take ownership of o for this transaction
 // (§II-A): the orec must be consistent — unowned, with a write timestamp no
-// newer than our begin time — and is then atomically marked owned. It
+// newer than our snapshot's validity bound — and is then atomically marked
+// owned. It
 // reports success; on failure the transaction must abort (both readers and
 // writers defer to prior concurrent writers). Re-acquiring an orec we
 // already own succeeds without a second log entry.
@@ -15,7 +16,7 @@ func (t *Thread) AcquireOrec(o *orec.Orec) bool {
 			return orec.OwnerTID(v) == t.ID
 		}
 		wts := orec.WTS(v)
-		if wts > t.BeginTS {
+		if wts > t.ValidTS {
 			return false
 		}
 		if o.Owner.CompareAndSwap(v, orec.PackOwned(t.ID)) {

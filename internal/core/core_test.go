@@ -25,7 +25,7 @@ func newActiveThread(t *testing.T, rt *Runtime) *Thread {
 		t.Fatal(err)
 	}
 	th.ResetTxnState()
-	th.BeginTS = rt.Active.Enter(th)
+	th.StartSnapshot(rt.Active.Enter(th))
 	th.Visible = true
 	th.PublishActive(th.BeginTS)
 	return th
@@ -300,7 +300,7 @@ func TestReaderConflictScanStaleSelfHint(t *testing.T) {
 	r.MakeVisible(o, false, VisCAS)
 
 	w.ResetTxnState()
-	w.BeginTS = rt.Active.Enter(w)
+	w.StartSnapshot(rt.Active.Enter(w))
 	w.Visible = true
 	w.PublishActive(w.BeginTS)
 	if !w.AcquireOrec(o) {
@@ -400,7 +400,7 @@ func TestVisStoreProtocolStress(t *testing.T) {
 			defer wg.Done()
 			for j := 0; j < iters; j++ {
 				th.ResetTxnState()
-				th.BeginTS = rt.Active.Enter(th)
+				th.StartSnapshot(rt.Active.Enter(th))
 				th.Visible = true
 				th.PublishActive(th.BeginTS)
 				th.MakeVisible(o, j%2 == 0, VisStore)
@@ -445,7 +445,7 @@ func TestVisCASProtocolStress(t *testing.T) {
 			lastRTS := uint64(0)
 			for j := 0; j < iters; j++ {
 				th.ResetTxnState()
-				th.BeginTS = rt.Active.Enter(th)
+				th.StartSnapshot(rt.Active.Enter(th))
 				th.Visible = true
 				th.PublishActive(th.BeginTS)
 				th.MakeVisible(o, j%2 == 0, VisCAS)

@@ -21,7 +21,7 @@ func (f *fakeEngine) Name() string { return "fake" }
 func (f *fakeEngine) Begin(t *Thread) {
 	f.begins++
 	t.ResetTxnState()
-	t.BeginTS = f.rt.Clock.Now()
+	t.StartSnapshot(f.rt.Clock.Now())
 	t.PublishActive(t.BeginTS)
 }
 func (f *fakeEngine) Read(t *Thread, a heap.Addr) heap.Word { return t.ReadHeapConsistent(a) }

@@ -18,6 +18,7 @@ import (
 	"privstm/internal/heap"
 	"privstm/internal/orec"
 	"privstm/internal/ticket"
+	"privstm/internal/txnlist"
 )
 
 // DefaultMaxGrace is the grace-period cap from §III-A: 256 clock steps.
@@ -37,9 +38,19 @@ type Options struct {
 	MaxGrace        uint64 // cap for adaptive grace periods (0 ⇒ DefaultMaxGrace)
 	HybridThreshold int    // read-set size that flips pvrHybrid visible (0 ⇒ 16)
 
-	// ScanTracker replaces the central list with the registry-scanning
-	// tracker (the paper's "lighter weight" future-work variant).
+	// Tracker selects the incomplete-transaction tracker. The default,
+	// TrackerSlot, is the O(1) cached-watermark slot array; TrackerList
+	// restores the paper's §II-C spin-locked central list (ablations);
+	// TrackerScan is the registry-scanning variant.
+	Tracker TrackerKind
+	// ScanTracker is the deprecated boolean form of Tracker: when set (and
+	// Tracker is left at its default) it selects TrackerScan.
 	ScanTracker bool
+	// DisableExtension turns off snapshot extension: redo-log transactions
+	// then abort on any read newer than their begin timestamp instead of
+	// attempting a timestamp extension (the pre-optimization behaviour,
+	// kept for ablations).
+	DisableExtension bool
 	// CapFenceAtCommit caps privatization-fence thresholds at the
 	// writer's commit time, eliminating the grace-period "extended
 	// delays" of §III-A (safe: a reader that began after the commit
@@ -69,6 +80,15 @@ func (o *Options) fill() {
 	if o.HybridThreshold == 0 {
 		o.HybridThreshold = DefaultHybridThreshold
 	}
+	if o.ScanTracker && o.Tracker == TrackerSlot {
+		o.Tracker = TrackerScan
+	}
+	// The slot tracker's cached watermark packs the holder index next to
+	// the timestamp; configurations beyond its capacity (well past any
+	// practical thread count) degrade to the registry scan.
+	if o.Tracker == TrackerSlot && o.MaxThreads > txnlist.MaxSlots {
+		o.Tracker = TrackerScan
+	}
 }
 
 // Runtime is the shared state of one STM instance. All engines attached to
@@ -85,6 +105,7 @@ type Runtime struct {
 	MaxGrace         uint64
 	HybridThreshold  int
 	CapFenceAtCommit bool
+	NoExtension      bool // snapshot extension disabled (ablation)
 	GraceStrategy    GraceStrategy
 
 	// threads is a fixed-size registry: slots are claimed with an atomic
@@ -109,13 +130,17 @@ func NewRuntime(opts Options) (*Runtime, error) {
 		MaxGrace:         opts.MaxGrace,
 		HybridThreshold:  opts.HybridThreshold,
 		CapFenceAtCommit: opts.CapFenceAtCommit,
+		NoExtension:      opts.DisableExtension,
 		GraceStrategy:    opts.GraceStrategy,
 		threads:          make([]atomic.Pointer[Thread], opts.MaxThreads),
 	}
-	if opts.ScanTracker {
+	switch opts.Tracker {
+	case TrackerScan:
 		rt.Active = NewScanTracker(rt)
-	} else {
+	case TrackerList:
 		rt.Active = NewListTracker(rt)
+	default:
+		rt.Active = NewSlotTracker(rt)
 	}
 	// Start time at 1 so that a zeroed vis word (rts = 0) can never read
 	// as a hint covering a live transaction: every begin timestamp is ≥ 1.

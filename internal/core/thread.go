@@ -21,8 +21,20 @@ type Thread struct {
 	// transaction list (§II-C).
 	Node txnlist.Node
 
-	// BeginTS is the global-clock value recorded at transaction begin.
+	// BeginTS is the global-clock value recorded at transaction begin. It
+	// anchors everything the privatization proofs reason about: central-
+	// list registration, visibility-hint coverage, and fence thresholds.
 	BeginTS uint64
+	// ValidTS is the top of the transaction's validity interval (snapshot
+	// extension): every logged read is known consistent with a snapshot at
+	// this clock time, so reads accept data with wts ≤ ValidTS. It starts
+	// at BeginTS and advances only through a successful full read-set
+	// validation (TryExtend/PollValidate) on engines that set ExtendOK.
+	ValidTS uint64
+	// ExtendOK is set by the redo-log engines (Ord, Val, TL2, pvrHybrid)
+	// whose snapshots may be extended; the in-place PVR engines keep
+	// ValidTS pinned to BeginTS so the §II fence arguments are untouched.
+	ExtendOK bool
 
 	Reads logs.ReadSet
 	Undo  logs.Undo
@@ -91,9 +103,19 @@ func (t *Thread) ResetTxnState() {
 	t.Acq.Reset()
 	t.Wrote = false
 	t.Visible = false
+	t.ExtendOK = false
 	if len(t.VisPub) > 0 {
 		clear(t.VisPub)
 	}
+}
+
+// StartSnapshot records ts as the transaction's begin time and initializes
+// the validity interval to the degenerate [ts, ts]. Engines call it from
+// Begin after sampling the clock (or entering the tracker).
+func (t *Thread) StartSnapshot(ts uint64) {
+	t.BeginTS = ts
+	t.ValidTS = ts
+	t.LastClockSeen = ts
 }
 
 // ReaderMayBeLive reports whether the transaction that published a read at
@@ -112,8 +134,8 @@ func (rt *Runtime) ReaderMayBeLive(tid, rts uint64) bool {
 
 // CheckConsistent implements the per-read timestamp test of §II-A: the orec
 // must be unowned (or owned by the reader itself) and must not have been
-// modified after the transaction began. It returns the orec's current
-// write timestamp, and false if the transaction must abort.
+// modified after the snapshot's validity bound. It returns the orec's
+// current write timestamp, and false if the transaction must abort.
 func (t *Thread) CheckConsistent(o *orec.Orec) (wts uint64, ok bool) {
 	v := o.Owner.Load()
 	if orec.IsOwned(v) {
@@ -123,12 +145,17 @@ func (t *Thread) CheckConsistent(o *orec.Orec) (wts uint64, ok bool) {
 		return 0, false // defer to the prior concurrent writer: abort
 	}
 	wts = orec.WTS(v)
-	return wts, wts <= t.BeginTS
+	return wts, wts <= t.ValidTS
 }
 
-// ValidateReads re-runs the consistency test over the whole read set. It is
-// the commit-time validation of the redo/undo engines and the body of the
-// incremental validation used by the §IV systems.
+// ValidateReads re-runs the consistency test over the whole read set: each
+// logged orec must be unowned (or owned by this transaction) and must
+// still carry the write timestamp observed at read time. Per-orec
+// unowned timestamps are monotonic (commits tick the clock; aborts restore
+// the pre-acquisition value), so "wts ≤ logged" is exactly "unchanged
+// since my read", which stays sound after the snapshot has been extended
+// past BeginTS. It is the commit-time validation of the redo/undo engines
+// and the body of the incremental validation used by the §IV systems.
 func (t *Thread) ValidateReads() bool {
 	n := t.Reads.Len()
 	for i := 0; i < n; i++ {
@@ -140,10 +167,36 @@ func (t *Thread) ValidateReads() bool {
 			}
 			continue
 		}
-		if orec.WTS(v) > t.BeginTS {
+		if orec.WTS(v) > e.WTS {
 			return false
 		}
 	}
+	return true
+}
+
+// TryExtend attempts a snapshot extension (the classic timestamp-extension
+// move of lazy-snapshot STMs): sample the clock, revalidate the whole read
+// set, and on success raise ValidTS to the sampled time. Ordering matters —
+// the clock is sampled first, so any commit the validation could have
+// missed carries a write timestamp greater than the new bound. Returns
+// false (leaving the snapshot untouched) if the engine opted out, nothing
+// has committed since the current bound, or validation fails.
+func (t *Thread) TryExtend() bool {
+	if !t.ExtendOK || t.RT.NoExtension {
+		return false
+	}
+	c := t.RT.Clock.Now()
+	if c == t.ValidTS {
+		return false
+	}
+	t.Stats.Validations++
+	if !t.ValidateReads() {
+		return false
+	}
+	t.ValidTS = c
+	t.LastClockSeen = c
+	t.Stats.Extensions++
+	t.SetValidated(c)
 	return true
 }
 
@@ -154,6 +207,12 @@ func (t *Thread) ValidateReads() bool {
 // system's incremental validation / RingSTM's commit-counter polling, and
 // it is what catches doomed transactions before they act on state mutated
 // nontransactionally by a privatizer (§IV).
+//
+// With snapshot extension enabled the successful validation doubles as a
+// timestamp extension: one O(R) pass per observed clock value both proves
+// the transaction is not doomed and moves its validity bound forward, so a
+// transaction whose read set is untouched stops aborting on (and stops
+// revalidating for) commits that do not conflict with it.
 func (t *Thread) PollValidate() {
 	c := t.RT.Clock.Now()
 	if c == t.LastClockSeen {
@@ -164,6 +223,10 @@ func (t *Thread) PollValidate() {
 		t.ConflictAbort()
 	}
 	t.LastClockSeen = c
+	if t.ExtendOK && !t.RT.NoExtension {
+		t.ValidTS = c
+		t.Stats.Extensions++
+	}
 	t.SetValidated(c)
 }
 
@@ -171,26 +234,31 @@ func (t *Thread) PollValidate() {
 // location a: pre-check the orec, load the word, post-check that the orec
 // did not change in the interim (the standard race guard for in-place
 // writers), and log the read. Engines layer visibility and redo-lookup
-// around it.
+// around it. A word newer than the validity bound triggers a snapshot
+// extension attempt instead of an unconditional abort.
 func (t *Thread) ReadHeapConsistent(a heap.Addr) heap.Word {
 	o := t.RT.Orecs.For(a)
+	key := uint32(t.RT.Orecs.Index(a))
 	for {
 		v1 := o.Owner.Load()
 		if orec.IsOwned(v1) {
 			if orec.OwnerTID(v1) == t.ID {
 				// Reading my own in-place write.
-				t.Reads.Add(o, a, t.BeginTS)
+				t.Reads.Add(o, a, t.BeginTS, key)
 				return t.RT.Heap.AtomicLoad(a)
 			}
 			t.ConflictAbort()
 		}
 		wts := orec.WTS(v1)
-		if wts > t.BeginTS {
-			t.ConflictAbort()
+		if wts > t.ValidTS {
+			if !t.TryExtend() {
+				t.ConflictAbort()
+			}
+			continue // bound raised; re-examine the orec
 		}
 		w := t.RT.Heap.AtomicLoad(a)
 		if o.Owner.Load() == v1 {
-			t.Reads.Add(o, a, wts)
+			t.Reads.Add(o, a, wts, key)
 			return w
 		}
 		// The orec changed under us; retry the read.

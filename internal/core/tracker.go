@@ -3,7 +3,7 @@ package core
 import "privstm/internal/txnlist"
 
 // ActiveTracker abstracts "the set of incomplete transactions" that
-// privatization fences query. Two implementations are provided:
+// privatization fences query. Three implementations are provided:
 //
 //   - ListTracker wraps the paper's central sorted linked list (§II-C):
 //     O(1) oldest lookups, but every transaction begin/end takes a spin
@@ -16,9 +16,29 @@ import "privstm/internal/txnlist"
 //     and ends are contention-free; the cost moves to the (much rarer)
 //     writer-side conflict scans and fence polls, which become O(threads).
 //
-// Correctness requirement shared by both: a transaction publishes itself
-// before its first read, so any writer whose commit-time scan runs after a
-// reader's visibility hint also observes that reader as incomplete.
+//   - SlotTracker (the default) keeps ScanTracker's contention-free
+//     begins/ends but restores O(1) oldest lookups with a cached,
+//     monotonically advancing watermark over a padded slot array
+//     (txnlist.Slots); the scan runs only when the cached holder exits.
+//
+// Correctness requirement shared by all three: a transaction publishes
+// itself before its first read, so any writer whose commit-time scan runs
+// after a reader's visibility hint also observes that reader as incomplete.
+// TrackerKind selects the ActiveTracker implementation (Options.Tracker).
+type TrackerKind int
+
+const (
+	// TrackerSlot is the default: padded per-thread slots plus a cached
+	// oldest-begin watermark — O(1) begins, ends, and oldest lookups.
+	TrackerSlot TrackerKind = iota
+	// TrackerList is the paper's §II-C spin-locked central list, kept for
+	// ablations and for reproducing the paper's bottleneck analysis.
+	TrackerList
+	// TrackerScan is the registry-scanning tracker: O(1) begins/ends,
+	// O(threads) oldest lookups.
+	TrackerScan
+)
+
 type ActiveTracker interface {
 	// Enter registers t with a fresh begin timestamp and returns it.
 	Enter(t *Thread) uint64
@@ -67,6 +87,43 @@ func (lt *ListTracker) OldestOtherBegin(t *Thread) (uint64, bool) {
 
 // Count returns the list length.
 func (lt *ListTracker) Count() int { return lt.list.Len() }
+
+// SlotTracker adapts txnlist.Slots: contention-free begins/ends with an
+// O(1) cached-watermark oldest lookup. Thread IDs index the slot array
+// directly.
+type SlotTracker struct {
+	rt    *Runtime
+	slots *txnlist.Slots
+}
+
+// NewSlotTracker returns a tracker with one padded slot per possible
+// thread.
+func NewSlotTracker(rt *Runtime) *SlotTracker {
+	return &SlotTracker{rt: rt, slots: txnlist.NewSlots(len(rt.threads))}
+}
+
+// Enter samples the clock and publishes into the thread's slot (see
+// txnlist.Slots.Enter for why no lock is needed).
+func (st *SlotTracker) Enter(t *Thread) uint64 {
+	return st.slots.Enter(int(t.ID), &st.rt.Clock)
+}
+
+// EnterAt publishes a late joiner and lowers the watermark to cover it.
+func (st *SlotTracker) EnterAt(t *Thread, ts uint64) { st.slots.EnterAt(int(t.ID), ts) }
+
+// Leave clears the slot; the watermark recomputes lazily.
+func (st *SlotTracker) Leave(t *Thread) { st.slots.Leave(int(t.ID)) }
+
+// OldestBegin is the cached-watermark fast path.
+func (st *SlotTracker) OldestBegin() (uint64, bool) { return st.slots.OldestBegin() }
+
+// OldestOtherBegin is OldestBegin excluding t.
+func (st *SlotTracker) OldestOtherBegin(t *Thread) (uint64, bool) {
+	return st.slots.OldestOtherBegin(int(t.ID))
+}
+
+// Count scans for registered transactions.
+func (st *SlotTracker) Count() int { return st.slots.Len() }
 
 // ScanTracker derives everything from the (begin, active) words the
 // threads already publish. Enter/Leave are single atomic stores; oldest

@@ -10,6 +10,7 @@ func trackers(t *testing.T) map[string]func(*Runtime) ActiveTracker {
 	return map[string]func(*Runtime) ActiveTracker{
 		"list": func(rt *Runtime) ActiveTracker { return NewListTracker(rt) },
 		"scan": func(rt *Runtime) ActiveTracker { return NewScanTracker(rt) },
+		"slot": func(rt *Runtime) ActiveTracker { return NewSlotTracker(rt) },
 	}
 }
 
@@ -125,10 +126,18 @@ func TestRuntimeSelectsTracker(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, ok := rt.Active.(*ScanTracker); !ok {
-		t.Errorf("ScanTracker option ignored: %T", rt.Active)
+		t.Errorf("deprecated ScanTracker option ignored: %T", rt.Active)
 	}
 	rt2, _ := NewRuntime(Options{HeapWords: 64, OrecCount: 16, MaxThreads: 2})
-	if _, ok := rt2.Active.(*ListTracker); !ok {
-		t.Errorf("default tracker should be the central list: %T", rt2.Active)
+	if _, ok := rt2.Active.(*SlotTracker); !ok {
+		t.Errorf("default tracker should be the slot array: %T", rt2.Active)
+	}
+	rt3, _ := NewRuntime(Options{HeapWords: 64, OrecCount: 16, MaxThreads: 2, Tracker: TrackerList})
+	if _, ok := rt3.Active.(*ListTracker); !ok {
+		t.Errorf("TrackerList option ignored: %T", rt3.Active)
+	}
+	rt4, _ := NewRuntime(Options{HeapWords: 64, OrecCount: 16, MaxThreads: 2, Tracker: TrackerScan})
+	if _, ok := rt4.Active.(*ScanTracker); !ok {
+		t.Errorf("TrackerScan option ignored: %T", rt4.Active)
 	}
 }

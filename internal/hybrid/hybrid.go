@@ -29,11 +29,14 @@ func New(rt *core.Runtime) *Engine { return &Engine{rt: rt} }
 // Name returns the figure label.
 func (e *Engine) Name() string { return "pvrHybrid" }
 
-// Begin starts in invisible mode.
+// Begin starts in invisible mode. The redo log permits snapshot extension;
+// central-list registration and visibility hints stay anchored at BeginTS,
+// so the fence arguments are unchanged (an extension past a privatizer's
+// commit requires a validation pass proving we read nothing it wrote).
 func (e *Engine) Begin(t *core.Thread) {
 	t.ResetTxnState()
-	t.BeginTS = e.rt.Clock.Now()
-	t.LastClockSeen = t.BeginTS
+	t.StartSnapshot(e.rt.Clock.Now())
+	t.ExtendOK = true
 	t.PublishActive(t.BeginTS)
 }
 

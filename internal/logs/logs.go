@@ -21,26 +21,85 @@ type ReadEntry struct {
 	Orec *orec.Orec
 	Addr heap.Addr
 	WTS  uint64
+	// key is the orec-table index of Orec, the filter's hash key (a block
+	// of addresses shares one orec, so one key).
+	key uint32
 }
 
-// ReadSet is an append-only log of reads.
+// ReadSet is a log of reads, deduplicated per orec: re-reading a block
+// already covered at the same write timestamp appends nothing, which keeps
+// validation and the writer-side conflict scan proportional to the number
+// of *distinct* blocks read rather than the number of loads.
+//
+// The filter is the same open-addressing design as Redo's index (entry
+// index + 1, zero means empty), keyed by the orec-table slot the caller
+// passes to Add. Keys and orec pointers are in bijection (one table per
+// runtime), so matching on the entry's orec pointer is exact.
 type ReadSet struct {
 	entries []ReadEntry
+	idx     []int32
+	mask    uint32
 }
 
-// Add appends a read.
-func (rs *ReadSet) Add(o *orec.Orec, a heap.Addr, wts uint64) {
-	rs.entries = append(rs.entries, ReadEntry{Orec: o, Addr: a, WTS: wts})
+func (rs *ReadSet) slot(key uint32) uint32 {
+	return key * 2654435769 & rs.mask // 32-bit Fibonacci scatter
 }
 
-// Len returns the number of logged reads.
+func (rs *ReadSet) grow() {
+	n := 64
+	if rs.idx != nil {
+		n = len(rs.idx) * 2
+	}
+	rs.idx = make([]int32, n)
+	rs.mask = uint32(n - 1)
+	for i := range rs.entries {
+		s := rs.slot(rs.entries[i].key)
+		for rs.idx[s] != 0 {
+			s = (s + 1) & rs.mask
+		}
+		rs.idx[s] = int32(i + 1)
+	}
+}
+
+// Add records a read of address a covered by orec o (at table slot key)
+// with write timestamp wts. A re-read of a block already logged at the
+// same timestamp is dropped; a re-read observing a *newer* timestamp (the
+// snapshot was extended past an intervening commit) refreshes the entry in
+// place, so validation keeps checking "unchanged since my latest read".
+func (rs *ReadSet) Add(o *orec.Orec, a heap.Addr, wts uint64, key uint32) {
+	if rs.idx == nil || len(rs.entries)*4 >= len(rs.idx)*3 {
+		rs.grow()
+	}
+	s := rs.slot(key)
+	for {
+		v := rs.idx[s]
+		if v == 0 {
+			rs.idx[s] = int32(len(rs.entries) + 1)
+			rs.entries = append(rs.entries, ReadEntry{Orec: o, Addr: a, WTS: wts, key: key})
+			return
+		}
+		if e := &rs.entries[v-1]; e.Orec == o {
+			if wts > e.WTS {
+				e.WTS = wts
+				e.Addr = a
+			}
+			return
+		}
+		s = (s + 1) & rs.mask
+	}
+}
+
+// Len returns the number of distinct blocks read.
 func (rs *ReadSet) Len() int { return len(rs.entries) }
 
 // At returns the i-th entry.
 func (rs *ReadSet) At(i int) *ReadEntry { return &rs.entries[i] }
 
 // Reset empties the set, retaining capacity.
-func (rs *ReadSet) Reset() { rs.entries = rs.entries[:0] }
+func (rs *ReadSet) Reset() {
+	rs.entries = rs.entries[:0]
+	clear(rs.idx)
+}
 
 // UndoEntry records a pre-image for in-place writes.
 type UndoEntry struct {

@@ -11,8 +11,8 @@ import (
 func TestReadSet(t *testing.T) {
 	var rs ReadSet
 	var o1, o2 orec.Orec
-	rs.Add(&o1, 10, 5)
-	rs.Add(&o2, 20, 7)
+	rs.Add(&o1, 10, 5, 1)
+	rs.Add(&o2, 20, 7, 2)
 	if rs.Len() != 2 {
 		t.Fatalf("Len = %d", rs.Len())
 	}
@@ -23,9 +23,98 @@ func TestReadSet(t *testing.T) {
 	if rs.Len() != 0 {
 		t.Error("Reset did not empty the set")
 	}
-	rs.Add(&o2, 30, 9)
+	rs.Add(&o2, 30, 9, 2)
 	if e := rs.At(0); e.Orec != &o2 || e.Addr != 30 {
 		t.Errorf("entry after reuse = %+v", e)
+	}
+}
+
+func TestReadSetDedup(t *testing.T) {
+	var rs ReadSet
+	var o1, o2 orec.Orec
+	// Re-reading a block already covered at the same wts appends nothing.
+	rs.Add(&o1, 10, 5, 1)
+	rs.Add(&o1, 11, 5, 1) // same orec (block), different word
+	if rs.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (deduplicated)", rs.Len())
+	}
+	// A newer observed timestamp refreshes the entry in place.
+	rs.Add(&o1, 12, 8, 1)
+	if rs.Len() != 1 {
+		t.Fatalf("Len = %d after refresh, want 1", rs.Len())
+	}
+	if e := rs.At(0); e.WTS != 8 || e.Addr != 12 {
+		t.Errorf("refreshed entry = %+v, want WTS=8 Addr=12", e)
+	}
+	// An older timestamp (stale retry) must not regress the entry.
+	rs.Add(&o1, 13, 3, 1)
+	if e := rs.At(0); e.WTS != 8 {
+		t.Errorf("entry regressed to WTS=%d", e.WTS)
+	}
+	// Distinct orecs that collide on the same hash slot chain correctly.
+	rs.Add(&o2, 20, 6, 1+64) // same slot for any table ≥ 64 after masking? exercise probe anyway
+	if rs.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", rs.Len())
+	}
+}
+
+func TestReadSetGrowRehash(t *testing.T) {
+	var rs ReadSet
+	orecs := make([]orec.Orec, 300)
+	for i := range orecs {
+		rs.Add(&orecs[i], heap.Addr(i), uint64(i+1), uint32(i))
+	}
+	if rs.Len() != len(orecs) {
+		t.Fatalf("Len = %d, want %d", rs.Len(), len(orecs))
+	}
+	// Every key still deduplicates after multiple grows.
+	for i := range orecs {
+		rs.Add(&orecs[i], heap.Addr(i), uint64(i+1), uint32(i))
+	}
+	if rs.Len() != len(orecs) {
+		t.Fatalf("Len = %d after re-adds, want %d", rs.Len(), len(orecs))
+	}
+	for i := range orecs {
+		if e := rs.At(i); e.Orec != &orecs[i] || e.WTS != uint64(i+1) {
+			t.Fatalf("entry %d corrupted after rehash: %+v", i, e)
+		}
+	}
+}
+
+// TestReadSetAddAllocFree pins the steady-state read path at zero heap
+// allocations: after one warm-up transaction has sized the backing arrays,
+// Reset+refill must not allocate.
+func TestReadSetAddAllocFree(t *testing.T) {
+	var rs ReadSet
+	orecs := make([]orec.Orec, 128)
+	fill := func() {
+		for i := range orecs {
+			rs.Add(&orecs[i], heap.Addr(i), 1, uint32(i))
+		}
+	}
+	fill() // warm up: grow to final size
+	if n := testing.AllocsPerRun(100, func() {
+		rs.Reset()
+		fill()
+	}); n != 0 {
+		t.Errorf("steady-state ReadSet.Add allocates %.1f per transaction", n)
+	}
+}
+
+// TestRedoPutAllocFree is the same guard for the write buffer.
+func TestRedoPutAllocFree(t *testing.T) {
+	var r Redo
+	fill := func() {
+		for i := 0; i < 128; i++ {
+			r.Put(heap.Addr(i), heap.Word(i))
+		}
+	}
+	fill()
+	if n := testing.AllocsPerRun(100, func() {
+		r.Reset()
+		fill()
+	}); n != 0 {
+		t.Errorf("steady-state Redo.Put allocates %.1f per transaction", n)
 	}
 }
 

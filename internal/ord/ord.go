@@ -42,11 +42,13 @@ func (e *Engine) Name() string {
 	return "Ord"
 }
 
-// Begin samples the clock and arms incremental validation.
+// Begin samples the clock, arms incremental validation, and opts into
+// snapshot extension (redo log: no in-place writes, so an extended
+// snapshot is just a later begin time).
 func (e *Engine) Begin(t *core.Thread) {
 	t.ResetTxnState()
-	t.BeginTS = e.rt.Clock.Now()
-	t.LastClockSeen = t.BeginTS
+	t.StartSnapshot(e.rt.Clock.Now())
+	t.ExtendOK = true
 	t.PublishActive(t.BeginTS)
 }
 

@@ -206,7 +206,7 @@ func TestOrdCommitAcquireFailure(t *testing.T) {
 	a := rt.Heap.MustAlloc(1)
 	// Simulate a concurrent owner by acquiring directly.
 	holder.ResetTxnState()
-	holder.BeginTS = rt.Clock.Now()
+	holder.StartSnapshot(rt.Clock.Now())
 	holder.PublishActive(holder.BeginTS)
 	if !holder.AcquireOrec(rt.Orecs.For(a)) {
 		t.Fatal("setup acquire failed")

@@ -52,9 +52,12 @@ type Config struct {
 	// in the privatizer's private phase. Safe algorithms must stay clean
 	// even so; the TL2 baseline then exhibits violations much more often.
 	TornWindow bool
-	// ScanTracker and CapFenceAtCommit select the corresponding runtime
-	// extensions; the safety assertions must hold regardless.
+	// Tracker, ScanTracker, DisableExtension and CapFenceAtCommit select
+	// the corresponding runtime variants; the safety assertions must hold
+	// regardless of which combination is configured.
+	Tracker          stm.TrackerKind
 	ScanTracker      bool
+	DisableExtension bool
 	CapFenceAtCommit bool
 	// AtomicPrivate makes the privatizer's "uninstrumented" accesses use
 	// atomic loads/stores. The fence-based algorithms are race-free with
@@ -108,12 +111,14 @@ func Run(cfg Config) (*Result, error) {
 		cfg.Iterations = 200
 	}
 	s, err := stm.New(stm.Config{
-		Algorithm:        cfg.Algorithm,
-		HeapWords:        1 << 16,
-		OrecCount:        1 << 10,
-		MaxThreads:       cfg.Readers + 1,
-		ScanTracker:      cfg.ScanTracker,
-		CapFenceAtCommit: cfg.CapFenceAtCommit,
+		Algorithm:                cfg.Algorithm,
+		HeapWords:                1 << 16,
+		OrecCount:                1 << 10,
+		MaxThreads:               cfg.Readers + 1,
+		Tracker:                  cfg.Tracker,
+		ScanTracker:              cfg.ScanTracker,
+		DisableSnapshotExtension: cfg.DisableExtension,
+		CapFenceAtCommit:         cfg.CapFenceAtCommit,
 	})
 	if err != nil {
 		return nil, err

@@ -81,6 +81,34 @@ func TestTL2Baseline(t *testing.T) {
 	}
 }
 
+// TestPrivatizationSafeWithAblations re-runs the safety assertions under
+// the pre-optimization configuration — the paper's spin-locked central
+// list and snapshot extension disabled — so the commit-path optimizations
+// can be A/B-compared without losing the safety net on either side.
+func TestPrivatizationSafeWithAblations(t *testing.T) {
+	run := func(alg stm.Algorithm, atomicPriv bool) {
+		t.Run(alg.String(), func(t *testing.T) {
+			cfg := testCfg(alg, atomicPriv)
+			cfg.Tracker = stm.TrackerList
+			cfg.DisableExtension = true
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%v+list+noextend: %v", alg, res)
+			if !res.Clean() {
+				t.Errorf("privatization violation under %v with ablations: %v", alg, res)
+			}
+		})
+	}
+	for _, alg := range safePlain {
+		run(alg, false)
+	}
+	for _, alg := range safeAtomic {
+		run(alg, true)
+	}
+}
+
 // TestPrivatizationSafeWithExtensions re-runs the safety assertions with
 // the two future-work extensions enabled: the lock-free scan tracker and
 // the commit-time fence-threshold cap. Both change *when* fences trigger

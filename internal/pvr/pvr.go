@@ -59,11 +59,13 @@ func (e *Engine) Name() string { return e.name }
 // is assigned under the list lock so list order matches timestamp order).
 func (e *Engine) Begin(t *core.Thread) {
 	t.ResetTxnState()
+	// ExtendOK stays false: the undo-log engines write in place, so their
+	// snapshots are pinned at BeginTS and the §II fence proofs apply
+	// verbatim (ValidTS == BeginTS throughout).
 	if e.writerOnly {
-		t.BeginTS = e.rt.Clock.Now()
-		t.LastClockSeen = t.BeginTS
+		t.StartSnapshot(e.rt.Clock.Now())
 	} else {
-		t.BeginTS = e.rt.Active.Enter(t)
+		t.StartSnapshot(e.rt.Active.Enter(t))
 		t.Visible = true
 	}
 	t.PublishActive(t.BeginTS)
@@ -84,7 +86,7 @@ func (e *Engine) Read(t *core.Thread, a heap.Addr) heap.Word {
 	// Reading our own in-place write needs no visibility hint: ownership
 	// already blocks every other reader and writer.
 	if own := o.Owner.Load(); orec.IsOwned(own) && orec.OwnerTID(own) == t.ID {
-		t.Reads.Add(o, a, t.BeginTS)
+		t.Reads.Add(o, a, t.BeginTS, uint32(t.RT.Orecs.Index(a)))
 		return t.RT.Heap.AtomicLoad(a)
 	}
 	t.MakeVisible(o, e.grace, e.proto)
@@ -146,7 +148,7 @@ func (e *Engine) Commit(t *core.Thread) bool {
 		return true
 	}
 	wts := rt.Clock.Tick()
-	if wts != t.BeginTS+1 && !t.ValidateReads() {
+	if wts != t.ValidTS+1 && !t.ValidateReads() {
 		e.rollback(t)
 		return false
 	}

@@ -24,12 +24,11 @@ type Counters struct {
 	PVSkipped       uint64 // partial-visibility updates skipped (read was covered)
 	PVMultiSets     uint64 // updates that only set the multiple-readers bit
 	Validations     uint64 // full read-set validations
+	Extensions      uint64 // successful snapshot (timestamp) extensions
 	OrderWaits      uint64 // commits that waited for strict-ordering turns
 	StoreRaces      uint64 // retries of the store-only visibility protocol
 	ModeSwitches    uint64 // hybrid/writer-only transitions to visible mode
 	Ops             uint64 // benchmark-level operations completed
-
-	_ [1]uint64 // pad to 16 words = 2 cache lines
 }
 
 // Add accumulates o into c.
@@ -45,6 +44,7 @@ func (c *Counters) Add(o *Counters) {
 	c.PVSkipped += o.PVSkipped
 	c.PVMultiSets += o.PVMultiSets
 	c.Validations += o.Validations
+	c.Extensions += o.Extensions
 	c.OrderWaits += o.OrderWaits
 	c.StoreRaces += o.StoreRaces
 	c.ModeSwitches += o.ModeSwitches

@@ -21,10 +21,13 @@ func New(rt *core.Runtime) *Engine { return &Engine{rt: rt} }
 // Name returns the figure label.
 func (e *Engine) Name() string { return "TL2" }
 
-// Begin samples the global version clock.
+// Begin samples the global version clock and opts into snapshot extension
+// (a stale read triggers a timestamp extension attempt instead of an
+// unconditional abort, the TinySTM/LSA refinement of TL2's read rule).
 func (e *Engine) Begin(t *core.Thread) {
 	t.ResetTxnState()
-	t.BeginTS = e.rt.Clock.Now()
+	t.StartSnapshot(e.rt.Clock.Now())
+	t.ExtendOK = true
 	t.PublishActive(t.BeginTS)
 }
 
@@ -58,7 +61,7 @@ func (e *Engine) Commit(t *core.Thread) bool {
 		return false
 	}
 	wts := rt.Clock.Tick()
-	if wts != t.BeginTS+1 && !t.ValidateReads() {
+	if wts != t.ValidTS+1 && !t.ValidateReads() {
 		t.Acq.RestoreAll()
 		t.PublishInactive()
 		return false

@@ -1,0 +1,223 @@
+// slots.go implements the "lighter weight implementation of the central
+// list" the paper leaves as future work (§II-C), taken further than the
+// registry-scanning tracker: a statically allocated, cache-line padded slot
+// array indexed by thread ID, plus a cached, monotonically advancing
+// oldest-begin watermark.
+//
+//   - Enter/Leave are single uncontended atomic stores into the thread's
+//     own padded slot — no lock, no shared cache line.
+//   - OldestBegin is, on the fast path, one atomic load of the cache word
+//     plus one load of the cached holder's slot to revalidate it. The O(n)
+//     slot scan runs only when the cached holder has exited (or re-entered
+//     under a different timestamp), i.e. lazily.
+//   - EnterAt (late joiners with old timestamps: pvrWriterOnly first
+//     writes, pvrHybrid mode switches) lowers the cache with a CAS loop
+//     before returning, so a fence that starts after the joiner is
+//     registered can never overlook it.
+//
+// Safety argument (the fence's lower-bound requirement) — see
+// CORRECTNESS.md "Slot tracker watermark":
+//
+// The cache word packs (holder slot + 1, begin timestamp). Invariant: at
+// every instant, either the cache's timestamp is ≤ the begin timestamp of
+// every live transaction, or the cached holder's slot no longer matches the
+// cached timestamp — in which case every reader falls back to the scan.
+// The invariant is maintained because the only cache writes are (a) a
+// recompute CAS that installs the minimum of a full scan, published from
+// the exact cache value observed before the scan, so any concurrent
+// EnterAt (which lowers the cache before returning) makes it fail; and
+// (b) an EnterAt CAS that installs the (possibly very old) timestamp of
+// the joiner itself. A scan that misses a *concurrently entering*
+// transaction is sound for the same reason the registry-scanning tracker
+// is: registration completes before the transaction publishes visibility
+// hints or performs further reads, and the engines revalidate after
+// registering, so only fences that start after registration must see it —
+// and they do.
+package txnlist
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"privstm/internal/clock"
+)
+
+const (
+	// slotTSBits is the width of the timestamp half of the cache word.
+	// Timestamps beyond 2^48 (≈ 9 years of continuous commits at one per
+	// nanosecond) are truncated in the cache; truncation only ever lowers
+	// the watermark, which is the safe direction, at the cost of the fast
+	// path never validating again.
+	slotTSBits = 48
+	slotTSMask = uint64(1)<<slotTSBits - 1
+
+	// MaxSlots is the largest slot count a Slots can track: the holder
+	// index must fit in the cache word alongside the timestamp.
+	MaxSlots = 1<<(64-slotTSBits) - 2
+)
+
+// slot is one thread's registration word, padded to a full cache line so
+// that begins and ends on different threads never contend.
+type slot struct {
+	// v holds beginTS<<1 | 1 while the thread's transaction is incomplete,
+	// 0 otherwise.
+	v atomic.Uint64
+	_ [7]uint64
+}
+
+// Slots is the slot-array tracker. Create with NewSlots.
+type Slots struct {
+	// cache is the oldest-begin watermark: (holder+1)<<slotTSBits | ts,
+	// or 0 when no holder is cached (every query then scans).
+	cache atomic.Uint64
+	_     [7]uint64
+	// hi is a high-water mark over entered slot indexes (+1): scans stop
+	// there instead of walking the full capacity.
+	hi atomic.Uint64
+	_  [7]uint64
+
+	slots []slot
+}
+
+// NewSlots returns a tracker with capacity for n slots (thread IDs 0..n-1).
+func NewSlots(n int) *Slots {
+	if n < 1 || n > MaxSlots {
+		panic(fmt.Sprintf("txnlist: slot count %d out of range [1, %d]", n, MaxSlots))
+	}
+	return &Slots{slots: make([]slot, n)}
+}
+
+// Cap returns the slot capacity.
+func (s *Slots) Cap() int { return len(s.slots) }
+
+func packCache(id int, ts uint64) uint64 {
+	return uint64(id+1)<<slotTSBits | ts&slotTSMask
+}
+
+func unpackCache(c uint64) (id int, ts uint64) {
+	return int(c>>slotTSBits) - 1, c & slotTSMask
+}
+
+// raiseHi publishes id as entered so scans cover it.
+func (s *Slots) raiseHi(id int) {
+	want := uint64(id + 1)
+	for {
+		h := s.hi.Load()
+		if h >= want || s.hi.CompareAndSwap(h, want) {
+			return
+		}
+	}
+}
+
+// Enter registers slot id with a fresh begin timestamp sampled from c and
+// returns it. Unlike the central list, no lock orders the clock sample
+// against other begins: the tracker does not need sortedness, only that a
+// transaction is visible with a timestamp no later than any datum it reads,
+// which a pre-publication Now() guarantees (the clock is monotonic, so a
+// fresh sample can never undercut a still-cached older holder).
+func (s *Slots) Enter(id int, c *clock.Clock) uint64 {
+	s.raiseHi(id)
+	ts := c.Now()
+	s.slots[id].v.Store(ts<<1 | 1)
+	return ts
+}
+
+// EnterAt registers slot id under a previously assigned timestamp ts, which
+// may be older than every cached or live begin. It does not return until
+// the cache can no longer report a value above ts, so fences and conflict
+// scans that start after EnterAt returns always account for the joiner.
+func (s *Slots) EnterAt(id int, ts uint64) {
+	s.raiseHi(id)
+	s.slots[id].v.Store(ts<<1 | 1)
+	for {
+		c := s.cache.Load()
+		if c != 0 {
+			if _, cts := unpackCache(c); cts <= ts&slotTSMask {
+				return
+			}
+		}
+		if s.cache.CompareAndSwap(c, packCache(id, ts)) {
+			return
+		}
+	}
+}
+
+// Leave deregisters slot id: one atomic store. If id was the cached holder
+// the cache is left stale; the next oldest query notices the slot mismatch
+// and recomputes (the "lazy recompute on holder exit" of the design).
+func (s *Slots) Leave(id int) { s.slots[id].v.Store(0) }
+
+// OldestBegin returns a lower bound on the begin timestamp of the oldest
+// incomplete transaction, and whether any is incomplete. Fast path: two
+// atomic loads (cache word, holder revalidation).
+func (s *Slots) OldestBegin() (uint64, bool) { return s.oldest(-1) }
+
+// OldestOtherBegin is OldestBegin excluding slot id. When the cached
+// holder is some other slot the fast path still applies (the global
+// minimum excluding self is ≥ the global minimum, so the cached value
+// remains a valid lower bound); when the caller itself holds the cache the
+// scan runs.
+func (s *Slots) OldestOtherBegin(id int) (uint64, bool) { return s.oldest(id) }
+
+func (s *Slots) oldest(skip int) (uint64, bool) {
+	for {
+		c := s.cache.Load()
+		if h, cts := unpackCache(c); c != 0 && h != skip {
+			if v := s.slots[h].v.Load(); v&1 == 1 && (v>>1)&slotTSMask == cts {
+				return cts, true
+			}
+		}
+		// Slow path: scan every entered slot, tracking both the global
+		// minimum (to reinstall the cache) and the minimum excluding skip
+		// (the result).
+		n := int(s.hi.Load())
+		minTS, minID := uint64(0), -1
+		oTS, oAny := uint64(0), false
+		for i := 0; i < n; i++ {
+			v := s.slots[i].v.Load()
+			if v&1 == 0 {
+				continue
+			}
+			ts := v >> 1
+			if minID < 0 || ts < minTS {
+				minTS, minID = ts, i
+			}
+			if i != skip && (!oAny || ts < oTS) {
+				oTS, oAny = ts, true
+			}
+		}
+		var nc uint64
+		if minID >= 0 {
+			nc = packCache(minID, minTS)
+		}
+		// Publish from the exact pre-scan cache value: if a late joiner
+		// lowered the cache while we scanned (and possibly slipped past
+		// the slots we had already visited), this CAS fails and the scan
+		// reruns with the joiner registered.
+		if s.cache.CompareAndSwap(c, nc) {
+			return oTS, oAny
+		}
+	}
+}
+
+// Len counts the incomplete transactions (tests and statistics).
+func (s *Slots) Len() int {
+	n := 0
+	for i := 0; i < int(s.hi.Load()); i++ {
+		if s.slots[i].v.Load()&1 == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// CachedHolder returns the slot index the watermark currently points at,
+// or -1 if the cache is empty. Tests use it to pin fast-path behaviour.
+func (s *Slots) CachedHolder() int {
+	c := s.cache.Load()
+	if c == 0 {
+		return -1
+	}
+	id, _ := unpackCache(c)
+	return id
+}

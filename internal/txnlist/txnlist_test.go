@@ -146,6 +146,51 @@ func TestConcurrentEnterRemove(t *testing.T) {
 	}
 }
 
+// TestConcurrentEnterAtLenOldestOther races the full List surface —
+// sorted late-joiner inserts, Len, and the excluding-self query — against
+// Enter/Remove churn under -race. Lock-free readers must never observe a
+// value past a registered worker's own begin timestamp.
+func TestConcurrentEnterAtLenOldestOther(t *testing.T) {
+	l := New()
+	var c clock.Clock
+	c.Tick()
+	const workers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		n := &Node{}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				var my uint64
+				if i%5 == 2 {
+					// Late joiner: timestamp sampled before insertion.
+					my = c.Now()
+					c.Tick()
+					l.EnterAt(n, my)
+				} else {
+					c.Tick()
+					my = l.Enter(n, &c)
+				}
+				if ts, ok := l.OldestBegin(); ok && ts > my {
+					t.Errorf("oldest %d exceeds my begin %d while on the list", ts, my)
+				}
+				_, _ = l.OldestOtherBegin(n)
+				_ = l.Len()
+				l.Remove(n)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Len() != 0 {
+		t.Errorf("Len = %d after all removed", l.Len())
+	}
+	if _, ok := l.OldestBegin(); ok {
+		t.Error("list should be empty")
+	}
+}
+
 // TestOldestIsLowerBound verifies the central safety property the fence
 // relies on: while any transaction with begin timestamp T is on the list,
 // OldestBegin never returns a value greater than T.

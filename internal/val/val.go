@@ -34,8 +34,8 @@ func (e *Engine) Name() string { return "Val" }
 // valid).
 func (e *Engine) Begin(t *core.Thread) {
 	t.ResetTxnState()
-	t.BeginTS = e.rt.Clock.Now()
-	t.LastClockSeen = t.BeginTS
+	t.StartSnapshot(e.rt.Clock.Now())
+	t.ExtendOK = true
 	t.PublishActive(t.BeginTS)
 	t.SetValidated(t.BeginTS)
 }
@@ -72,7 +72,7 @@ func (e *Engine) Commit(t *core.Thread) bool {
 		return false
 	}
 	wts := rt.Clock.Tick()
-	if wts != t.BeginTS+1 && !t.ValidateReads() {
+	if wts != t.ValidTS+1 && !t.ValidateReads() {
 		t.Acq.RestoreAll()
 		t.PublishInactive()
 		return false

@@ -143,12 +143,20 @@ type Config struct {
 	// HybridThreshold is the read-set size at which PVRHybrid switches to
 	// partial visibility (default 16, the paper's setting).
 	HybridThreshold int
-	// ScanTracker replaces the central transaction list with a lock-free
-	// registry scan — the "lighter weight implementation of the central
-	// list" the paper proposes as future work (§II-C). Begins and ends
-	// become single uncontended stores; oldest-transaction queries become
-	// O(MaxThreads).
+	// Tracker selects the incomplete-transaction tracker. The default,
+	// TrackerSlot, keeps a cached oldest-begin watermark over per-thread
+	// slots: begins, ends, and oldest-transaction queries are all O(1).
+	// TrackerList restores the paper's §II-C spin-locked central list;
+	// TrackerScan is the O(MaxThreads)-query registry scan.
+	Tracker TrackerKind
+	// ScanTracker is the deprecated boolean form of Tracker: when set (and
+	// Tracker is left at its default) it selects TrackerScan.
 	ScanTracker bool
+	// DisableSnapshotExtension turns off timestamp extension on the
+	// redo-log algorithms: a transaction that reads data newer than its
+	// begin time then aborts instead of revalidating and advancing its
+	// snapshot. Kept for ablations.
+	DisableSnapshotExtension bool
 	// CapFenceAtCommit bounds privatization-fence thresholds by the
 	// writer's commit time, eliminating the grace-period "extended
 	// delays" of §III-A (a §II-D future-work optimization).
@@ -158,6 +166,16 @@ type Config struct {
 	// GraceHybrid reproduce the alternatives the authors report trying.
 	GraceStrategy GraceStrategy
 }
+
+// TrackerKind re-exports the incomplete-transaction tracker selector.
+type TrackerKind = core.TrackerKind
+
+// The tracker implementations (Config.Tracker).
+const (
+	TrackerSlot = core.TrackerSlot
+	TrackerList = core.TrackerList
+	TrackerScan = core.TrackerScan
+)
 
 // GraceStrategy re-exports the §III-A adaptation families.
 type GraceStrategy = core.GraceStrategy
@@ -186,7 +204,9 @@ func New(cfg Config) (*STM, error) {
 		MaxThreads:       cfg.MaxThreads,
 		MaxGrace:         cfg.MaxGrace,
 		HybridThreshold:  cfg.HybridThreshold,
+		Tracker:          cfg.Tracker,
 		ScanTracker:      cfg.ScanTracker,
+		DisableExtension: cfg.DisableSnapshotExtension,
 		CapFenceAtCommit: cfg.CapFenceAtCommit,
 		GraceStrategy:    cfg.GraceStrategy,
 	})
