@@ -31,18 +31,31 @@ type ReadEntry struct {
 // validation and the writer-side conflict scan proportional to the number
 // of *distinct* blocks read rather than the number of loads.
 //
-// The filter is the same open-addressing design as Redo's index (entry
-// index + 1, zero means empty), keyed by the orec-table slot the caller
-// passes to Add. Keys and orec pointers are in bijection (one table per
-// runtime), so matching on the entry's orec pointer is exact.
+// The filter is the same open-addressing design as Redo's index, keyed by
+// the orec-table slot the caller passes to Add. Keys and orec pointers are
+// in bijection (one table per runtime), so matching on the entry's orec
+// pointer is exact.
+//
+// Each filter word packs (epoch, entry index + 1); a word whose epoch is
+// not the container's current epoch reads as empty. Reset then just bumps
+// the epoch — O(1) — instead of memsetting the whole filter, so one large
+// transaction does not tax every later small transaction on the thread
+// with an O(max-historical-capacity) clear per begin. One real clear runs
+// per 2^32 resets, when the epoch wraps (see Reset).
 type ReadSet struct {
 	entries []ReadEntry
-	idx     []int32
+	idx     []uint64
 	mask    uint32
+	epoch   uint32
 }
 
 func (rs *ReadSet) slot(key uint32) uint32 {
 	return key * 2654435769 & rs.mask // 32-bit Fibonacci scatter
+}
+
+// live reports whether filter word v holds a current-epoch entry index.
+func (rs *ReadSet) live(v uint64) bool {
+	return uint32(v>>32) == rs.epoch && uint32(v) != 0
 }
 
 func (rs *ReadSet) grow() {
@@ -50,14 +63,15 @@ func (rs *ReadSet) grow() {
 	if rs.idx != nil {
 		n = len(rs.idx) * 2
 	}
-	rs.idx = make([]int32, n)
+	rs.idx = make([]uint64, n)
 	rs.mask = uint32(n - 1)
+	tag := uint64(rs.epoch) << 32
 	for i := range rs.entries {
 		s := rs.slot(rs.entries[i].key)
-		for rs.idx[s] != 0 {
+		for rs.live(rs.idx[s]) {
 			s = (s + 1) & rs.mask
 		}
-		rs.idx[s] = int32(i + 1)
+		rs.idx[s] = tag | uint64(i+1)
 	}
 }
 
@@ -73,12 +87,12 @@ func (rs *ReadSet) Add(o *orec.Orec, a heap.Addr, wts uint64, key uint32) {
 	s := rs.slot(key)
 	for {
 		v := rs.idx[s]
-		if v == 0 {
-			rs.idx[s] = int32(len(rs.entries) + 1)
+		if !rs.live(v) {
+			rs.idx[s] = uint64(rs.epoch)<<32 | uint64(len(rs.entries)+1)
 			rs.entries = append(rs.entries, ReadEntry{Orec: o, Addr: a, WTS: wts, key: key})
 			return
 		}
-		if e := &rs.entries[v-1]; e.Orec == o {
+		if e := &rs.entries[uint32(v)-1]; e.Orec == o {
 			if wts > e.WTS {
 				e.WTS = wts
 				e.Addr = a
@@ -95,10 +109,16 @@ func (rs *ReadSet) Len() int { return len(rs.entries) }
 // At returns the i-th entry.
 func (rs *ReadSet) At(i int) *ReadEntry { return &rs.entries[i] }
 
-// Reset empties the set, retaining capacity.
+// Reset empties the set, retaining capacity. It is O(1): bumping the epoch
+// invalidates every filter word at once. The filter is physically cleared
+// only when the 32-bit epoch wraps, so a stale word from 2^32 resets ago
+// can never alias a current one.
 func (rs *ReadSet) Reset() {
 	rs.entries = rs.entries[:0]
-	clear(rs.idx)
+	if rs.epoch++; rs.epoch == 0 {
+		clear(rs.idx)
+		rs.epoch = 1
+	}
 }
 
 // UndoEntry records a pre-image for in-place writes.
@@ -143,18 +163,24 @@ type RedoEntry struct {
 // same address overwrite in place, so write-back applies each address once,
 // with the latest value. The zero value is an empty log ready to use.
 //
-// The index is a small open-addressing hash table (entry index + 1, zero
-// means empty) rather than a Go map: redo lookup sits on the read hot path
-// of every buffered-update engine, and the paper's C systems pay only a
-// few instructions there.
+// The index is a small open-addressing hash table rather than a Go map:
+// redo lookup sits on the read hot path of every buffered-update engine,
+// and the paper's C systems pay only a few instructions there. Filter
+// words are epoch-stamped exactly like ReadSet's, so Reset is O(1).
 type Redo struct {
 	entries []RedoEntry
-	idx     []int32
+	idx     []uint64
 	mask    uint32
+	epoch   uint32
 }
 
 func (r *Redo) slot(a heap.Addr) uint32 {
 	return uint32(uint64(a)*0x9e3779b97f4a7c15>>33) & r.mask
+}
+
+// live reports whether filter word v holds a current-epoch entry index.
+func (r *Redo) live(v uint64) bool {
+	return uint32(v>>32) == r.epoch && uint32(v) != 0
 }
 
 func (r *Redo) grow() {
@@ -162,14 +188,15 @@ func (r *Redo) grow() {
 	if r.idx != nil {
 		n = len(r.idx) * 2
 	}
-	r.idx = make([]int32, n)
+	r.idx = make([]uint64, n)
 	r.mask = uint32(n - 1)
+	tag := uint64(r.epoch) << 32
 	for i := range r.entries {
 		s := r.slot(r.entries[i].Addr)
-		for r.idx[s] != 0 {
+		for r.live(r.idx[s]) {
 			s = (s + 1) & r.mask
 		}
-		r.idx[s] = int32(i + 1)
+		r.idx[s] = tag | uint64(i+1)
 	}
 }
 
@@ -181,13 +208,13 @@ func (r *Redo) Put(a heap.Addr, w heap.Word) {
 	s := r.slot(a)
 	for {
 		v := r.idx[s]
-		if v == 0 {
-			r.idx[s] = int32(len(r.entries) + 1)
+		if !r.live(v) {
+			r.idx[s] = uint64(r.epoch)<<32 | uint64(len(r.entries)+1)
 			r.entries = append(r.entries, RedoEntry{Addr: a, Val: w})
 			return
 		}
-		if r.entries[v-1].Addr == a {
-			r.entries[v-1].Val = w
+		if e := &r.entries[uint32(v)-1]; e.Addr == a {
+			e.Val = w
 			return
 		}
 		s = (s + 1) & r.mask
@@ -202,11 +229,11 @@ func (r *Redo) Get(a heap.Addr) (heap.Word, bool) {
 	s := r.slot(a)
 	for {
 		v := r.idx[s]
-		if v == 0 {
+		if !r.live(v) {
 			return 0, false
 		}
-		if r.entries[v-1].Addr == a {
-			return r.entries[v-1].Val, true
+		if e := &r.entries[uint32(v)-1]; e.Addr == a {
+			return e.Val, true
 		}
 		s = (s + 1) & r.mask
 	}
@@ -225,10 +252,15 @@ func (r *Redo) WriteBack(h *heap.Heap) {
 	}
 }
 
-// Reset empties the log, retaining capacity.
+// Reset empties the log, retaining capacity. O(1) epoch bump; the filter
+// is physically cleared only when the 32-bit epoch wraps (see
+// ReadSet.Reset).
 func (r *Redo) Reset() {
 	r.entries = r.entries[:0]
-	clear(r.idx)
+	if r.epoch++; r.epoch == 0 {
+		clear(r.idx)
+		r.epoch = 1
+	}
 }
 
 // AcquiredEntry records ownership of one orec and the owner-word value it

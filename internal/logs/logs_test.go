@@ -81,6 +81,84 @@ func TestReadSetGrowRehash(t *testing.T) {
 	}
 }
 
+// TestReadSetEpochReset: Reset invalidates the filter by epoch bump rather
+// than a memset, so stale filter words from earlier transactions must read
+// as empty — re-adding the same keys after a Reset must re-log them, and
+// keys never re-added must be gone.
+func TestReadSetEpochReset(t *testing.T) {
+	var rs ReadSet
+	orecs := make([]orec.Orec, 200) // force several grows so idx ≫ a small txn
+	for i := range orecs {
+		rs.Add(&orecs[i], heap.Addr(i), uint64(i+1), uint32(i))
+	}
+	for txn := 0; txn < 3; txn++ {
+		rs.Reset()
+		if rs.Len() != 0 {
+			t.Fatalf("txn %d: Reset left %d entries", txn, rs.Len())
+		}
+		// A small transaction re-using a key from the big one: the stale
+		// filter word must not satisfy the dedup probe.
+		rs.Add(&orecs[7], 7, 99, 7)
+		if rs.Len() != 1 {
+			t.Fatalf("txn %d: Len = %d, want 1", txn, rs.Len())
+		}
+		if e := rs.At(0); e.Orec != &orecs[7] || e.WTS != 99 {
+			t.Fatalf("txn %d: entry = %+v", txn, e)
+		}
+		rs.Add(&orecs[7], 8, 99, 7) // and dedup within the epoch still works
+		if rs.Len() != 1 {
+			t.Fatalf("txn %d: dedup broken, Len = %d", txn, rs.Len())
+		}
+	}
+}
+
+// TestReadSetEpochWrap drives the epoch to its wrap point and checks the
+// one-per-2^32-resets physical clear keeps the filter sound.
+func TestReadSetEpochWrap(t *testing.T) {
+	var rs ReadSet
+	var o1, o2 orec.Orec
+	rs.Add(&o1, 10, 5, 1)
+	rs.epoch = ^uint32(0) // as if 2^32-1 resets had happened
+	rs.Reset()
+	if rs.epoch != 1 {
+		t.Fatalf("epoch after wrap = %d, want 1", rs.epoch)
+	}
+	for _, v := range rs.idx {
+		if v != 0 {
+			t.Fatal("wrap did not physically clear the filter")
+		}
+	}
+	rs.Add(&o2, 20, 7, 1)
+	if rs.Len() != 1 || rs.At(0).Orec != &o2 {
+		t.Fatalf("post-wrap state: Len=%d entry=%+v", rs.Len(), rs.At(0))
+	}
+}
+
+// TestRedoEpochReset is the Redo-side twin of TestReadSetEpochReset.
+func TestRedoEpochReset(t *testing.T) {
+	var r Redo
+	for i := 0; i < 200; i++ {
+		r.Put(heap.Addr(i), heap.Word(i))
+	}
+	for txn := 0; txn < 3; txn++ {
+		r.Reset()
+		if r.Len() != 0 {
+			t.Fatalf("txn %d: Reset left %d entries", txn, r.Len())
+		}
+		if _, ok := r.Get(7); ok {
+			t.Fatalf("txn %d: stale filter word satisfied Get", txn)
+		}
+		r.Put(7, 123)
+		if v, ok := r.Get(7); !ok || v != 123 {
+			t.Fatalf("txn %d: Get(7) = %d,%v", txn, v, ok)
+		}
+		r.Put(7, 124) // coalescing within the epoch still works
+		if r.Len() != 1 {
+			t.Fatalf("txn %d: Len = %d, want 1", txn, r.Len())
+		}
+	}
+}
+
 // TestReadSetAddAllocFree pins the steady-state read path at zero heap
 // allocations: after one warm-up transaction has sized the backing arrays,
 // Reset+refill must not allocate.

@@ -11,28 +11,37 @@
 //     slot scan runs only when the cached holder has exited (or re-entered
 //     under a different timestamp), i.e. lazily.
 //   - EnterAt (late joiners with old timestamps: pvrWriterOnly first
-//     writes, pvrHybrid mode switches) lowers the cache with a CAS loop
-//     before returning, so a fence that starts after the joiner is
-//     registered can never overlook it.
+//     writes, pvrHybrid mode switches) lowers the cache before returning,
+//     so a fence that starts after the joiner is registered can never
+//     overlook it.
 //
 // Safety argument (the fence's lower-bound requirement) — see
 // CORRECTNESS.md "Slot tracker watermark":
 //
 // The cache word packs (holder slot + 1, begin timestamp). Invariant: at
 // every instant, either the cache's timestamp is ≤ the begin timestamp of
-// every live transaction, or the cached holder's slot no longer matches the
-// cached timestamp — in which case every reader falls back to the scan.
-// The invariant is maintained because the only cache writes are (a) a
-// recompute CAS that installs the minimum of a full scan, published from
-// the exact cache value observed before the scan, so any concurrent
-// EnterAt (which lowers the cache before returning) makes it fail; and
-// (b) an EnterAt CAS that installs the (possibly very old) timestamp of
-// the joiner itself. A scan that misses a *concurrently entering*
-// transaction is sound for the same reason the registry-scanning tracker
-// is: registration completes before the transaction publishes visibility
-// hints or performs further reads, and the engines revalidate after
-// registering, so only fences that start after registration must see it —
-// and they do.
+// every live registered transaction, or the cached holder's slot no longer
+// matches the cached timestamp — in which case every reader falls back to
+// the scan. All cache *writes* — EnterAt's lowering and the slow path's
+// recompute publish — are serialized by a writer lock, and a joiner's slot
+// is stored before it takes the lock. So a recompute's scan and publish
+// can never interleave with a registration it must not miss: an EnterAt
+// either completes before the recompute acquires the lock (its slot is
+// visible to the scan) or runs after the publish (and then re-lowers the
+// cache itself if the published value is above its timestamp). Detecting
+// the interleaving with an optimistic publish CAS instead is unsound: a
+// joiner whose timestamp is already covered would leave the word
+// untouched, and even a version-stamped word can recur (ABA) once another
+// recompute reinstalls the same minimum, letting a stale scan publish a
+// watermark above a live joiner. A scan that misses a *concurrently
+// entering* (fresh-timestamp) transaction is sound for the same reason
+// the registry-scanning tracker is: registration completes before the
+// transaction publishes visibility hints or performs further reads, and
+// the engines revalidate after registering, so only fences that start
+// after registration must see it — and they do.
+//
+// Readers never take the lock: the fast path is two loads, and a reader
+// that loses the fast path acquires the lock only to scan-and-publish.
 package txnlist
 
 import (
@@ -40,6 +49,7 @@ import (
 	"sync/atomic"
 
 	"privstm/internal/clock"
+	"privstm/internal/spin"
 )
 
 const (
@@ -75,6 +85,11 @@ type Slots struct {
 	// there instead of walking the full capacity.
 	hi atomic.Uint64
 	_  [7]uint64
+	// mu serializes every cache write (EnterAt's lowering, the slow-path
+	// recompute publish); see the package comment for why optimistic CAS
+	// publication is not enough. Fast-path readers never touch it.
+	mu spin.Mutex
+	_  [15]uint32
 
 	slots []slot
 }
@@ -129,17 +144,25 @@ func (s *Slots) Enter(id int, c *clock.Clock) uint64 {
 func (s *Slots) EnterAt(id int, ts uint64) {
 	s.raiseHi(id)
 	s.slots[id].v.Store(ts<<1 | 1)
-	for {
-		c := s.cache.Load()
-		if c != 0 {
-			if _, cts := unpackCache(c); cts <= ts&slotTSMask {
-				return
-			}
-		}
-		if s.cache.CompareAndSwap(c, packCache(id, ts)) {
-			return
+	s.mu.Lock()
+	// Holding the writer lock means no recompute is mid-scan: any scan
+	// that publishes after we release will see our slot (stored above).
+	// Three cases for the value we find:
+	//   - empty: leave it empty — readers scan, and scans see our slot.
+	//     (Installing our own timestamp would be unsound: an older
+	//     fresh-Enter transaction may be live with the cache never yet
+	//     computed, and a valid-looking cache above its begin would lift
+	//     the watermark past it.)
+	//   - at or below ts: already covers us; leave it.
+	//   - above ts: lower it to our slot. Lowering can only delay fences,
+	//     never release one early, so it is safe even if the old value was
+	//     stale.
+	if c := s.cache.Load(); c != 0 {
+		if _, cts := unpackCache(c); cts > ts&slotTSMask {
+			s.cache.Store(packCache(id, ts))
 		}
 	}
+	s.mu.Unlock()
 }
 
 // Leave deregisters slot id: one atomic store. If id was the cached holder
@@ -160,44 +183,56 @@ func (s *Slots) OldestBegin() (uint64, bool) { return s.oldest(-1) }
 func (s *Slots) OldestOtherBegin(id int) (uint64, bool) { return s.oldest(id) }
 
 func (s *Slots) oldest(skip int) (uint64, bool) {
-	for {
-		c := s.cache.Load()
-		if h, cts := unpackCache(c); c != 0 && h != skip {
-			if v := s.slots[h].v.Load(); v&1 == 1 && (v>>1)&slotTSMask == cts {
-				return cts, true
-			}
+	if ts, ok, hit := s.cached(skip); hit {
+		return ts, ok
+	}
+	s.mu.Lock()
+	// While we waited for the lock another recompute may have re-armed
+	// the cache; retry the fast path before paying for a scan.
+	if ts, ok, hit := s.cached(skip); hit {
+		s.mu.Unlock()
+		return ts, ok
+	}
+	// Slow path, under the writer lock so no EnterAt can register a low
+	// timestamp between our scan and our publish: scan every entered
+	// slot, tracking both the global minimum (to reinstall the cache) and
+	// the minimum excluding skip (the result).
+	n := int(s.hi.Load())
+	minTS, minID := uint64(0), -1
+	oTS, oAny := uint64(0), false
+	for i := 0; i < n; i++ {
+		v := s.slots[i].v.Load()
+		if v&1 == 0 {
+			continue
 		}
-		// Slow path: scan every entered slot, tracking both the global
-		// minimum (to reinstall the cache) and the minimum excluding skip
-		// (the result).
-		n := int(s.hi.Load())
-		minTS, minID := uint64(0), -1
-		oTS, oAny := uint64(0), false
-		for i := 0; i < n; i++ {
-			v := s.slots[i].v.Load()
-			if v&1 == 0 {
-				continue
-			}
-			ts := v >> 1
-			if minID < 0 || ts < minTS {
-				minTS, minID = ts, i
-			}
-			if i != skip && (!oAny || ts < oTS) {
-				oTS, oAny = ts, true
-			}
+		ts := v >> 1
+		if minID < 0 || ts < minTS {
+			minTS, minID = ts, i
 		}
-		var nc uint64
-		if minID >= 0 {
-			nc = packCache(minID, minTS)
-		}
-		// Publish from the exact pre-scan cache value: if a late joiner
-		// lowered the cache while we scanned (and possibly slipped past
-		// the slots we had already visited), this CAS fails and the scan
-		// reruns with the joiner registered.
-		if s.cache.CompareAndSwap(c, nc) {
-			return oTS, oAny
+		if i != skip && (!oAny || ts < oTS) {
+			oTS, oAny = ts, true
 		}
 	}
+	var nc uint64
+	if minID >= 0 {
+		nc = packCache(minID, minTS)
+	}
+	s.cache.Store(nc)
+	s.mu.Unlock()
+	return oTS, oAny
+}
+
+// cached attempts the lock-free fast path: use the cached watermark when
+// there is a holder other than skip whose slot still matches. hit reports
+// whether the fast path applied.
+func (s *Slots) cached(skip int) (ts uint64, ok, hit bool) {
+	c := s.cache.Load()
+	if h, cts := unpackCache(c); c != 0 && h != skip {
+		if v := s.slots[h].v.Load(); v&1 == 1 && (v>>1)&slotTSMask == cts {
+			return cts, true, true
+		}
+	}
+	return 0, false, false
 }
 
 // Len counts the incomplete transactions (tests and statistics).

@@ -239,6 +239,86 @@ func TestSlotsOldestIsLowerBound(t *testing.T) {
 	s.Leave(resident)
 }
 
+// TestSlotsEnterAtEmptyCacheKeepsOlderEntrant: a late joiner must not seed
+// a never-computed (empty) cache with its own timestamp — an older
+// fresh-Enter transaction may be live that no scan has cached yet, and a
+// valid-looking watermark above its begin would release fences early. The
+// joiner must leave the cache empty and let the next query scan.
+func TestSlotsEnterAtEmptyCacheKeepsOlderEntrant(t *testing.T) {
+	s := NewSlots(4)
+	var c clock.Clock
+	c.AdvanceTo(10)
+	s.Enter(0, &c) // live at 10; no query yet, so the cache is still empty
+	s.EnterAt(1, 50)
+	if got, ok := s.OldestBegin(); !ok || got != 10 {
+		t.Fatalf("OldestBegin = %d,%v want 10,true (older entrant)", got, ok)
+	}
+	s.Leave(0)
+	s.Leave(1)
+}
+
+// TestSlotsEnterAtVsRecomputeRace targets the interleaving where a
+// recompute's scan passes a joiner's slot before the joiner stores it, the
+// joiner then registers via EnterAt and finds the (pre-publish) cache
+// already at or below its timestamp, and the scan publishes a minimum
+// computed without the joiner. The published watermark would then exceed
+// the live joiner's begin — exactly what PrivatizationFence must never
+// observe. The shape maximizes the scan window: the joiner sits in slot 0
+// (visited first, so the scan has the whole remaining array still to walk),
+// a long-lived resident in the last slot keeps the scans long and supplies
+// a high minimum (1000), and a churner in slot 1 alternately installs a low
+// watermark (500 ≤ the joiner's 700, triggering EnterAt's covered case) and
+// leaves (forcing the pollers to recompute).
+func TestSlotsEnterAtVsRecomputeRace(t *testing.T) {
+	const (
+		slots      = 256
+		joinerTS   = 700
+		churnTS    = 500
+		residentTS = 1000
+		iters      = 20000
+	)
+	s := NewSlots(slots)
+	var c clock.Clock
+	c.AdvanceTo(residentTS)
+	s.Enter(slots-1, &c) // raises hi so every scan walks the full array
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // churner: plant a low watermark, then vacate it
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.EnterAt(1, churnTS)
+			s.Leave(1)
+		}
+	}()
+	go func() { // poller: recomputes whenever the churner's watermark goes stale
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.OldestBegin()
+		}
+	}()
+	for i := 0; i < iters; i++ {
+		s.EnterAt(0, joinerTS)
+		if ts, ok := s.OldestBegin(); !ok || ts > joinerTS {
+			t.Fatalf("iter %d: OldestBegin = %d,%v but joiner live at %d", i, ts, ok, joinerTS)
+		}
+		s.Leave(0)
+	}
+	close(stop)
+	wg.Wait()
+	s.Leave(slots - 1)
+}
+
 // TestSlotsOldestFastPathAllocFree pins the oldest-begin fast path (and the
 // Enter/Leave stores) at zero heap allocations.
 func TestSlotsOldestFastPathAllocFree(t *testing.T) {
