@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-smoke figures privtest stress cover clean lint
+.PHONY: all build test race test-faults bench bench-json bench-smoke figures privtest stress cover clean lint
 
 all: build test lint
 
@@ -21,6 +21,12 @@ lint:
 
 race:
 	$(GO) test -race ./...
+
+# Failpoint-driven fault-injection and liveness suite (CORRECTNESS.md §9):
+# stall watchdog, doomed-body sandboxing, serialized escalation, CM
+# policies — under the race detector, repeated to shake out interleavings.
+test-faults:
+	$(GO) test -race -count=3 -run 'Fault|Failpoint|Stall|Watchdog|Serial|CM|Karma' ./...
 
 # One testing.B benchmark per paper figure, plus the ablations.
 bench:

@@ -43,6 +43,8 @@ func main() {
 		mix      = flag.String("mix", "", "override op mix as insert/delete/lookup (e.g. 20/20/60)")
 		tracker  = flag.String("tracker", "slot", "incomplete-transaction tracker: slot, list, or scan")
 		noextend = flag.Bool("noextend", false, "disable snapshot extension (pre-optimization ablation)")
+		cmName   = flag.String("cm", "backoff", "contention manager: backoff, karma, or serialize")
+		maxAtt   = flag.Int("maxattempts", 0, "abort budget before serialized-irrevocable escalation (0 = default, negative disables)")
 		compare  = flag.Bool("compare", false, "compare two -json files: stmbench -compare old.json new.json")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -86,6 +88,12 @@ func main() {
 		trackerKind = stm.TrackerScan
 	default:
 		fmt.Fprintf(os.Stderr, "stmbench: bad -tracker %q (want slot, list, or scan)\n", *tracker)
+		os.Exit(2)
+	}
+
+	cmPolicy, err := stm.ParseCMPolicy(*cmName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stmbench: bad -cm %q (want backoff, karma, or serialize)\n", *cmName)
 		os.Exit(2)
 	}
 
@@ -149,10 +157,12 @@ func main() {
 		Seed:             *seed,
 		Tracker:          trackerKind,
 		DisableExtension: *noextend,
+		CM:               cmPolicy,
+		MaxAttempts:      *maxAtt,
 	}
 
-	fmt.Printf("# GOMAXPROCS=%d NumCPU=%d scale=1/%d tracker=%s extension=%s\n",
-		runtime.GOMAXPROCS(0), runtime.NumCPU(), *scale, *tracker, onOff(!*noextend))
+	fmt.Printf("# GOMAXPROCS=%d NumCPU=%d scale=1/%d tracker=%s extension=%s cm=%s maxattempts=%d\n",
+		runtime.GOMAXPROCS(0), runtime.NumCPU(), *scale, *tracker, onOff(!*noextend), cmPolicy, *maxAtt)
 	if runtime.NumCPU() < 8 {
 		fmt.Printf("# note: %d CPUs — thread counts beyond that timeshare; expect curves to flatten there\n", runtime.NumCPU())
 	}
@@ -231,7 +241,7 @@ func main() {
 			os.Exit(1)
 		}
 		bench.SortMeasurements(allMs)
-		label := fmt.Sprintf("tracker=%s extension=%s scale=1/%d", *tracker, onOff(!*noextend), *scale)
+		label := fmt.Sprintf("tracker=%s extension=%s scale=1/%d cm=%s", *tracker, onOff(!*noextend), *scale, cmPolicy)
 		werr := bench.WriteJSON(out, label, allMs)
 		if cerr := out.Close(); werr == nil {
 			werr = cerr

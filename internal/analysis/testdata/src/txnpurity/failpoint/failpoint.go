@@ -1,0 +1,13 @@
+// Package failpoint is a stand-in for privstm/internal/failpoint: its Eval
+// may sleep or park under test control, but calls to it inside atomic
+// bodies are the sanctioned injection seam and must not be flagged.
+package failpoint
+
+import "time"
+
+// Eval pretends to evaluate a failpoint (here: worst case, a sleep).
+func Eval(name string) {
+	if name == "" {
+		time.Sleep(time.Millisecond)
+	}
+}

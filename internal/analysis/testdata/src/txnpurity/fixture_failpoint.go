@@ -1,0 +1,17 @@
+// fixture_failpoint.go exercises the failpoint allowlist: Eval may sleep
+// under test control, but it is the sanctioned injection seam — calls to it
+// inside atomic bodies must not be flagged.
+package txnpurity
+
+import "privstm/internal/analysis/testdata/src/txnpurity/failpoint"
+
+// FailpointBodies is clean: failpoint calls are allowlisted.
+func FailpointBodies(t *Thread) {
+	_ = t.Atomic(func() {
+		failpoint.Eval("core/commit/before-fence")
+		word = pureHelper()
+	})
+	Run(func() {
+		failpoint.Eval("core/rollback/mid-undo")
+	})
+}

@@ -161,6 +161,13 @@ func (pc *purityChecker) checkCall(call *ast.CallExpr) []impurity {
 			return []impurity{{call.Pos(), "closes a channel"}}
 		}
 	case *types.Func:
+		// Allowlist: the failpoint package is the sanctioned fault-injection
+		// seam — its hooks may sleep or park by design, under test control
+		// only, so failpoint.Eval inside an atomic body is not a violation
+		// (same name-based precedent as the spin package below).
+		if p := obj.Pkg(); p != nil && p.Name() == "failpoint" {
+			return nil
+		}
 		if what := impureCallee(obj); what != "" {
 			return []impurity{{call.Pos(), what}}
 		}

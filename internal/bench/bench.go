@@ -109,6 +109,11 @@ type RunConfig struct {
 	Tracker stm.TrackerKind
 	// DisableExtension turns off snapshot extension (ablations).
 	DisableExtension bool
+	// CM selects the contention-management policy (ablations).
+	CM stm.CMPolicy
+	// MaxAttempts is the abort budget before serialized-irrevocable
+	// escalation (0 = default, negative disables).
+	MaxAttempts int
 }
 
 // Measurement is the outcome of one (workload, algorithm, threads, mix)
@@ -142,6 +147,8 @@ func Run(spec Spec, rc RunConfig) (*Measurement, error) {
 		MaxThreads:               rc.Threads,
 		Tracker:                  rc.Tracker,
 		DisableSnapshotExtension: rc.DisableExtension,
+		ContentionManager:        rc.CM,
+		MaxAttempts:              rc.MaxAttempts,
 	})
 	if err != nil {
 		return nil, err

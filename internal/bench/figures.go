@@ -108,6 +108,11 @@ type HarnessConfig struct {
 	Tracker stm.TrackerKind
 	// DisableExtension turns off snapshot extension for every cell.
 	DisableExtension bool
+	// CM selects the contention-management policy for every cell.
+	CM stm.CMPolicy
+	// MaxAttempts is the abort budget before serialized-irrevocable
+	// escalation (0 = default, negative disables).
+	MaxAttempts int
 }
 
 func (hc *HarnessConfig) fill() {
@@ -192,6 +197,7 @@ func runThroughput(w io.Writer, fig Figure, hc HarnessConfig) ([]*Measurement, e
 				Algorithm: alg, Threads: th, Mix: fig.Mix,
 				TxnsPerThread: hc.TxnsPerThread, Duration: hc.Duration, Seed: hc.Seed,
 				Tracker: hc.Tracker, DisableExtension: hc.DisableExtension,
+				CM: hc.CM, MaxAttempts: hc.MaxAttempts,
 			}, hc.Reps)
 			if err != nil {
 				return nil, err
@@ -226,6 +232,7 @@ func runFenceStats(w io.Writer, fig Figure, hc HarnessConfig) ([]*Measurement, e
 					Algorithm: alg, Threads: th, Mix: mix,
 					TxnsPerThread: hc.TxnsPerThread, Duration: hc.Duration, Seed: hc.Seed,
 					Tracker: hc.Tracker, DisableExtension: hc.DisableExtension,
+				CM: hc.CM, MaxAttempts: hc.MaxAttempts,
 				}, hc.Reps)
 				if err != nil {
 					return nil, err
@@ -282,6 +289,7 @@ func runOverhead(w io.Writer, hc HarnessConfig) ([]*Measurement, error) {
 				Algorithm: alg, Threads: 1, Mix: ReadMostly,
 				TxnsPerThread: hc.TxnsPerThread, Duration: hc.Duration, Seed: hc.Seed,
 				Tracker: hc.Tracker, DisableExtension: hc.DisableExtension,
+				CM: hc.CM, MaxAttempts: hc.MaxAttempts,
 			}, hc.Reps)
 			if err != nil {
 				return nil, err

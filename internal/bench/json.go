@@ -26,6 +26,8 @@ type jsonMeasurement struct {
 	Fenced     uint64  `json:"fenced"`
 	Validation uint64  `json:"validations"`
 	Extensions uint64  `json:"extensions"`
+	Serialized uint64  `json:"serialized"`
+	Stalls     uint64  `json:"fence_stalls"`
 }
 
 // jsonFile is the envelope written by WriteJSON.
@@ -60,6 +62,8 @@ func WriteJSON(w io.Writer, label string, ms []*Measurement) error {
 			Fenced:     m.Stats.Fenced,
 			Validation: m.Stats.Validations,
 			Extensions: m.Stats.Extensions,
+			Serialized: m.Stats.Serialized,
+			Stalls:     m.Stats.FenceStalls,
 		})
 	}
 	enc := json.NewEncoder(w)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"privstm/internal/failpoint"
 	"privstm/internal/orec"
 	"privstm/internal/spin"
 )
@@ -55,13 +56,25 @@ func (t *Thread) ReaderConflictScan(adaptGrace bool) (threshold uint64, conflict
 // threshold (§II-D). The caller must have removed itself from the list
 // first. With grace periods the threshold can lie beyond the commit time,
 // reproducing the paper's "extended delays" downside.
+// The fence never breaks out on a stall — that would be unsound — but a
+// progress watchdog (watchdog.go) counts and reports blockers that stop
+// moving, so a stalled or dead reader turns into a diagnosed event rather
+// than a silent hang.
 func (t *Thread) PrivatizationFence(threshold uint64) {
 	t.Stats.Fenced++
 	var b spin.Backoff
+	var w stallWatch
 	for {
 		oldest, any := t.RT.Active.OldestBegin()
 		if !any || oldest > threshold {
 			return
+		}
+		failpoint.Eval(failpoint.FencePrivWait)
+		if t.RT.stallLimit() > 0 {
+			// The tracker watermark names a timestamp, not a thread; map it
+			// back through the registry for the stall report (best effort).
+			id, seq := t.RT.blockerFor(oldest)
+			w.observe(t, FencePrivatization, id, seq, oldest, threshold, &b)
 		}
 		t.Stats.FenceSpins++
 		b.Wait()
@@ -75,6 +88,9 @@ func (t *Thread) PrivatizationFence(threshold uint64) {
 // its transaction began after wts, or it has published a successful full
 // read-set validation at time ≥ wts (at which point it either noticed the
 // conflict and died, or provably does not overlap the writer).
+// Like the privatization fence it carries a stall watchdog: per blocking
+// thread, keyed on that thread's publication sequence so a same-timestamp
+// restart counts as progress.
 func (t *Thread) ValidationFence(wts uint64) {
 	t.Stats.Fenced++
 	var b spin.Backoff
@@ -83,11 +99,15 @@ func (t *Thread) ValidationFence(wts uint64) {
 			return
 		}
 		b.Reset()
+		b.SetSleepCap(0)
+		var w stallWatch
 		for {
 			begin, active := u.Published()
 			if !active || begin >= wts || u.ValidatedAt() >= wts {
 				return
 			}
+			failpoint.Eval(failpoint.FenceValWait)
+			w.observe(t, FenceValidation, int64(u.ID), u.BeginSeq(), begin, wts, &b)
 			t.Stats.FenceSpins++
 			b.Wait()
 		}

@@ -1,8 +1,8 @@
 package core
 
 import (
+	"privstm/internal/failpoint"
 	"privstm/internal/heap"
-	"privstm/internal/spin"
 )
 
 // Engine is the interface every STM implementation provides. Read and
@@ -42,9 +42,9 @@ func (t *Thread) ConflictAbort() { panic(conflictSignal{}) }
 // return err without retrying.
 func (t *Thread) UserCancel(err error) { panic(cancelSignal{err: err}) }
 
-// Run executes body as a transaction on engine e, retrying on conflict with
-// contention-management backoff. It returns nil on commit, or the error
-// passed to UserCancel if the body cancelled itself.
+// Run executes body as a transaction on engine e, retrying on conflict
+// under the configured contention-management policy. It returns nil on
+// commit, or the error passed to UserCancel if the body cancelled itself.
 //
 // Run sandboxes the body, JudoSTM-style (§IV): if the body panics for any
 // reason other than the internal signals while its read set is invalid, the
@@ -53,19 +53,60 @@ func (t *Thread) UserCancel(err error) { panic(cancelSignal{err: err}) }
 // data). Such panics are converted into aborts and retried. A panic raised
 // while the read set is still valid is a genuine bug in the body and is
 // propagated after rollback.
+//
+// After Runtime.attemptLimit consecutive aborts the transaction escalates
+// to the serialized-irrevocable fallback (runSerialized): it takes the
+// global token, drains every other in-flight transaction, and runs alone to
+// a guaranteed commit — graceful degradation instead of livelock under
+// pathological contention. No CM wait is inserted between the final failed
+// attempt and the escalation: the token acquisition is the wait.
 func Run(e Engine, t *Thread, body func()) error {
-	var cm spin.Backoff
+	if t.cm == nil {
+		t.cm = &backoffCM{} // descriptors built outside NewThread (tests)
+	}
 	t.Attempts = 0
+	limit := t.RT.attemptLimit()
 	for {
 		e.Begin(t)
 		done, err := runOnce(e, t, body)
 		if done {
 			t.Stats.Commits++
+			t.cm.Reset()
 			return err
 		}
 		t.Stats.Aborts++
 		t.Attempts++
-		cm.Wait()
+		if limit > 0 && t.Attempts >= limit {
+			return runSerialized(e, t, body)
+		}
+		t.cm.Wait(t)
+	}
+}
+
+// runSerialized is the serialized-irrevocable fallback: the transaction
+// acquires the global token (serializing against other escalated threads),
+// waits out every in-flight transaction, and retries alone. With the Begin
+// gate closed no new rival can start, so the only transactions that can
+// still abort it are gate-slippers — threads that passed the gate before
+// the token was published — and those are finite, so the loop terminates
+// with a commit (see CORRECTNESS.md §9 for the full argument).
+func runSerialized(e Engine, t *Thread, body func()) error {
+	tok := &t.RT.serialTok
+	tok.acquire(t)
+	defer tok.release(t)
+	for {
+		t.RT.drainOthers(t)
+		e.Begin(t)
+		done, err := runOnce(e, t, body)
+		if done {
+			t.Stats.Serialized++
+			t.Stats.Commits++
+			t.cm.Reset()
+			return err
+		}
+		// A gate-slipper got in ahead of the drain; re-drain and retry.
+		t.Stats.Aborts++
+		t.Attempts++
 	}
 }
 
@@ -82,6 +123,11 @@ func runOnce(e Engine, t *Thread, body func()) (done bool, err error) {
 		case cancelSignal:
 			e.Cancel(t)
 			done, err = true, s.err
+		case failpoint.Abort:
+			// Injected abort: clean up and retry, regardless of read-set
+			// validity.
+			e.Cancel(t)
+			done = false
 		default:
 			if !t.ValidateReads() {
 				// Doomed transaction: the panic came from inconsistent

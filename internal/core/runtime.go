@@ -59,6 +59,21 @@ type Options struct {
 	// GraceStrategy selects the §III-A adaptation family (default:
 	// exponential, the paper's choice).
 	GraceStrategy GraceStrategy
+
+	// CM selects the contention-management policy applied between retry
+	// attempts (default CMBackoff).
+	CM CMPolicy
+	// MaxAttempts is the abort budget before a transaction escalates to
+	// the serialized-irrevocable fallback: 0 means DefaultMaxAttempts,
+	// negative disables escalation (the pre-robustness behaviour).
+	MaxAttempts int
+	// StallThreshold is the number of no-progress fence backoff rounds
+	// before the stall watchdog fires: 0 means DefaultStallThreshold,
+	// negative disables the watchdog.
+	StallThreshold int
+	// OnStall is invoked once per detected fence stall (default: a log
+	// line). It runs on the fenced thread; keep it cheap and non-blocking.
+	OnStall func(StallInfo)
 }
 
 func (o *Options) fill() {
@@ -108,6 +123,15 @@ type Runtime struct {
 	NoExtension      bool // snapshot extension disabled (ablation)
 	GraceStrategy    GraceStrategy
 
+	CMKind         CMPolicy
+	MaxAttempts    int
+	StallThreshold int
+	OnStall        func(StallInfo)
+
+	// serialTok is the global irrevocability token of the serialized
+	// fallback (cm.go).
+	serialTok serialToken
+
 	// threads is a fixed-size registry: slots are claimed with an atomic
 	// counter and published with atomic stores, so registration may
 	// safely race with visibility-liveness checks and validation fences
@@ -132,6 +156,10 @@ func NewRuntime(opts Options) (*Runtime, error) {
 		CapFenceAtCommit: opts.CapFenceAtCommit,
 		NoExtension:      opts.DisableExtension,
 		GraceStrategy:    opts.GraceStrategy,
+		CMKind:           opts.CM,
+		MaxAttempts:      opts.MaxAttempts,
+		StallThreshold:   opts.StallThreshold,
+		OnStall:          opts.OnStall,
 		threads:          make([]atomic.Pointer[Thread], opts.MaxThreads),
 	}
 	switch opts.Tracker {
@@ -159,6 +187,7 @@ func (rt *Runtime) NewThread() (*Thread, error) {
 		return nil, fmt.Errorf("core: thread limit %d reached", len(rt.threads))
 	}
 	t := &Thread{RT: rt, ID: uint64(id)}
+	t.cm = rt.newCM()
 	rt.threads[id].Store(t)
 	return t, nil
 }

@@ -60,10 +60,20 @@ type Thread struct {
 	// cleared per transaction.
 	VisPub map[*orec.Orec]uint64
 
+	// cm is the configured contention-management policy (cm.go), consulted
+	// by Run between attempts.
+	cm contentionManager
+
 	// pub publishes (beginTS<<1 | active) for other threads: the liveness
 	// checks in the visibility protocol (§II-E) and the validation fence
 	// read it.
 	pub atomic.Uint64
+	// pubSeq counts PublishActive calls. The stall watchdog uses it to
+	// distinguish successive transactions that begin at the same clock
+	// value (the clock only ticks on writer commits), so a thread that
+	// completes and restarts counts as progress even when its new begin
+	// timestamp is unchanged.
+	pubSeq atomic.Uint64
 	// lastValidated publishes the clock time of this thread's most recent
 	// successful full read-set validation, for the Val engine's fence.
 	lastValidated atomic.Uint64
@@ -77,7 +87,15 @@ type Thread struct {
 
 // PublishActive announces that this thread runs a transaction that began at
 // ts.
-func (t *Thread) PublishActive(ts uint64) { t.pub.Store(ts<<1 | 1) }
+func (t *Thread) PublishActive(ts uint64) {
+	t.pubSeq.Add(1)
+	t.pub.Store(ts<<1 | 1)
+}
+
+// BeginSeq returns the publication sequence number: it changes between any
+// two distinct transactions of this thread, even ones sharing a begin
+// timestamp. The stall watchdog keys blocker identity on it.
+func (t *Thread) BeginSeq() uint64 { return t.pubSeq.Load() }
 
 // PublishInactive announces that this thread has no live transaction.
 func (t *Thread) PublishInactive() { t.pub.Store(0) }

@@ -1,0 +1,233 @@
+// Package failpoint is a stdlib-only fault-injection registry for the STM
+// runtime. Named evaluation points are threaded through the critical windows
+// the privatization proofs reason about (the catalog below); tests arm a
+// point with a hook — delay, yield, stall-until-signaled, forced abort,
+// panic — to turn the probabilistic races of the paper's §I (delayed
+// cleanup, doomed transactions) into deterministic schedules.
+//
+// Production cost is one atomic pointer load and a nil check per Eval: the
+// registry pointer is nil until the first Set, and Reset returns it to nil.
+// A pinned test (TestEvalDisabledAllocates0) and BenchmarkEvalDisabled keep
+// the disabled path allocation-free.
+package failpoint
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Catalog of the injection points compiled into the runtime. Each constant
+// names the invariant window it sits in; CORRECTNESS.md §9 lists the proof
+// each point lets tests attack.
+const (
+	// BeginEnteredBeforePublish fires between central-list registration and
+	// the publication that makes the transaction observable (activity word,
+	// visibility hints): pvr.Begin, pvr.goVisible, hybrid.maybeGoVisible.
+	// Window: fences must already cover a transaction whose registration is
+	// complete even though its hints are not yet visible.
+	BeginEnteredBeforePublish = "core/begin/entered-before-publish"
+	// AcquiredBeforeWriteback fires between ownership acquisition and the
+	// data write: the in-place store of pvr.Write, and the redo-log
+	// write-back of the tl2/ord/val/hybrid commits. Window: ownership must
+	// exclude every conflicting access for the whole acquire→write span.
+	AcquiredBeforeWriteback = "core/commit/acquired-before-writeback"
+	// CommitBeforeFence fires after a writer's commit point (clock tick,
+	// release, list departure) and before it enters its privatization or
+	// validation fence. Window: the fence must still drain every reader the
+	// commit-time scan saw, however late the writer arrives at it.
+	CommitBeforeFence = "core/commit/before-fence"
+	// UndoMidRollback fires before each pre-image restore of an undo-log
+	// rollback. Window: an aborted transaction must stay on the central
+	// list (and keep orec ownership) until its cleanup completes — the
+	// delayed-cleanup failure mode of §I.
+	UndoMidRollback = "core/rollback/mid-undo"
+	// FencePrivWait and FenceValWait fire once per poll round inside the
+	// privatization and validation fence wait loops. Window: the fences'
+	// own liveness — the stall watchdog is tested through these.
+	FencePrivWait = "core/fence/privatization-wait"
+	FenceValWait  = "core/fence/validation-wait"
+)
+
+// Func is a hook invoked when an armed point is evaluated; it receives the
+// point's name so one hook can serve several points.
+type Func func(name string)
+
+// Abort is the panic value raised by ForceAbort hooks. core.Run recognizes
+// it and converts the unwind into an ordinary abort-and-retry (the engine's
+// Cancel cleans up), so tests can force a transaction to lose any number of
+// attempts without fabricating real conflicts.
+type Abort struct {
+	// Point is the name of the failpoint that raised the abort.
+	Point string
+}
+
+// point is one armed failpoint.
+type point struct {
+	fn   Func
+	hits atomic.Uint64
+}
+
+// registry is the set of armed points. It is reached through an atomic
+// pointer so that the disabled state is literally a nil pointer.
+type registry struct {
+	mu  sync.Mutex
+	pts map[string]*point
+}
+
+var reg atomic.Pointer[registry]
+
+// Eval evaluates the named point: in production (nothing armed, the normal
+// state) it is an atomic load and a nil check; with the registry armed it
+// runs the point's hook, if any.
+func Eval(name string) {
+	r := reg.Load()
+	if r == nil {
+		return
+	}
+	r.eval(name)
+}
+
+func (r *registry) eval(name string) {
+	r.mu.Lock()
+	p := r.pts[name]
+	r.mu.Unlock()
+	if p == nil {
+		return
+	}
+	p.hits.Add(1)
+	if p.fn != nil {
+		p.fn(name)
+	}
+}
+
+// Set arms the named point with hook fn. Points persist until Disable or
+// Reset; re-setting replaces the hook and zeroes the hit count.
+func Set(name string, fn Func) {
+	for {
+		if r := reg.Load(); r != nil {
+			r.mu.Lock()
+			r.pts[name] = &point{fn: fn}
+			r.mu.Unlock()
+			return
+		}
+		fresh := &registry{pts: make(map[string]*point)}
+		if reg.CompareAndSwap(nil, fresh) {
+			fresh.mu.Lock()
+			fresh.pts[name] = &point{fn: fn}
+			fresh.mu.Unlock()
+			return
+		}
+	}
+}
+
+// Disable disarms the named point. Its hit count is kept (Hits still works)
+// and the registry stays armed; call Reset to restore the zero-cost state.
+func Disable(name string) {
+	if r := reg.Load(); r != nil {
+		r.mu.Lock()
+		if p := r.pts[name]; p != nil {
+			p.fn = nil
+		}
+		r.mu.Unlock()
+	}
+}
+
+// Reset disarms every point and returns Eval to its nil-check fast path.
+// Tests register it as a cleanup: t.Cleanup(failpoint.Reset).
+func Reset() { reg.Store(nil) }
+
+// Hits reports how many times the named point has been evaluated since it
+// was Set (0 if never armed).
+func Hits(name string) uint64 {
+	if r := reg.Load(); r != nil {
+		r.mu.Lock()
+		p := r.pts[name]
+		r.mu.Unlock()
+		if p != nil {
+			return p.hits.Load()
+		}
+	}
+	return 0
+}
+
+// Delay returns a hook that sleeps for d on every evaluation.
+func Delay(d time.Duration) Func {
+	return func(string) { time.Sleep(d) }
+}
+
+// YieldN returns a hook that yields the processor n times, opening a window
+// for other goroutines without a timed sleep.
+func YieldN(n int) Func {
+	return func(string) {
+		for i := 0; i < n; i++ {
+			runtime.Gosched()
+		}
+	}
+}
+
+// ForceAbort returns a hook that panics with Abort; inside a transaction
+// core.Run converts it into an abort-and-retry of the attempt.
+func ForceAbort() Func {
+	return func(name string) { panic(Abort{Point: name}) }
+}
+
+// Panic returns a hook that panics with v, for exercising the sandboxing
+// and propagation paths of core.Run.
+func Panic(v any) Func {
+	return func(string) { panic(v) }
+}
+
+// Times wraps fn so that only the first n evaluations invoke it; later
+// evaluations are inert. Safe for concurrent evaluation.
+func Times(n int, fn Func) Func {
+	var left atomic.Int64
+	left.Store(int64(n))
+	return func(name string) {
+		if left.Add(-1) >= 0 {
+			fn(name)
+		}
+	}
+}
+
+// Stall parks every goroutine that evaluates its hook until Release. Tests
+// use it to hold a transaction inside a critical window deterministically:
+//
+//	st := failpoint.NewStall()
+//	failpoint.Set(failpoint.UndoMidRollback, failpoint.Times(1, st.Hook()))
+//	... start the victim ...
+//	st.WaitArrival() // victim is now parked inside the window
+//	... drive the schedule under test ...
+//	st.Release()
+type Stall struct {
+	arrived chan struct{}
+	release chan struct{}
+}
+
+// NewStall returns a fresh stall gate.
+func NewStall() *Stall {
+	return &Stall{
+		arrived: make(chan struct{}, 1024),
+		release: make(chan struct{}),
+	}
+}
+
+// Hook returns the parking hook.
+func (s *Stall) Hook() Func {
+	return func(string) {
+		select {
+		case s.arrived <- struct{}{}:
+		default:
+		}
+		<-s.release
+	}
+}
+
+// WaitArrival blocks until some goroutine has parked at the stall (each
+// arrival is announced once; call again to await another).
+func (s *Stall) WaitArrival() { <-s.arrived }
+
+// Release unparks every current and future caller of the hook. Release is
+// idempotent-unsafe by design (closing twice panics); call it once.
+func (s *Stall) Release() { close(s.release) }

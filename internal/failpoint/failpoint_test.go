@@ -1,0 +1,175 @@
+package failpoint
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEvalDisabledAllocates0(t *testing.T) {
+	Reset()
+	// Acceptance pin: the disabled path must be a nil check — zero
+	// allocations per evaluation.
+	if n := testing.AllocsPerRun(1000, func() { Eval(CommitBeforeFence) }); n != 0 {
+		t.Fatalf("disabled Eval allocated %v times per run, want 0", n)
+	}
+}
+
+func BenchmarkEvalDisabled(b *testing.B) {
+	Reset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Eval(CommitBeforeFence)
+	}
+}
+
+func TestSetDisableResetHits(t *testing.T) {
+	t.Cleanup(Reset)
+	Reset()
+	calls := 0
+	Set("test/point", func(string) { calls++ })
+	Eval("test/point")
+	Eval("test/point")
+	Eval("other/point") // unarmed: no effect
+	if calls != 2 {
+		t.Fatalf("hook ran %d times, want 2", calls)
+	}
+	if got := Hits("test/point"); got != 2 {
+		t.Fatalf("Hits = %d, want 2", got)
+	}
+	if got := Hits("other/point"); got != 0 {
+		t.Fatalf("Hits(unarmed) = %d, want 0", got)
+	}
+
+	Disable("test/point")
+	Eval("test/point") // still counted, hook no longer runs
+	if calls != 2 {
+		t.Fatalf("disabled hook ran (calls=%d)", calls)
+	}
+	if got := Hits("test/point"); got != 3 {
+		t.Fatalf("Hits after Disable = %d, want 3", got)
+	}
+
+	Reset()
+	Eval("test/point")
+	if got := Hits("test/point"); got != 0 {
+		t.Fatalf("Hits after Reset = %d, want 0", got)
+	}
+}
+
+func TestHookReceivesPointName(t *testing.T) {
+	t.Cleanup(Reset)
+	var got string
+	Set(UndoMidRollback, func(name string) { got = name })
+	Eval(UndoMidRollback)
+	if got != UndoMidRollback {
+		t.Fatalf("hook saw %q, want %q", got, UndoMidRollback)
+	}
+}
+
+func TestTimes(t *testing.T) {
+	t.Cleanup(Reset)
+	calls := 0
+	Set("test/times", Times(3, func(string) { calls++ }))
+	for i := 0; i < 10; i++ {
+		Eval("test/times")
+	}
+	if calls != 3 {
+		t.Fatalf("Times(3) ran %d times, want 3", calls)
+	}
+	if got := Hits("test/times"); got != 10 {
+		t.Fatalf("Hits = %d, want 10 (Times counts evaluations, not invocations)", got)
+	}
+}
+
+func TestTimesConcurrent(t *testing.T) {
+	t.Cleanup(Reset)
+	var mu sync.Mutex
+	calls := 0
+	Set("test/times", Times(5, func(string) { mu.Lock(); calls++; mu.Unlock() }))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				Eval("test/times")
+			}
+		}()
+	}
+	wg.Wait()
+	if calls != 5 {
+		t.Fatalf("Times(5) ran %d times under concurrency, want exactly 5", calls)
+	}
+}
+
+func TestStall(t *testing.T) {
+	t.Cleanup(Reset)
+	st := NewStall()
+	Set("test/stall", st.Hook())
+	done := make(chan struct{})
+	go func() {
+		Eval("test/stall")
+		close(done)
+	}()
+	st.WaitArrival()
+	select {
+	case <-done:
+		t.Fatal("goroutine passed the stall before Release")
+	case <-time.After(10 * time.Millisecond):
+	}
+	st.Release()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("goroutine never released")
+	}
+}
+
+func TestForceAbortPanicsWithAbort(t *testing.T) {
+	t.Cleanup(Reset)
+	Set("test/abort", ForceAbort())
+	defer func() {
+		r := recover()
+		a, ok := r.(Abort)
+		if !ok {
+			t.Fatalf("recovered %T, want Abort", r)
+		}
+		if a.Point != "test/abort" {
+			t.Fatalf("Abort.Point = %q", a.Point)
+		}
+	}()
+	Eval("test/abort")
+	t.Fatal("ForceAbort did not panic")
+}
+
+func TestDelayAndYield(t *testing.T) {
+	t.Cleanup(Reset)
+	Set("test/delay", Delay(time.Millisecond))
+	start := time.Now()
+	Eval("test/delay")
+	if e := time.Since(start); e < time.Millisecond {
+		t.Fatalf("Delay waited only %v", e)
+	}
+	Set("test/yield", YieldN(4))
+	Eval("test/yield") // just exercise it
+}
+
+func TestConcurrentSetEval(t *testing.T) {
+	t.Cleanup(Reset)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if g%2 == 0 {
+					Set("test/race", func(string) {})
+				} else {
+					Eval("test/race")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -14,6 +14,7 @@ package hybrid
 
 import (
 	"privstm/internal/core"
+	"privstm/internal/failpoint"
 	"privstm/internal/heap"
 )
 
@@ -34,6 +35,7 @@ func (e *Engine) Name() string { return "pvrHybrid" }
 // so the fence arguments are unchanged (an extension past a privatizer's
 // commit requires a validation pass proving we read nothing it wrote).
 func (e *Engine) Begin(t *core.Thread) {
+	t.GateSerialized()
 	t.ResetTxnState()
 	t.StartSnapshot(e.rt.Clock.Now())
 	t.ExtendOK = true
@@ -76,6 +78,7 @@ func (e *Engine) maybeGoVisible(t *core.Thread) {
 		return
 	}
 	e.rt.Active.EnterAt(t, t.BeginTS)
+	failpoint.Eval(failpoint.BeginEnteredBeforePublish)
 	t.Visible = true
 	t.Stats.ModeSwitches++
 	n := t.Reads.Len()
@@ -108,6 +111,7 @@ func (e *Engine) Commit(t *core.Thread) bool {
 		e.cleanupAbort(t)
 		return false
 	}
+	failpoint.Eval(failpoint.AcquiredBeforeWriteback)
 	ticket := rt.Order.Take()
 	if !t.ValidateReads() {
 		rt.Order.Wait(ticket)
@@ -133,6 +137,7 @@ func (e *Engine) Commit(t *core.Thread) bool {
 	}
 	t.PublishInactive()
 	t.Stats.WriterCommits++
+	failpoint.Eval(failpoint.CommitBeforeFence)
 	if conflict {
 		t.PrivatizationFence(threshold)
 	}

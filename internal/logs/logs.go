@@ -9,6 +9,7 @@
 package logs
 
 import (
+	"privstm/internal/failpoint"
 	"privstm/internal/heap"
 	"privstm/internal/orec"
 )
@@ -146,6 +147,7 @@ func (u *Undo) Len() int { return len(u.entries) }
 // stores (concurrent doomed readers may still be loading these words).
 func (u *Undo) Rollback(h *heap.Heap) {
 	for i := len(u.entries) - 1; i >= 0; i-- {
+		failpoint.Eval(failpoint.UndoMidRollback)
 		h.AtomicStore(u.entries[i].Addr, u.entries[i].Old)
 	}
 }

@@ -17,6 +17,7 @@ package ord
 
 import (
 	"privstm/internal/core"
+	"privstm/internal/failpoint"
 	"privstm/internal/heap"
 )
 
@@ -46,6 +47,7 @@ func (e *Engine) Name() string {
 // snapshot extension (redo log: no in-place writes, so an extended
 // snapshot is just a later begin time).
 func (e *Engine) Begin(t *core.Thread) {
+	t.GateSerialized()
 	t.ResetTxnState()
 	t.StartSnapshot(e.rt.Clock.Now())
 	t.ExtendOK = true
@@ -85,6 +87,7 @@ func (e *Engine) Commit(t *core.Thread) bool {
 		t.PublishInactive()
 		return false
 	}
+	failpoint.Eval(failpoint.AcquiredBeforeWriteback)
 	if e.useQueue {
 		return e.commitQueue(t)
 	}

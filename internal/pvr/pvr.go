@@ -14,6 +14,7 @@ package pvr
 
 import (
 	"privstm/internal/core"
+	"privstm/internal/failpoint"
 	"privstm/internal/heap"
 	"privstm/internal/orec"
 )
@@ -58,6 +59,7 @@ func (e *Engine) Name() string { return e.name }
 // the transaction immediately enters the central list (its begin timestamp
 // is assigned under the list lock so list order matches timestamp order).
 func (e *Engine) Begin(t *core.Thread) {
+	t.GateSerialized()
 	t.ResetTxnState()
 	// ExtendOK stays false: the undo-log engines write in place, so their
 	// snapshots are pinned at BeginTS and the §II fence proofs apply
@@ -67,6 +69,7 @@ func (e *Engine) Begin(t *core.Thread) {
 	} else {
 		t.StartSnapshot(e.rt.Active.Enter(t))
 		t.Visible = true
+		failpoint.Eval(failpoint.BeginEnteredBeforePublish)
 	}
 	t.PublishActive(t.BeginTS)
 }
@@ -103,6 +106,7 @@ func (e *Engine) Write(t *core.Thread, a heap.Addr, w heap.Word) {
 	if !t.AcquireOrec(o) {
 		t.ConflictAbort()
 	}
+	failpoint.Eval(failpoint.AcquiredBeforeWriteback)
 	t.Undo.Add(a, t.RT.Heap.AtomicLoad(a))
 	t.RT.Heap.AtomicStore(a, w)
 	t.Wrote = true
@@ -122,6 +126,7 @@ func (e *Engine) Write(t *core.Thread, a heap.Addr, w heap.Word) {
 // writer's scan is ordered after our hint stores and will fence.)
 func (e *Engine) goVisible(t *core.Thread) {
 	e.rt.Active.EnterAt(t, t.BeginTS)
+	failpoint.Eval(failpoint.BeginEnteredBeforePublish)
 	t.Visible = true
 	t.Stats.ModeSwitches++
 	n := t.Reads.Len()
@@ -164,6 +169,7 @@ func (e *Engine) Commit(t *core.Thread) bool {
 	rt.Active.Leave(t)
 	t.PublishInactive()
 	t.Stats.WriterCommits++
+	failpoint.Eval(failpoint.CommitBeforeFence)
 	if conflict {
 		t.PrivatizationFence(threshold)
 	}

@@ -17,6 +17,12 @@ import (
 // The zero value is ready to use.
 type Backoff struct {
 	attempts int
+
+	// sleepCap, when nonzero, bounds individual sleeps in the sleep phase
+	// (SetSleepCap). Fence watchdogs lower it once a stall is detected so
+	// the wait loop keeps polling at diagnostic frequency instead of
+	// parking for the full default cap between checks.
+	sleepCap time.Duration
 }
 
 const (
@@ -24,6 +30,28 @@ const (
 	yieldSpins = 16   // iterations of Gosched before sleeping
 	maxSleepUS = 1024 // cap for the sleep phase, microseconds
 )
+
+// Phase identifies which backoff regime the next Wait call will use.
+type Phase int
+
+// The backoff phases, in escalation order.
+const (
+	PhaseBusy  Phase = iota // pure spinning
+	PhaseYield              // cooperative Gosched
+	PhaseSleep              // timed sleeps
+)
+
+// Phase reports the regime the next Wait will run in.
+func (b *Backoff) Phase() Phase {
+	switch {
+	case b.attempts < busySpins:
+		return PhaseBusy
+	case b.attempts < busySpins+yieldSpins:
+		return PhaseYield
+	default:
+		return PhaseSleep
+	}
+}
 
 // Wait performs one backoff step. Callers invoke it once per failed
 // attempt of the guarded condition.
@@ -39,15 +67,31 @@ func (b *Backoff) Wait() {
 	case b.attempts < busySpins+yieldSpins:
 		runtime.Gosched()
 	default:
-		exp := b.attempts - busySpins - yieldSpins
-		us := 1 << uint(min(exp, 8))
-		if us > maxSleepUS {
-			us = maxSleepUS
-		}
-		time.Sleep(time.Duration(us) * time.Microsecond)
+		time.Sleep(b.sleep())
 	}
 	b.attempts++
 }
+
+// sleep computes the next sleep-phase duration, honouring the cap.
+func (b *Backoff) sleep() time.Duration {
+	exp := b.attempts - busySpins - yieldSpins
+	us := 1 << uint(min(exp, 10))
+	if us > maxSleepUS {
+		us = maxSleepUS
+	}
+	d := time.Duration(us) * time.Microsecond
+	if b.sleepCap > 0 && d > b.sleepCap {
+		d = b.sleepCap
+	}
+	return d
+}
+
+// SetSleepCap bounds individual sleep-phase waits to d (0 restores the
+// default 1024µs cap). Reset does not clear it.
+func (b *Backoff) SetSleepCap(d time.Duration) { b.sleepCap = d }
+
+// SleepCap returns the configured sleep-phase bound (0 = default).
+func (b *Backoff) SleepCap() time.Duration { return b.sleepCap }
 
 // Reset clears the backoff so the next Wait starts from the cheap phase.
 func (b *Backoff) Reset() { b.attempts = 0 }

@@ -34,6 +34,58 @@ func TestBackoffPhases(t *testing.T) {
 	}
 }
 
+func TestPhaseProgression(t *testing.T) {
+	var b Backoff
+	for i := 0; i < busySpins+yieldSpins+4; i++ {
+		want := PhaseSleep
+		switch {
+		case i < busySpins:
+			want = PhaseBusy
+		case i < busySpins+yieldSpins:
+			want = PhaseYield
+		}
+		if got := b.Phase(); got != want {
+			t.Fatalf("attempt %d: Phase = %v, want %v", i, got, want)
+		}
+		b.Skip(1) // advance without actually sleeping
+	}
+	b.Reset()
+	if b.Phase() != PhaseBusy {
+		t.Error("Reset did not return to the busy phase")
+	}
+}
+
+func TestSleepCapClampsSleepPhase(t *testing.T) {
+	var b Backoff
+	b.Skip(busySpins + yieldSpins + 20) // deep into the sleep phase
+	if d := b.sleep(); d != maxSleepUS*time.Microsecond {
+		t.Fatalf("uncapped deep sleep = %v, want %v", d, maxSleepUS*time.Microsecond)
+	}
+	b.SetSleepCap(64 * time.Microsecond)
+	if got := b.SleepCap(); got != 64*time.Microsecond {
+		t.Fatalf("SleepCap = %v", got)
+	}
+	if d := b.sleep(); d != 64*time.Microsecond {
+		t.Fatalf("capped sleep = %v, want 64µs", d)
+	}
+	// The cap bounds, it does not inflate: early sleep-phase waits shorter
+	// than the cap are unaffected.
+	b.Reset()
+	b.Skip(busySpins + yieldSpins) // first sleep step: 1µs
+	if d := b.sleep(); d != time.Microsecond {
+		t.Fatalf("first capped sleep = %v, want 1µs", d)
+	}
+	// Reset must not clear the cap (the watchdog relies on this).
+	if b.SleepCap() != 64*time.Microsecond {
+		t.Fatal("Reset cleared the sleep cap")
+	}
+	b.SetSleepCap(0)
+	b.Skip(20)
+	if d := b.sleep(); d != maxSleepUS*time.Microsecond {
+		t.Fatalf("after clearing cap, sleep = %v, want default max", d)
+	}
+}
+
 func TestUntil(t *testing.T) {
 	var flag atomic.Bool
 	go func() {

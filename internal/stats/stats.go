@@ -28,6 +28,8 @@ type Counters struct {
 	OrderWaits      uint64 // commits that waited for strict-ordering turns
 	StoreRaces      uint64 // retries of the store-only visibility protocol
 	ModeSwitches    uint64 // hybrid/writer-only transitions to visible mode
+	Serialized      uint64 // commits via the serialized-irrevocable fallback
+	FenceStalls     uint64 // stall-watchdog firings inside fences
 	Ops             uint64 // benchmark-level operations completed
 }
 
@@ -48,6 +50,8 @@ func (c *Counters) Add(o *Counters) {
 	c.OrderWaits += o.OrderWaits
 	c.StoreRaces += o.StoreRaces
 	c.ModeSwitches += o.ModeSwitches
+	c.Serialized += o.Serialized
+	c.FenceStalls += o.FenceStalls
 	c.Ops += o.Ops
 }
 

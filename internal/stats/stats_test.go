@@ -31,15 +31,16 @@ func TestPercentages(t *testing.T) {
 func TestAddAccumulatesEveryField(t *testing.T) {
 	// quick cannot synthesize Counters directly (blank padding field), so
 	// build them from generated slices.
-	mk := func(v [15]uint64) Counters {
+	mk := func(v [18]uint64) Counters {
 		return Counters{
 			Commits: v[0], Aborts: v[1], WriterCommits: v[2], ReadOnlyCommits: v[3],
 			Fenced: v[4], FenceSpins: v[5], PVReads: v[6], PVUpdates: v[7],
-			PVSkipped: v[8], PVMultiSets: v[9], Validations: v[10], OrderWaits: v[11],
-			StoreRaces: v[12], ModeSwitches: v[13], Ops: v[14],
+			PVSkipped: v[8], PVMultiSets: v[9], Validations: v[10], Extensions: v[11],
+			OrderWaits: v[12], StoreRaces: v[13], ModeSwitches: v[14],
+			Serialized: v[15], FenceStalls: v[16], Ops: v[17],
 		}
 	}
-	prop := func(av, bv [15]uint64) bool {
+	prop := func(av, bv [18]uint64) bool {
 		a, b := mk(av), mk(bv)
 		sum := a
 		sum.Add(&b)
@@ -54,9 +55,12 @@ func TestAddAccumulatesEveryField(t *testing.T) {
 			sum.PVSkipped == a.PVSkipped+b.PVSkipped &&
 			sum.PVMultiSets == a.PVMultiSets+b.PVMultiSets &&
 			sum.Validations == a.Validations+b.Validations &&
+			sum.Extensions == a.Extensions+b.Extensions &&
 			sum.OrderWaits == a.OrderWaits+b.OrderWaits &&
 			sum.StoreRaces == a.StoreRaces+b.StoreRaces &&
 			sum.ModeSwitches == a.ModeSwitches+b.ModeSwitches &&
+			sum.Serialized == a.Serialized+b.Serialized &&
+			sum.FenceStalls == a.FenceStalls+b.FenceStalls &&
 			sum.Ops == a.Ops+b.Ops
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {

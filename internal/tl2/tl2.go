@@ -7,6 +7,7 @@ package tl2
 
 import (
 	"privstm/internal/core"
+	"privstm/internal/failpoint"
 	"privstm/internal/heap"
 )
 
@@ -25,6 +26,7 @@ func (e *Engine) Name() string { return "TL2" }
 // (a stale read triggers a timestamp extension attempt instead of an
 // unconditional abort, the TinySTM/LSA refinement of TL2's read rule).
 func (e *Engine) Begin(t *core.Thread) {
+	t.GateSerialized()
 	t.ResetTxnState()
 	t.StartSnapshot(e.rt.Clock.Now())
 	t.ExtendOK = true
@@ -60,6 +62,7 @@ func (e *Engine) Commit(t *core.Thread) bool {
 		t.PublishInactive()
 		return false
 	}
+	failpoint.Eval(failpoint.AcquiredBeforeWriteback)
 	wts := rt.Clock.Tick()
 	if wts != t.ValidTS+1 && !t.ValidateReads() {
 		t.Acq.RestoreAll()

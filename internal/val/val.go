@@ -15,6 +15,7 @@ package val
 
 import (
 	"privstm/internal/core"
+	"privstm/internal/failpoint"
 	"privstm/internal/heap"
 )
 
@@ -33,6 +34,7 @@ func (e *Engine) Name() string { return "Val" }
 // begin time as the first clean point (an empty read set is trivially
 // valid).
 func (e *Engine) Begin(t *core.Thread) {
+	t.GateSerialized()
 	t.ResetTxnState()
 	t.StartSnapshot(e.rt.Clock.Now())
 	t.ExtendOK = true
@@ -71,6 +73,7 @@ func (e *Engine) Commit(t *core.Thread) bool {
 		t.PublishInactive()
 		return false
 	}
+	failpoint.Eval(failpoint.AcquiredBeforeWriteback)
 	wts := rt.Clock.Tick()
 	if wts != t.ValidTS+1 && !t.ValidateReads() {
 		t.Acq.RestoreAll()
@@ -81,6 +84,7 @@ func (e *Engine) Commit(t *core.Thread) bool {
 	t.Acq.ReleaseAll(wts)
 	t.PublishInactive()
 	t.Stats.WriterCommits++
+	failpoint.Eval(failpoint.CommitBeforeFence)
 	t.ValidationFence(wts)
 	return true
 }

@@ -165,6 +165,22 @@ type Config struct {
 	// default GraceExponential is the paper's choice; GraceLinear and
 	// GraceHybrid reproduce the alternatives the authors report trying.
 	GraceStrategy GraceStrategy
+	// ContentionManager selects the policy applied between retry attempts
+	// of an aborted transaction: CMBackoff (default), CMKarma, or
+	// CMSerialize.
+	ContentionManager CMPolicy
+	// MaxAttempts is the abort budget before a transaction escalates to
+	// the serialized-irrevocable fallback (global token, drained rivals,
+	// guaranteed commit): 0 means DefaultMaxAttempts, negative disables
+	// escalation.
+	MaxAttempts int
+	// StallThreshold is the number of no-progress fence backoff rounds
+	// before the stall watchdog fires (0 = DefaultStallThreshold, negative
+	// disables it).
+	StallThreshold int
+	// OnStall is invoked once per detected fence stall; nil selects the
+	// default log line. It runs on the fenced thread: keep it cheap.
+	OnStall func(StallInfo)
 }
 
 // TrackerKind re-exports the incomplete-transaction tracker selector.
@@ -175,6 +191,33 @@ const (
 	TrackerSlot = core.TrackerSlot
 	TrackerList = core.TrackerList
 	TrackerScan = core.TrackerScan
+)
+
+// CMPolicy re-exports the contention-management policy selector.
+type CMPolicy = core.CMPolicy
+
+// The contention-management policies (Config.ContentionManager).
+const (
+	CMBackoff   = core.CMBackoff
+	CMKarma     = core.CMKarma
+	CMSerialize = core.CMSerialize
+)
+
+// ParseCMPolicy maps a flag spelling ("backoff", "karma", "serialize")
+// back to its CMPolicy.
+func ParseCMPolicy(s string) (CMPolicy, error) { return core.ParseCMPolicy(s) }
+
+// DefaultMaxAttempts re-exports the default abort budget before
+// serialized-irrevocable escalation.
+const DefaultMaxAttempts = core.DefaultMaxAttempts
+
+// StallInfo re-exports the fence stall report passed to Config.OnStall.
+type StallInfo = core.StallInfo
+
+// The fence names reported in StallInfo.Fence.
+const (
+	FencePrivatization = core.FencePrivatization
+	FenceValidation    = core.FenceValidation
 )
 
 // GraceStrategy re-exports the §III-A adaptation families.
@@ -209,6 +252,10 @@ func New(cfg Config) (*STM, error) {
 		DisableExtension: cfg.DisableSnapshotExtension,
 		CapFenceAtCommit: cfg.CapFenceAtCommit,
 		GraceStrategy:    cfg.GraceStrategy,
+		CM:               cfg.ContentionManager,
+		MaxAttempts:      cfg.MaxAttempts,
+		StallThreshold:   cfg.StallThreshold,
+		OnStall:          cfg.OnStall,
 	})
 	if err != nil {
 		return nil, err
