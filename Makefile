@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-faults bench bench-json bench-smoke figures privtest stress cover clean lint
+.PHONY: all build test race test-faults bench bench-json bench-smoke bench-readpath bench-readpath-smoke figures privtest stress cover clean lint
 
 all: build test lint
 
@@ -42,6 +42,24 @@ bench-json:
 # without paying for a real measurement run (used by CI).
 bench-smoke:
 	$(GO) test -bench . -benchtime 1x ./internal/bench ./internal/txnlist
+
+# Read-path baseline for regression checks: the figures most sensitive to
+# MakeVisible cost (read-mostly hashtable 3a and long-traversal multi-list
+# 3g) plus the MakeVisible microbenchmarks, comparable against the
+# committed BENCH_readpath_baseline.json.
+bench-readpath:
+	$(GO) run ./cmd/stmbench -fig 3a,3g -threads 1,2,4,8 -reps 5 -micro -json BENCH_readpath.json
+
+# CI guard: run the read-path micros once (exercises the zero-alloc
+# assertions in-process) and compare a quick figure pass against the
+# committed baseline with a generous tolerance — catches order-of-magnitude
+# regressions, not scheduler noise. 60% leaves headroom over the known
+# ~1 ns MakeVisibleCovered delta (EXPERIMENTS.md), which can read as a
+# large percentage of a 3 ns benchmark on a slower CI host.
+bench-readpath-smoke:
+	$(GO) test -bench 'BenchmarkMakeVisible' -benchtime 1x ./internal/bench
+	$(GO) run ./cmd/stmbench -fig 3a,3g -threads 1,2 -reps 2 -micro -json /tmp/readpath_ci.json
+	$(GO) run ./cmd/stmbench -compare -tolerance 60 BENCH_readpath_baseline.json /tmp/readpath_ci.json
 
 # Regenerate every evaluation figure (CI scale; see EXPERIMENTS.md for
 # paper-scale invocations).

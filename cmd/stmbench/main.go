@@ -44,7 +44,11 @@ func main() {
 		tracker  = flag.String("tracker", "slot", "incomplete-transaction tracker: slot, list, or scan")
 		noextend = flag.Bool("noextend", false, "disable snapshot extension (pre-optimization ablation)")
 		cmName   = flag.String("cm", "backoff", "contention manager: backoff, karma, or serialize")
+		layout   = flag.String("oreclayout", "aos", "orec-table memory layout: aos or soa")
+		nocache  = flag.Bool("nohintcache", false, "disable the thread-local orec hint cache (ablation)")
 		maxAtt   = flag.Int("maxattempts", 0, "abort budget before serialized-irrevocable escalation (0 = default, negative disables)")
+		micro    = flag.Bool("micro", false, "also run the read-path microbenchmarks (embedded in -json output)")
+		tol      = flag.Float64("tolerance", 0, "with -compare: exit nonzero if the worst delta is below -tolerance percent (0 = report only)")
 		compare  = flag.Bool("compare", false, "compare two -json files: stmbench -compare old.json new.json")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -62,7 +66,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "stmbench:", err)
 			os.Exit(1)
 		}
-		_ = worst
+		if *tol > 0 && worst < -*tol {
+			fmt.Fprintf(os.Stderr, "stmbench: worst delta %+.1f%% exceeds tolerance -%.1f%%\n", worst, *tol)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -73,8 +80,8 @@ func main() {
 		}
 		return
 	}
-	if *figID == "" {
-		fmt.Fprintln(os.Stderr, "stmbench: -fig is required (try -list)")
+	if *figID == "" && !*micro {
+		fmt.Fprintln(os.Stderr, "stmbench: -fig is required (try -list, or -micro)")
 		os.Exit(2)
 	}
 
@@ -94,6 +101,12 @@ func main() {
 	cmPolicy, err := stm.ParseCMPolicy(*cmName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stmbench: bad -cm %q (want backoff, karma, or serialize)\n", *cmName)
+		os.Exit(2)
+	}
+
+	orecLayout, err := stm.ParseOrecLayout(*layout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stmbench: bad -oreclayout %q (want aos or soa)\n", *layout)
 		os.Exit(2)
 	}
 
@@ -159,10 +172,13 @@ func main() {
 		DisableExtension: *noextend,
 		CM:               cmPolicy,
 		MaxAttempts:      *maxAtt,
+		OrecLayout:       orecLayout,
+		DisableHintCache: *nocache,
 	}
 
-	fmt.Printf("# GOMAXPROCS=%d NumCPU=%d scale=1/%d tracker=%s extension=%s cm=%s maxattempts=%d\n",
-		runtime.GOMAXPROCS(0), runtime.NumCPU(), *scale, *tracker, onOff(!*noextend), cmPolicy, *maxAtt)
+	fmt.Printf("# GOMAXPROCS=%d NumCPU=%d scale=1/%d tracker=%s extension=%s cm=%s maxattempts=%d oreclayout=%s hintcache=%s\n",
+		runtime.GOMAXPROCS(0), runtime.NumCPU(), *scale, *tracker, onOff(!*noextend), cmPolicy, *maxAtt,
+		orecLayout, onOff(!*nocache))
 	if runtime.NumCPU() < 8 {
 		fmt.Printf("# note: %d CPUs — thread counts beyond that timeshare; expect curves to flatten there\n", runtime.NumCPU())
 	}
@@ -194,7 +210,7 @@ func main() {
 	var figs []bench.Figure
 	if *figID == "all" {
 		figs = bench.Figures
-	} else {
+	} else if *figID != "" {
 		for _, id := range strings.Split(*figID, ",") {
 			f, err := bench.FigureByID(strings.TrimSpace(id))
 			if err != nil {
@@ -220,6 +236,12 @@ func main() {
 		}
 		allMs = append(allMs, ms...)
 	}
+	var micros []bench.MicroResult
+	if *micro {
+		micros = bench.ReadPathMicros()
+		bench.WriteMicroTable(os.Stdout, micros)
+		fmt.Println()
+	}
 	if *csvPath != "" {
 		out, err := os.Create(*csvPath)
 		if err != nil {
@@ -241,8 +263,9 @@ func main() {
 			os.Exit(1)
 		}
 		bench.SortMeasurements(allMs)
-		label := fmt.Sprintf("tracker=%s extension=%s scale=1/%d cm=%s", *tracker, onOff(!*noextend), *scale, cmPolicy)
-		werr := bench.WriteJSON(out, label, allMs)
+		label := fmt.Sprintf("tracker=%s extension=%s scale=1/%d cm=%s oreclayout=%s hintcache=%s",
+			*tracker, onOff(!*noextend), *scale, cmPolicy, orecLayout, onOff(!*nocache))
+		werr := bench.WriteJSONReport(out, label, allMs, micros)
 		if cerr := out.Close(); werr == nil {
 			werr = cerr
 		}

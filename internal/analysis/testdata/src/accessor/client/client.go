@@ -31,3 +31,23 @@ func Suppressed(o *orec.Orec) uint64 {
 	//stmlint:ignore accessordiscipline single-threaded test harness setup
 	return o.Wts
 }
+
+// GoodHandle exercises the pointer-handle record of the SoA-capable table:
+// method calls through a *atomic.Uint64 field are the accessor, exactly as
+// with an embedded atomic word.
+func GoodHandle(h *orec.Handle) uint64 {
+	w := h.Owner.Load() // clean: atomic method call through the pointer field
+	h.Vis.Store(w | 1)  // clean: same
+	if h.Owner.CompareAndSwap(w, w+1) {
+		return uint64(h.Index()) // clean: accessor for the plain field
+	}
+	return w
+}
+
+// BadHandle shows that the pointer indirection is not an escape hatch.
+func BadHandle(h *orec.Handle) uint64 {
+	p := h.Owner // want flagged: aliasing the word pointer sidesteps the discipline
+	h.Vis = nil  // want flagged: rebinding the handle's pointer field
+	v := *h.Vis  // want flagged: dereferencing without an atomic method call
+	return p.Load() + v.Load()
+}

@@ -16,3 +16,16 @@ func (o *Orec) WTS() uint64 { return o.Wts }
 
 // SetWTS is the mutating accessor.
 func (o *Orec) SetWTS(v uint64) { o.Wts = v }
+
+// Handle mimics the pointer-handle record of the layout-polymorphic table
+// (structure-of-arrays support): the atomic words are reached through
+// *atomic.Uint64 fields pointing into layout-dependent backing arrays, and
+// idx is a plain field with an accessor.
+type Handle struct {
+	Owner *atomic.Uint64
+	Vis   *atomic.Uint64
+	idx   uint32
+}
+
+// Index is the accessor for the plain field.
+func (h *Handle) Index() uint32 { return h.idx }

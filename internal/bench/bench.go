@@ -114,6 +114,10 @@ type RunConfig struct {
 	// MaxAttempts is the abort budget before serialized-irrevocable
 	// escalation (0 = default, negative disables).
 	MaxAttempts int
+	// OrecLayout selects the orec-table memory layout (ablations).
+	OrecLayout stm.OrecLayout
+	// DisableHintCache turns off the thread-local hint cache (ablations).
+	DisableHintCache bool
 }
 
 // Measurement is the outcome of one (workload, algorithm, threads, mix)
@@ -129,7 +133,14 @@ type Measurement struct {
 	Ops        uint64
 	Elapsed    time.Duration
 	Throughput float64 // operations per second
-	Stats      stats.Counters
+	// RepThroughputs holds the per-repetition throughputs when the cell
+	// was run more than once (runCell); WriteJSON derives the reported
+	// standard deviation from it.
+	RepThroughputs []float64
+	// Layout is the orec-table layout label ("aos"/"soa"); empty means
+	// the default.
+	Layout string
+	Stats  stats.Counters
 }
 
 // Run builds the workload and drives it with rc.Threads workers.
@@ -149,6 +160,8 @@ func Run(spec Spec, rc RunConfig) (*Measurement, error) {
 		DisableSnapshotExtension: rc.DisableExtension,
 		ContentionManager:        rc.CM,
 		MaxAttempts:              rc.MaxAttempts,
+		OrecLayout:               rc.OrecLayout,
+		DisableHintCache:         rc.DisableHintCache,
 	})
 	if err != nil {
 		return nil, err
@@ -201,6 +214,7 @@ func Run(spec Spec, rc RunConfig) (*Measurement, error) {
 		Threads:   rc.Threads,
 		Mix:       rc.Mix,
 		Elapsed:   elapsed,
+		Layout:    rc.OrecLayout.String(),
 	}
 	for _, ctx := range ctxs {
 		m.Stats.Add(ctx.Th.Stats())

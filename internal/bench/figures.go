@@ -113,6 +113,10 @@ type HarnessConfig struct {
 	// MaxAttempts is the abort budget before serialized-irrevocable
 	// escalation (0 = default, negative disables).
 	MaxAttempts int
+	// OrecLayout selects the orec-table memory layout for every cell.
+	OrecLayout stm.OrecLayout
+	// DisableHintCache turns off the thread-local hint cache for every cell.
+	DisableHintCache bool
 }
 
 func (hc *HarnessConfig) fill() {
@@ -144,11 +148,13 @@ func runCell(spec Spec, rc RunConfig, reps int) (*Measurement, error) {
 		}
 		if agg == nil {
 			agg = m
+			agg.RepThroughputs = append(agg.RepThroughputs, m.Throughput)
 			continue
 		}
 		agg.Ops += m.Ops
 		agg.Elapsed += m.Elapsed
 		agg.Stats.Add(&m.Stats)
+		agg.RepThroughputs = append(agg.RepThroughputs, m.Throughput)
 	}
 	if agg.Elapsed > 0 {
 		agg.Throughput = float64(agg.Ops) / agg.Elapsed.Seconds()
@@ -198,6 +204,7 @@ func runThroughput(w io.Writer, fig Figure, hc HarnessConfig) ([]*Measurement, e
 				TxnsPerThread: hc.TxnsPerThread, Duration: hc.Duration, Seed: hc.Seed,
 				Tracker: hc.Tracker, DisableExtension: hc.DisableExtension,
 				CM: hc.CM, MaxAttempts: hc.MaxAttempts,
+				OrecLayout: hc.OrecLayout, DisableHintCache: hc.DisableHintCache,
 			}, hc.Reps)
 			if err != nil {
 				return nil, err
@@ -232,7 +239,8 @@ func runFenceStats(w io.Writer, fig Figure, hc HarnessConfig) ([]*Measurement, e
 					Algorithm: alg, Threads: th, Mix: mix,
 					TxnsPerThread: hc.TxnsPerThread, Duration: hc.Duration, Seed: hc.Seed,
 					Tracker: hc.Tracker, DisableExtension: hc.DisableExtension,
-				CM: hc.CM, MaxAttempts: hc.MaxAttempts,
+					CM: hc.CM, MaxAttempts: hc.MaxAttempts,
+					OrecLayout: hc.OrecLayout, DisableHintCache: hc.DisableHintCache,
 				}, hc.Reps)
 				if err != nil {
 					return nil, err
@@ -290,6 +298,7 @@ func runOverhead(w io.Writer, hc HarnessConfig) ([]*Measurement, error) {
 				TxnsPerThread: hc.TxnsPerThread, Duration: hc.Duration, Seed: hc.Seed,
 				Tracker: hc.Tracker, DisableExtension: hc.DisableExtension,
 				CM: hc.CM, MaxAttempts: hc.MaxAttempts,
+				OrecLayout: hc.OrecLayout, DisableHintCache: hc.DisableHintCache,
 			}, hc.Reps)
 			if err != nil {
 				return nil, err

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 )
@@ -13,14 +14,22 @@ import (
 // changes, and carries the run configuration needed to match cells across
 // files.
 type jsonMeasurement struct {
-	Fig        string  `json:"fig,omitempty"`
-	Workload   string  `json:"workload"`
-	Algorithm  string  `json:"algorithm"`
-	Threads    int     `json:"threads"`
-	Mix        string  `json:"mix"`
+	Fig       string `json:"fig,omitempty"`
+	Workload  string `json:"workload"`
+	Algorithm string `json:"algorithm"`
+	Threads   int    `json:"threads"`
+	Mix       string `json:"mix"`
+	// OrecLayout is the orec-table layout the cell ran under; empty and
+	// "aos" both mean the default array-of-structures layout (older
+	// baseline files predate the field).
+	OrecLayout string  `json:"orec_layout,omitempty"`
 	Ops        uint64  `json:"ops"`
 	Seconds    float64 `json:"seconds"`
 	Throughput float64 `json:"ops_per_sec"`
+	// Stddev is the sample standard deviation of per-repetition
+	// throughput; zero when the cell ran fewer than two repetitions.
+	Stddev     float64 `json:"ops_per_sec_stddev,omitempty"`
+	Runs       int     `json:"runs,omitempty"`
 	Aborts     uint64  `json:"aborts"`
 	Commits    uint64  `json:"commits"`
 	Fenced     uint64  `json:"fenced"`
@@ -30,22 +39,62 @@ type jsonMeasurement struct {
 	Stalls     uint64  `json:"fence_stalls"`
 }
 
+// jsonMicro is the on-disk form of one read-path microbenchmark result.
+type jsonMicro struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
 // jsonFile is the envelope written by WriteJSON.
 type jsonFile struct {
 	// Label describes the configuration that produced the file (e.g.
 	// "tracker=slot extension=on"); Compare prints it in its header.
 	Label string            `json:"label,omitempty"`
 	Cells []jsonMeasurement `json:"cells"`
+	Micro []jsonMicro       `json:"micro,omitempty"`
 }
 
 // cellKey identifies a measurement across baseline and candidate files.
+// The orec layout participates only when it differs from the default, so
+// baseline files written before the field existed still match default-
+// layout candidate cells.
 func (jm *jsonMeasurement) cellKey() string {
-	return fmt.Sprintf("%s|%s|%s|%d|%s", jm.Fig, jm.Workload, jm.Algorithm, jm.Threads, jm.Mix)
+	k := fmt.Sprintf("%s|%s|%s|%d|%s", jm.Fig, jm.Workload, jm.Algorithm, jm.Threads, jm.Mix)
+	if jm.OrecLayout != "" && jm.OrecLayout != "aos" {
+		k += "|" + jm.OrecLayout
+	}
+	return k
+}
+
+// stddev returns the sample standard deviation of xs (0 for fewer than two
+// samples).
+func stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	ss := 0.0
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
 }
 
 // WriteJSON writes measurements (with a configuration label) as a stable
 // JSON document for later comparison with Compare.
 func WriteJSON(w io.Writer, label string, ms []*Measurement) error {
+	return WriteJSONReport(w, label, ms, nil)
+}
+
+// WriteJSONReport is WriteJSON plus an optional microbenchmark section.
+func WriteJSONReport(w io.Writer, label string, ms []*Measurement, micro []MicroResult) error {
 	f := jsonFile{Label: label}
 	for _, m := range ms {
 		f.Cells = append(f.Cells, jsonMeasurement{
@@ -54,9 +103,12 @@ func WriteJSON(w io.Writer, label string, ms []*Measurement) error {
 			Algorithm:  m.Algorithm,
 			Threads:    m.Threads,
 			Mix:        m.Mix.String(),
+			OrecLayout: m.Layout,
 			Ops:        m.Ops,
 			Seconds:    m.Elapsed.Seconds(),
 			Throughput: m.Throughput,
+			Stddev:     stddev(m.RepThroughputs),
+			Runs:       len(m.RepThroughputs),
 			Aborts:     m.Stats.Aborts,
 			Commits:    m.Stats.Commits,
 			Fenced:     m.Stats.Fenced,
@@ -66,48 +118,68 @@ func WriteJSON(w io.Writer, label string, ms []*Measurement) error {
 			Stalls:     m.Stats.FenceStalls,
 		})
 	}
+	for _, mr := range micro {
+		f.Micro = append(f.Micro, jsonMicro(mr))
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(f)
 }
 
-// ReadJSON loads a document produced by WriteJSON.
-func ReadJSON(path string) (label string, cells []jsonMeasurement, err error) {
+func readJSONFile(path string) (jsonFile, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return "", nil, err
+		return jsonFile{}, err
 	}
 	var f jsonFile
 	if err := json.Unmarshal(data, &f); err != nil {
-		return "", nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+		return jsonFile{}, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// ReadJSON loads a document produced by WriteJSON.
+func ReadJSON(path string) (label string, cells []jsonMeasurement, err error) {
+	f, err := readJSONFile(path)
+	if err != nil {
+		return "", nil, err
 	}
 	return f.Label, f.Cells, nil
 }
 
 // Compare prints a per-cell throughput delta table between two WriteJSON
-// documents, matching cells by (fig, workload, algorithm, threads, mix).
-// Cells present in only one file are listed separately. It returns the
-// worst (most negative) percentage change over the matched cells.
+// documents, matching cells by (fig, workload, algorithm, threads, mix,
+// non-default orec layout) and microbenchmarks by name. It returns the
+// worst (most negative) percentage change over all matched cells and
+// micros; for micros the delta is expressed in throughput terms
+// (old ns/op vs new ns/op), so slower is negative, same as cells.
 func Compare(w io.Writer, oldPath, newPath string) (worstPct float64, err error) {
-	oldLabel, oldCells, err := ReadJSON(oldPath)
+	oldFile, err := readJSONFile(oldPath)
 	if err != nil {
 		return 0, err
 	}
-	newLabel, newCells, err := ReadJSON(newPath)
+	newFile, err := readJSONFile(newPath)
 	if err != nil {
 		return 0, err
 	}
+	oldCells, newCells := oldFile.Cells, newFile.Cells
 	oldBy := make(map[string]*jsonMeasurement, len(oldCells))
 	for i := range oldCells {
 		oldBy[oldCells[i].cellKey()] = &oldCells[i]
 	}
 
-	fmt.Fprintf(w, "baseline:  %s (%s)\n", oldPath, orUnlabeled(oldLabel))
-	fmt.Fprintf(w, "candidate: %s (%s)\n\n", newPath, orUnlabeled(newLabel))
+	fmt.Fprintf(w, "baseline:  %s (%s)\n", oldPath, orUnlabeled(oldFile.Label))
+	fmt.Fprintf(w, "candidate: %s (%s)\n\n", newPath, orUnlabeled(newFile.Label))
 	fmt.Fprintf(w, "%-4s %-22s %-14s %7s %9s  %12s %12s %8s\n",
 		"fig", "workload", "algorithm", "threads", "mix", "old ops/s", "new ops/s", "delta")
 
 	matched := 0
+	note := func(pct float64) {
+		if matched == 0 || pct < worstPct {
+			worstPct = pct
+		}
+		matched++
+	}
 	var unmatchedNew []string
 	sorted := append([]jsonMeasurement(nil), newCells...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].cellKey() < sorted[j].cellKey() })
@@ -123,15 +195,40 @@ func Compare(w io.Writer, oldPath, newPath string) (worstPct float64, err error)
 		if oc.Throughput > 0 {
 			pct = 100 * (nc.Throughput - oc.Throughput) / oc.Throughput
 		}
-		if matched == 0 || pct < worstPct {
-			worstPct = pct
+		note(pct)
+		layout := nc.Algorithm
+		if nc.OrecLayout != "" && nc.OrecLayout != "aos" {
+			layout += "/" + nc.OrecLayout
 		}
-		matched++
 		fmt.Fprintf(w, "%-4s %-22s %-14s %7d %9s  %12.0f %12.0f %+7.1f%%\n",
-			nc.Fig, nc.Workload, nc.Algorithm, nc.Threads, nc.Mix,
+			nc.Fig, nc.Workload, layout, nc.Threads, nc.Mix,
 			oc.Throughput, nc.Throughput, pct)
 	}
-	fmt.Fprintf(w, "\n%d cells compared; worst delta %+.1f%%\n", matched, worstPct)
+
+	if len(oldFile.Micro) > 0 && len(newFile.Micro) > 0 {
+		oldMicro := make(map[string]jsonMicro, len(oldFile.Micro))
+		for _, m := range oldFile.Micro {
+			oldMicro[m.Name] = m
+		}
+		fmt.Fprintf(w, "\n%-28s %12s %12s %8s  %s\n",
+			"microbenchmark", "old ns/op", "new ns/op", "delta", "allocs old->new")
+		for _, nm := range newFile.Micro {
+			om, ok := oldMicro[nm.Name]
+			if !ok {
+				continue
+			}
+			pct := 0.0
+			if om.NsPerOp > 0 {
+				// Throughput-style sign: fewer ns/op is positive.
+				pct = 100 * (om.NsPerOp - nm.NsPerOp) / om.NsPerOp
+			}
+			note(pct)
+			fmt.Fprintf(w, "%-28s %12.1f %12.1f %+7.1f%%  %.0f -> %.0f\n",
+				nm.Name, om.NsPerOp, nm.NsPerOp, pct, om.AllocsPerOp, nm.AllocsPerOp)
+		}
+	}
+
+	fmt.Fprintf(w, "\n%d entries compared; worst delta %+.1f%%\n", matched, worstPct)
 	if len(unmatchedNew) > 0 {
 		fmt.Fprintf(w, "only in candidate: %d cells\n", len(unmatchedNew))
 	}

@@ -11,7 +11,7 @@ import "privstm/internal/orec"
 // already own succeeds without a second log entry.
 func (t *Thread) AcquireOrec(o *orec.Orec) bool {
 	for {
-		v := o.Owner.Load()
+		v := o.Owner().Load()
 		if orec.IsOwned(v) {
 			return orec.OwnerTID(v) == t.ID
 		}
@@ -19,7 +19,7 @@ func (t *Thread) AcquireOrec(o *orec.Orec) bool {
 		if wts > t.ValidTS {
 			return false
 		}
-		if o.Owner.CompareAndSwap(v, orec.PackOwned(t.ID)) {
+		if o.Owner().CompareAndSwap(v, orec.PackOwned(t.ID)) {
 			t.Acq.Add(o, wts)
 			return true
 		}

@@ -76,7 +76,7 @@ func TestMakeVisibleFreshUpdate(t *testing.T) {
 		th := newActiveThread(t, rt)
 		o := rt.Orecs.At(0)
 		th.MakeVisible(o, false, proto)
-		rts, tid, multi := orec.UnpackVis(o.Vis.Load())
+		rts, tid, multi := orec.UnpackVis(o.Vis().Load())
 		if rts < th.BeginTS || tid != th.ID || multi {
 			t.Errorf("proto %v: vis = (%d,%d,%v), want rts ≥ %d, tid %d, no multi",
 				proto, rts, tid, multi, th.BeginTS, th.ID)
@@ -108,7 +108,7 @@ func TestMakeVisibleSecondReaderSetsMulti(t *testing.T) {
 		// hint's rts = clock at publish = r2's begin here, so r2 is
 		// covered and must set the multi bit (r1 may still be live).
 		r2.MakeVisible(o, false, proto)
-		_, _, multi := orec.UnpackVis(o.Vis.Load())
+		_, _, multi := orec.UnpackVis(o.Vis().Load())
 		if !multi {
 			t.Errorf("proto %v: second concurrent reader did not set multi", proto)
 		}
@@ -140,7 +140,7 @@ func TestMakeVisibleDeadHintSkipped(t *testing.T) {
 	if r2.Stats.PVSkipped != 1 || r2.Stats.PVMultiSets != 0 {
 		t.Errorf("dead hint not skipped: %+v", r2.Stats)
 	}
-	_, _, multi := orec.UnpackVis(o.Vis.Load())
+	_, _, multi := orec.UnpackVis(o.Vis().Load())
 	if multi {
 		t.Error("multi set unnecessarily for a dead hint")
 	}
@@ -152,12 +152,12 @@ func TestMakeVisibleUncoveredOverwrites(t *testing.T) {
 	r1 := newActiveThread(t, rt)
 	o := rt.Orecs.At(0)
 	r1.MakeVisible(o, false, VisCAS)
-	old := orec.VisRTS(o.Vis.Load())
+	old := orec.VisRTS(o.Vis().Load())
 	finish(rt, r1)
 	rt.Clock.Tick() // move time forward so the next reader is not covered
 	r2 := newActiveThread(t, rt)
 	r2.MakeVisible(o, false, VisCAS)
-	rts, tid, multi := orec.UnpackVis(o.Vis.Load())
+	rts, tid, multi := orec.UnpackVis(o.Vis().Load())
 	if rts <= old || tid != r2.ID {
 		t.Errorf("uncovered read did not refresh hint: rts %d (old %d) tid %d", rts, old, tid)
 	}
@@ -178,7 +178,7 @@ func TestMakeVisibleCarriesMultiForLiveElder(t *testing.T) {
 	rt.Clock.Tick()
 	young := newActiveThread(t, rt) // begins after the hint's rts
 	young.MakeVisible(o, false, VisCAS)
-	_, tid, multi := orec.UnpackVis(o.Vis.Load())
+	_, tid, multi := orec.UnpackVis(o.Vis().Load())
 	if tid != young.ID {
 		t.Fatalf("hint tid = %d, want %d", tid, young.ID)
 	}
@@ -192,27 +192,27 @@ func TestMakeVisibleCarriesMultiForLiveElder(t *testing.T) {
 func TestGraceAdaptation(t *testing.T) {
 	rt := newTestRT(t, 4)
 	o := rt.Orecs.At(0)
-	if o.Grace.Load() != 0 {
+	if o.Grace().Load() != 0 {
 		t.Fatal("grace should start at 0")
 	}
 	for want := uint64(1); want <= DefaultMaxGrace; want *= 2 {
 		raiseGrace(o, GraceExponential, rt.MaxGrace)
-		if got := o.Grace.Load(); got != want {
+		if got := o.Grace().Load(); got != want {
 			t.Fatalf("grace = %d, want %d", got, want)
 		}
 	}
 	raiseGrace(o, GraceExponential, rt.MaxGrace)
-	if got := o.Grace.Load(); got != DefaultMaxGrace {
+	if got := o.Grace().Load(); got != DefaultMaxGrace {
 		t.Errorf("grace exceeded cap: %d", got)
 	}
 	lowerGrace(o, GraceExponential)
-	if got := o.Grace.Load(); got != DefaultMaxGrace/2 {
+	if got := o.Grace().Load(); got != DefaultMaxGrace/2 {
 		t.Errorf("grace after halve = %d", got)
 	}
 	for i := 0; i < 20; i++ {
 		lowerGrace(o, GraceExponential)
 	}
-	if got := o.Grace.Load(); got != 0 {
+	if got := o.Grace().Load(); got != 0 {
 		t.Errorf("grace floor = %d, want 0", got)
 	}
 }
@@ -220,15 +220,15 @@ func TestGraceAdaptation(t *testing.T) {
 func TestGraceExtendsCoverage(t *testing.T) {
 	rt := newTestRT(t, 4)
 	o := rt.Orecs.At(0)
-	o.Grace.Store(16)
+	o.Grace().Store(16)
 	r1 := newActiveThread(t, rt)
 	r1.MakeVisible(o, true, VisCAS)
-	rts := orec.VisRTS(o.Vis.Load())
+	rts := orec.VisRTS(o.Vis().Load())
 	if rts != r1.RT.Clock.Now()+16 {
 		t.Errorf("rts = %d, want now+16 = %d", rts, r1.RT.Clock.Now()+16)
 	}
-	if o.Grace.Load() != 32 {
-		t.Errorf("grace after successful update = %d, want 32", o.Grace.Load())
+	if o.Grace().Load() != 32 {
+		t.Errorf("grace after successful update = %d, want 32", o.Grace().Load())
 	}
 	finish(rt, r1)
 	// Future readers within the grace window skip even after clock ticks.
@@ -404,11 +404,11 @@ func TestVisStoreProtocolStress(t *testing.T) {
 				th.Visible = true
 				th.PublishActive(th.BeginTS)
 				th.MakeVisible(o, j%2 == 0, VisStore)
-				if rts := orec.VisRTS(o.Vis.Load()); rts < th.BeginTS {
+				if rts := orec.VisRTS(o.Vis().Load()); rts < th.BeginTS {
 					t.Errorf("after MakeVisible, rts %d < begin %d", rts, th.BeginTS)
 				}
 				mu.Lock()
-				if rts := orec.VisRTS(o.Vis.Load()); rts >= maxSeen {
+				if rts := orec.VisRTS(o.Vis().Load()); rts >= maxSeen {
 					maxSeen = rts
 				}
 				mu.Unlock()
@@ -420,7 +420,7 @@ func TestVisStoreProtocolStress(t *testing.T) {
 		}(th)
 	}
 	wg.Wait()
-	if o.CurrReader.Load() != orec.NoReader {
+	if o.CurrReader().Load() != orec.NoReader {
 		t.Error("curr_reader left claimed after all updates completed")
 	}
 }
@@ -449,7 +449,7 @@ func TestVisCASProtocolStress(t *testing.T) {
 				th.Visible = true
 				th.PublishActive(th.BeginTS)
 				th.MakeVisible(o, j%2 == 0, VisCAS)
-				rts := orec.VisRTS(o.Vis.Load())
+				rts := orec.VisRTS(o.Vis().Load())
 				if rts < th.BeginTS {
 					t.Errorf("after MakeVisible, rts %d < begin %d", rts, th.BeginTS)
 				}
@@ -458,7 +458,7 @@ func TestVisCASProtocolStress(t *testing.T) {
 					// sampled* value only if another reader overwrote in
 					// between with a larger one we then race past; re-check
 					// against the live value.
-					if cur := orec.VisRTS(o.Vis.Load()); cur < lastRTS {
+					if cur := orec.VisRTS(o.Vis().Load()); cur < lastRTS {
 						t.Errorf("orec rts regressed: %d after %d", cur, lastRTS)
 					}
 				}
@@ -481,8 +481,8 @@ func TestConflictScanWithGraceAdaptation(t *testing.T) {
 	w := newActiveThread(t, rt)
 	o1 := rt.Orecs.At(0)
 	o2 := rt.Orecs.At(1)
-	o1.Grace.Store(32)
-	o2.Grace.Store(32)
+	o1.Grace().Store(32)
+	o2.Grace().Store(32)
 	r.MakeVisible(o1, true, VisCAS) // raises o1's grace to 64
 	if !w.AcquireOrec(o1) || !w.AcquireOrec(o2) {
 		t.Fatal("acquire failed")
@@ -490,10 +490,10 @@ func TestConflictScanWithGraceAdaptation(t *testing.T) {
 	if _, conflict := w.ReaderConflictScan(true); !conflict {
 		t.Fatal("conflict not detected")
 	}
-	if got := o1.Grace.Load(); got != 32 {
+	if got := o1.Grace().Load(); got != 32 {
 		t.Errorf("conflicting orec grace = %d, want 32 (halved from 64)", got)
 	}
-	if got := o2.Grace.Load(); got != 32 {
+	if got := o2.Grace().Load(); got != 32 {
 		t.Errorf("non-conflicting orec grace = %d, want 32 (untouched)", got)
 	}
 	finish(rt, r)

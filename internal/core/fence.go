@@ -32,7 +32,7 @@ func (t *Thread) ReaderConflictScan(adaptGrace bool) (threshold uint64, conflict
 	n := t.Acq.Len()
 	for i := 0; i < n; i++ {
 		o := t.Acq.At(i).Orec
-		rts, tid, multi := orec.UnpackVis(o.Vis.Load())
+		rts, tid, multi := orec.UnpackVis(o.Vis().Load())
 		if tid == t.ID && !multi && t.publishedHere(o, rts) {
 			continue // our own read, and provably nobody else's
 		}
@@ -44,7 +44,7 @@ func (t *Thread) ReaderConflictScan(adaptGrace bool) (threshold uint64, conflict
 			threshold = rts
 		}
 		if adaptGrace {
-			lowerGrace(o, t.RT.GraceStrategy)
+			t.Stats.GraceRaces += lowerGrace(o, t.RT.GraceStrategy)
 		}
 	}
 	return threshold, conflict

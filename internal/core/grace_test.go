@@ -18,13 +18,13 @@ func TestGraceStrategies(t *testing.T) {
 		o := rt.Orecs.At(0)
 		for i, want := range c.upSteps {
 			raiseGrace(o, c.strat, DefaultMaxGrace)
-			if got := o.Grace.Load(); got != want {
+			if got := o.Grace().Load(); got != want {
 				t.Errorf("strategy %v raise %d: grace = %d, want %d", c.strat, i, got, want)
 			}
 		}
-		o.Grace.Store(c.downFrom)
+		o.Grace().Store(c.downFrom)
 		lowerGrace(o, c.strat)
-		if got := o.Grace.Load(); got != c.downResult {
+		if got := o.Grace().Load(); got != c.downResult {
 			t.Errorf("strategy %v lower from %d: grace = %d, want %d", c.strat, c.downFrom, got, c.downResult)
 		}
 	}
@@ -37,7 +37,7 @@ func TestGraceStrategyCap(t *testing.T) {
 		for i := 0; i < 100; i++ {
 			raiseGrace(o, strat, 64)
 		}
-		if got := o.Grace.Load(); got != 64 {
+		if got := o.Grace().Load(); got != 64 {
 			t.Errorf("strategy %v: grace = %d, want cap 64", strat, got)
 		}
 	}
@@ -46,9 +46,9 @@ func TestGraceStrategyCap(t *testing.T) {
 func TestGraceLinearFloor(t *testing.T) {
 	rt := newTestRT(t, 2)
 	o := rt.Orecs.At(0)
-	o.Grace.Store(5) // below one linear step
+	o.Grace().Store(5) // below one linear step
 	lowerGrace(o, GraceLinear)
-	if got := o.Grace.Load(); got != 0 {
+	if got := o.Grace().Load(); got != 0 {
 		t.Errorf("grace = %d, want floor 0", got)
 	}
 }

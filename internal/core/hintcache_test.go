@@ -1,0 +1,324 @@
+package core
+
+import (
+	"testing"
+
+	"privstm/internal/orec"
+)
+
+// staleVis makes o's vis word look like an ancient foreign hint (rts 0),
+// so the next MakeVisible by a transaction with BeginTS > 0 takes the
+// slow path. This is how re-publication pressure appears in the wild:
+// another reader's full update, or §III-B store-protocol staleness,
+// leaves a hint that no longer covers us.
+func staleVis(o *orec.Orec) { o.Vis().Store(0) }
+
+// TestHintCacheHitSkipsReRuns: once MakeVisible has updated shared state
+// for an orec, later reads that would re-enter the slow path (because the
+// vis word looks stale) must resolve in the thread-local cache without
+// re-running the publication protocol.
+func TestHintCacheHitSkipsReRuns(t *testing.T) {
+	for _, proto := range []VisProto{VisCAS, VisStore} {
+		rt := newTestRT(t, 4)
+		rt.Clock.Tick() // BeginTS > 0, so a zeroed vis word is not covering
+		th := newActiveThread(t, rt)
+		o := rt.Orecs.At(7)
+
+		th.MakeVisible(o, false, proto)
+		if th.Stats.PVUpdates != 1 || th.Stats.PVCacheHits != 0 {
+			t.Fatalf("proto %v: first read: updates=%d cacheHits=%d",
+				proto, th.Stats.PVUpdates, th.Stats.PVCacheHits)
+		}
+		// An ordinary re-read resolves on the covered fast path, ahead of
+		// the cache.
+		th.MakeVisible(o, false, proto)
+		if th.Stats.PVCacheHits != 0 || th.Stats.PVSkipped != 1 {
+			t.Fatalf("proto %v: covered re-read: cacheHits=%d skipped=%d, want 0/1",
+				proto, th.Stats.PVCacheHits, th.Stats.PVSkipped)
+		}
+		// When the vis word goes stale, the cache elides re-publication.
+		staleVis(o)
+		for i := 0; i < 3; i++ {
+			th.MakeVisible(o, false, proto)
+		}
+		if th.Stats.PVCacheHits != 3 || th.Stats.PVUpdates != 1 {
+			t.Errorf("proto %v: stale re-reads: cacheHits=%d updates=%d, want 3/1",
+				proto, th.Stats.PVCacheHits, th.Stats.PVUpdates)
+		}
+		if o.Vis().Load() != 0 {
+			t.Errorf("proto %v: cache hit touched the shared vis word", proto)
+		}
+		// A new transaction must not inherit the cache: the same stale
+		// word now forces a real publication.
+		finish(rt, th)
+		th.ResetTxnState()
+		th.StartSnapshot(rt.Active.Enter(th))
+		th.Visible = true
+		th.PublishActive(th.BeginTS)
+		th.MakeVisible(o, false, proto)
+		if th.Stats.PVCacheHits != 3 || th.Stats.PVUpdates != 2 {
+			t.Errorf("proto %v: cache survived ResetTxnState (hits=%d updates=%d, want 3/2)",
+				proto, th.Stats.PVCacheHits, th.Stats.PVUpdates)
+		}
+		finish(rt, th)
+	}
+}
+
+// TestHintCacheDisabled: the DisableHintCache ablation must force every
+// slow-path MakeVisible through the full protocol.
+func TestHintCacheDisabled(t *testing.T) {
+	rt, err := NewRuntime(Options{
+		HeapWords: 1 << 12, OrecCount: 1 << 8, MaxThreads: 4,
+		DisableHintCache: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Clock.Tick()
+	th := newActiveThread(t, rt)
+	o := rt.Orecs.At(7)
+	th.MakeVisible(o, false, VisCAS)
+	for i := 0; i < 3; i++ {
+		staleVis(o)
+		th.MakeVisible(o, false, VisCAS)
+	}
+	if th.Stats.PVCacheHits != 0 {
+		t.Errorf("cache hits with DisableHintCache: %d", th.Stats.PVCacheHits)
+	}
+	// Every stale re-read had to republish.
+	if th.Stats.PVUpdates != 4 {
+		t.Errorf("updates = %d, want 4", th.Stats.PVUpdates)
+	}
+	finish(rt, th)
+}
+
+// TestTryExtendFlushesHintCache: a successful snapshot extension must flush
+// the hint cache (CORRECTNESS.md §10 keeps the cache's argument scoped to
+// one validity interval), so the next slow-path read goes back through the
+// full protocol before the cache re-arms.
+func TestTryExtendFlushesHintCache(t *testing.T) {
+	rt := newTestRT(t, 4)
+	rt.Clock.Tick()
+	th := newActiveThread(t, rt)
+	th.ExtendOK = true
+	o := rt.Orecs.At(7)
+
+	th.MakeVisible(o, false, VisCAS) // publish, arm the cache
+	staleVis(o)
+	th.MakeVisible(o, false, VisCAS)
+	if th.Stats.PVCacheHits != 1 || th.Stats.PVUpdates != 1 {
+		t.Fatalf("pre-extension: cacheHits=%d updates=%d, want 1/1",
+			th.Stats.PVCacheHits, th.Stats.PVUpdates)
+	}
+
+	rt.Clock.Tick() // something committed: extension has work to do
+	if !th.TryExtend() {
+		t.Fatal("TryExtend failed on an empty read set")
+	}
+
+	// The stale re-read after the extension must miss the cache and
+	// republish...
+	th.MakeVisible(o, false, VisCAS)
+	if th.Stats.PVCacheHits != 1 || th.Stats.PVUpdates != 2 {
+		t.Errorf("post-extension: cacheHits=%d updates=%d, want 1/2 (cache must be flushed)",
+			th.Stats.PVCacheHits, th.Stats.PVUpdates)
+	}
+	// ...and re-arm the cache for subsequent stale re-reads.
+	staleVis(o)
+	th.MakeVisible(o, false, VisCAS)
+	if th.Stats.PVCacheHits != 2 {
+		t.Errorf("cacheHits = %d on the re-armed re-read, want 2", th.Stats.PVCacheHits)
+	}
+	finish(rt, th)
+}
+
+// TestPollValidateExtensionFlushesHintCache is the PollValidate twin of
+// TestTryExtendFlushesHintCache.
+func TestPollValidateExtensionFlushesHintCache(t *testing.T) {
+	rt := newTestRT(t, 4)
+	rt.Clock.Tick()
+	th := newActiveThread(t, rt)
+	th.ExtendOK = true
+	o := rt.Orecs.At(7)
+
+	th.MakeVisible(o, false, VisCAS)
+	staleVis(o)
+	th.MakeVisible(o, false, VisCAS)
+	if th.Stats.PVCacheHits != 1 {
+		t.Fatalf("cacheHits = %d, want 1", th.Stats.PVCacheHits)
+	}
+	rt.Clock.Tick()
+	th.PollValidate() // extends: must flush the cache
+	th.MakeVisible(o, false, VisCAS)
+	if th.Stats.PVCacheHits != 1 || th.Stats.PVUpdates != 2 {
+		t.Errorf("after PollValidate extension: cacheHits=%d updates=%d, want 1/2",
+			th.Stats.PVCacheHits, th.Stats.PVUpdates)
+	}
+	finish(rt, th)
+}
+
+// TestMakeVisibleAllocFree pins the whole reader-side visibility path at
+// zero heap allocations in steady state, for both protocols and all three
+// hot cases: the covered re-read, the cache-elided stale re-read, and the
+// full publication.
+func TestMakeVisibleAllocFree(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		proto VisProto
+	}{{"CAS", VisCAS}, {"Store", VisStore}} {
+		t.Run(tc.name, func(t *testing.T) {
+			rt := newTestRT(t, 4)
+			rt.Clock.Tick()
+			th := newActiveThread(t, rt)
+			o := rt.Orecs.At(7)
+
+			th.MakeVisible(o, false, tc.proto) // warm up caches and logs
+			if n := testing.AllocsPerRun(200, func() {
+				th.MakeVisible(o, false, tc.proto)
+			}); n != 0 {
+				t.Errorf("covered MakeVisible allocates %.1f per call", n)
+			}
+
+			staleVis(o)
+			if n := testing.AllocsPerRun(200, func() {
+				th.MakeVisible(o, false, tc.proto)
+			}); n != 0 {
+				t.Errorf("cache-elided MakeVisible allocates %.1f per call", n)
+			}
+
+			// Publication path: reset per run so neither the hint cache
+			// nor the covered test can short-circuit the full update.
+			if n := testing.AllocsPerRun(200, func() {
+				staleVis(o)
+				th.ResetTxnState()
+				th.StartSnapshot(th.BeginTS)
+				th.MakeVisible(o, false, tc.proto)
+			}); n != 0 {
+				t.Errorf("publishing MakeVisible allocates %.1f per call", n)
+			}
+			finish(rt, th)
+		})
+	}
+}
+
+// TestHintCacheEquivalence is the soundness property test for the cache
+// elision: under an identical deterministic interleaving of three readers
+// and one committing writer on a single orec, a runtime with the hint cache
+// and a runtime without it must produce identical writer-side outcomes —
+// the same (conflict, threshold) from every ReaderConflictScan — and end
+// every step with the same shared vis word. The cache may only elide
+// updates whose re-execution would have been skips (CORRECTNESS.md §10);
+// if it ever elided a *required* multi-bit set or publication, some writer
+// scan below would diverge from the uncached run.
+func TestHintCacheEquivalence(t *testing.T) {
+	const steps = 4000
+	type outcome struct {
+		threshold uint64
+		conflict  bool
+		vis       uint64
+	}
+	for _, tc := range []struct {
+		name  string
+		proto VisProto
+	}{{"CAS", VisCAS}, {"Store", VisStore}} {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(disable bool) []outcome {
+				rt, err := NewRuntime(Options{
+					HeapWords: 1 << 8, OrecCount: 1 << 4, MaxThreads: 8,
+					DisableHintCache: disable,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				o := rt.Orecs.At(3)
+				readers := make([]*Thread, 3)
+				live := make([]bool, 3)
+				for i := range readers {
+					th, err := rt.NewThread()
+					if err != nil {
+						t.Fatal(err)
+					}
+					readers[i] = th
+				}
+				writer, err := rt.NewThread()
+				if err != nil {
+					t.Fatal(err)
+				}
+				var out []outcome
+				seed := uint64(0x9e3779b97f4a7c15)
+				for s := 0; s < steps; s++ {
+					seed = seed*6364136223846793005 + 1442695040888963407
+					r := seed >> 33
+					switch r % 5 {
+					case 0, 1: // reader visibility action
+						i := int(r / 5 % 3)
+						th := readers[i]
+						if !live[i] {
+							th.ResetTxnState()
+							th.StartSnapshot(rt.Active.Enter(th))
+							th.Visible = true
+							th.PublishActive(th.BeginTS)
+							live[i] = true
+						}
+						th.MakeVisible(o, true, tc.proto)
+					case 2: // reader completes
+						i := int(r / 5 % 3)
+						if live[i] {
+							rt.Active.Leave(readers[i])
+							readers[i].PublishInactive()
+							live[i] = false
+						}
+					default: // writer: acquire, scan, commit
+						w := writer
+						w.ResetTxnState()
+						w.StartSnapshot(rt.Active.Enter(w))
+						w.Visible = true
+						w.PublishActive(w.BeginTS)
+						if !w.AcquireOrec(o) {
+							t.Fatalf("step %d: writer failed to acquire an unowned orec", s)
+						}
+						threshold, conflict := w.ReaderConflictScan(true)
+						wts := rt.Clock.Tick()
+						w.Acq.ReleaseAll(wts)
+						rt.Active.Leave(w)
+						w.PublishInactive()
+						out = append(out, outcome{threshold, conflict, o.Vis().Load()})
+					}
+				}
+				return out
+			}
+			cached, uncached := run(false), run(true)
+			if len(cached) != len(uncached) {
+				t.Fatalf("step counts diverged: %d vs %d", len(cached), len(uncached))
+			}
+			for i := range cached {
+				if cached[i] != uncached[i] {
+					t.Fatalf("writer scan %d diverged: cached=%+v uncached=%+v",
+						i, cached[i], uncached[i])
+				}
+			}
+		})
+	}
+}
+
+// TestHintCacheSharedStateUntouched: a cache hit must not modify any orec
+// word — vis, grace, or curr_reader.
+func TestHintCacheSharedStateUntouched(t *testing.T) {
+	rt := newTestRT(t, 4)
+	rt.Clock.Tick()
+	th := newActiveThread(t, rt)
+	o := rt.Orecs.At(7)
+	th.MakeVisible(o, true, VisStore)
+	staleVis(o)
+	vis, grace, curr := o.Vis().Load(), o.Grace().Load(), o.CurrReader().Load()
+	for i := 0; i < 5; i++ {
+		th.MakeVisible(o, true, VisStore)
+	}
+	if o.Vis().Load() != vis || o.Grace().Load() != grace || o.CurrReader().Load() != curr {
+		t.Error("cache hits modified shared orec state")
+	}
+	if th.Stats.PVCacheHits != 5 {
+		t.Errorf("cacheHits = %d, want 5", th.Stats.PVCacheHits)
+	}
+	finish(rt, th)
+}

@@ -121,7 +121,7 @@ func TestRunSandboxesDoomedPanic(t *testing.T) {
 		if runs == 1 {
 			// Invalidate the read behind our back, then "crash".
 			o := rt.Orecs.For(a)
-			o.Owner.Store(orec.PackUnowned(rt.Clock.Tick()))
+			o.Owner().Store(orec.PackUnowned(rt.Clock.Tick()))
 			panic("chased a torn pointer")
 		}
 	}); err != nil {
@@ -175,7 +175,7 @@ func TestReadHeapConsistentAbortsOnNewerTimestamp(t *testing.T) {
 	rt := newTestRT(t, 2)
 	reader := newActiveThread(t, rt)
 	a := rt.Heap.MustAlloc(1)
-	rt.Orecs.For(a).Owner.Store(orec.PackUnowned(rt.Clock.Tick()))
+	rt.Orecs.For(a).Owner().Store(orec.PackUnowned(rt.Clock.Tick()))
 	aborted := false
 	func() {
 		defer func() {
@@ -212,7 +212,7 @@ func TestAcquireWriteSetRollsBackOnFailure(t *testing.T) {
 	if w2.Acq.Len() != 0 {
 		t.Error("failed acquisition left entries in the acquired set")
 	}
-	if orec.IsOwned(rt.Orecs.For(a).Owner.Load()) {
+	if orec.IsOwned(rt.Orecs.For(a).Owner().Load()) {
 		t.Error("orec a still owned after rollback")
 	}
 	finish(rt, w1)
@@ -244,7 +244,7 @@ func TestPollValidateAbortsOnInvalidReadSet(t *testing.T) {
 	th := newActiveThread(t, rt)
 	a := rt.Heap.MustAlloc(1)
 	_ = th.ReadHeapConsistent(a)
-	rt.Orecs.For(a).Owner.Store(orec.PackUnowned(rt.Clock.Tick()))
+	rt.Orecs.For(a).Owner().Store(orec.PackUnowned(rt.Clock.Tick()))
 	aborted := false
 	func() {
 		defer func() {

@@ -28,6 +28,19 @@ const DefaultMaxGrace = 256
 // switches to partially visible reads (§IV: 16).
 const DefaultHybridThreshold = 16
 
+// OrecLayout re-exports the orec-table memory layout selector
+// (Options.OrecLayout).
+type OrecLayout = orec.Layout
+
+// The orec-table layouts.
+const (
+	OrecLayoutAoS = orec.LayoutAoS
+	OrecLayoutSoA = orec.LayoutSoA
+)
+
+// ParseOrecLayout maps a flag spelling ("aos", "soa") back to its layout.
+func ParseOrecLayout(s string) (OrecLayout, error) { return orec.ParseLayout(s) }
+
 // Options configures a Runtime.
 type Options struct {
 	HeapWords  int // capacity of the simulated heap
@@ -59,6 +72,15 @@ type Options struct {
 	// GraceStrategy selects the §III-A adaptation family (default:
 	// exponential, the paper's choice).
 	GraceStrategy GraceStrategy
+	// OrecLayout selects the orec table's memory layout: OrecLayoutAoS
+	// (default; one padded line per record) or OrecLayoutSoA (parallel
+	// padded columns, separating writer owner-scan traffic from reader
+	// hint traffic).
+	OrecLayout OrecLayout
+	// DisableHintCache turns off the thread-local orec hint cache, making
+	// every MakeVisible re-run the full §II-E protocol (ablations and the
+	// cache-equivalence property test).
+	DisableHintCache bool
 
 	// CM selects the contention-management policy applied between retry
 	// attempts (default CMBackoff).
@@ -121,6 +143,7 @@ type Runtime struct {
 	HybridThreshold  int
 	CapFenceAtCommit bool
 	NoExtension      bool // snapshot extension disabled (ablation)
+	NoHintCache      bool // thread-local hint cache disabled (ablation)
 	GraceStrategy    GraceStrategy
 
 	CMKind         CMPolicy
@@ -149,12 +172,13 @@ func NewRuntime(opts Options) (*Runtime, error) {
 	}
 	rt := &Runtime{
 		Heap:             heap.New(opts.HeapWords),
-		Orecs:            orec.NewTable(opts.OrecCount, opts.BlockWords),
+		Orecs:            orec.NewTableLayout(opts.OrecCount, opts.BlockWords, opts.OrecLayout),
 		OrderQ:           ticket.NewQueueLock(),
 		MaxGrace:         opts.MaxGrace,
 		HybridThreshold:  opts.HybridThreshold,
 		CapFenceAtCommit: opts.CapFenceAtCommit,
 		NoExtension:      opts.DisableExtension,
+		NoHintCache:      opts.DisableHintCache,
 		GraceStrategy:    opts.GraceStrategy,
 		CMKind:           opts.CM,
 		MaxAttempts:      opts.MaxAttempts,

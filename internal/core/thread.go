@@ -54,11 +54,17 @@ type Thread struct {
 	// Attempts counts consecutive aborts of the current Run, for
 	// contention-management backoff.
 	Attempts int
-	// VisPub maps orecs to the rts hints this transaction published on
-	// them; the writer-side self-test (ReaderConflictScan) only treats a
-	// hint as the writer's own if it appears here. Lazily allocated,
-	// cleared per transaction.
-	VisPub map[*orec.Orec]uint64
+	// VisPub logs the (orec, rts) hints this transaction published; the
+	// writer-side self-test (ReaderConflictScan) only treats a hint as the
+	// writer's own if it appears here. Open-addressed and epoch-reset
+	// (logs.PubLog), so steady-state publication is alloc-free.
+	VisPub logs.PubLog
+	// visCache is the thread-local orec hint cache: the table indices of
+	// orecs on which the running transaction has already established its
+	// visibility. A hit lets MakeVisible return without loading the shared
+	// vis word (soundness: CORRECTNESS.md §10). Flushed per transaction
+	// and — conservatively — whenever the snapshot is extended.
+	visCache logs.KeySet
 
 	// cm is the configured contention-management policy (cm.go), consulted
 	// by Run between attempts.
@@ -122,9 +128,8 @@ func (t *Thread) ResetTxnState() {
 	t.Wrote = false
 	t.Visible = false
 	t.ExtendOK = false
-	if len(t.VisPub) > 0 {
-		clear(t.VisPub)
-	}
+	t.VisPub.Reset()
+	t.visCache.Reset()
 }
 
 // StartSnapshot records ts as the transaction's begin time and initializes
@@ -155,7 +160,7 @@ func (rt *Runtime) ReaderMayBeLive(tid, rts uint64) bool {
 // modified after the snapshot's validity bound. It returns the orec's
 // current write timestamp, and false if the transaction must abort.
 func (t *Thread) CheckConsistent(o *orec.Orec) (wts uint64, ok bool) {
-	v := o.Owner.Load()
+	v := o.Owner().Load()
 	if orec.IsOwned(v) {
 		if orec.OwnerTID(v) == t.ID {
 			return 0, true // my own in-place write; undo log has the pre-image
@@ -178,7 +183,7 @@ func (t *Thread) ValidateReads() bool {
 	n := t.Reads.Len()
 	for i := 0; i < n; i++ {
 		e := t.Reads.At(i)
-		v := e.Orec.Owner.Load()
+		v := e.Orec.Owner().Load()
 		if orec.IsOwned(v) {
 			if orec.OwnerTID(v) != t.ID {
 				return false
@@ -214,6 +219,11 @@ func (t *Thread) TryExtend() bool {
 	t.ValidTS = c
 	t.LastClockSeen = c
 	t.Stats.Extensions++
+	// Flush the hint cache across the extension. Coverage decisions key
+	// off BeginTS, which extension does not move, so this is purely
+	// conservative — but it keeps the cache's lifetime argument local to
+	// "one validity interval" (CORRECTNESS.md §10) and costs O(1).
+	t.visCache.Reset()
 	t.SetValidated(c)
 	return true
 }
@@ -244,6 +254,7 @@ func (t *Thread) PollValidate() {
 	if t.ExtendOK && !t.RT.NoExtension {
 		t.ValidTS = c
 		t.Stats.Extensions++
+		t.visCache.Reset() // conservative, as in TryExtend
 	}
 	t.SetValidated(c)
 }
@@ -256,13 +267,12 @@ func (t *Thread) PollValidate() {
 // extension attempt instead of an unconditional abort.
 func (t *Thread) ReadHeapConsistent(a heap.Addr) heap.Word {
 	o := t.RT.Orecs.For(a)
-	key := uint32(t.RT.Orecs.Index(a))
 	for {
-		v1 := o.Owner.Load()
+		v1 := o.Owner().Load()
 		if orec.IsOwned(v1) {
 			if orec.OwnerTID(v1) == t.ID {
 				// Reading my own in-place write.
-				t.Reads.Add(o, a, t.BeginTS, key)
+				t.Reads.Add(o, a, t.BeginTS)
 				return t.RT.Heap.AtomicLoad(a)
 			}
 			t.ConflictAbort()
@@ -275,8 +285,8 @@ func (t *Thread) ReadHeapConsistent(a heap.Addr) heap.Word {
 			continue // bound raised; re-examine the orec
 		}
 		w := t.RT.Heap.AtomicLoad(a)
-		if o.Owner.Load() == v1 {
-			t.Reads.Add(o, a, wts, key)
+		if o.Owner().Load() == v1 {
+			t.Reads.Add(o, a, wts)
 			return w
 		}
 		// The orec changed under us; retry the read.

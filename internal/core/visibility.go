@@ -46,27 +46,50 @@ func (t *Thread) MakeVisible(o *orec.Orec, useGrace bool, proto VisProto) {
 	rt := t.RT
 	t.Stats.PVReads++
 	mustMulti := false // set after a detected store-protocol race
+	probed := false    // hint cache consulted at most once per call
 	for {
-		v := o.Vis.Load()
+		v := o.Vis().Load()
 		rts, tid, multi := orec.UnpackVis(v)
 		covered := rts >= t.BeginTS
 
-		if covered {
-			if multi || (!mustMulti && (tid == t.ID || !rt.ReaderMayBeLive(tid, rts))) {
+		if covered && (multi || (!mustMulti && (tid == t.ID || !rt.ReaderMayBeLive(tid, rts)))) {
+			// The common fast path, deliberately ahead of the hint
+			// cache: a covered check is one shared load and a branch,
+			// cheaper than a cache probe, and most steady-state reads
+			// land here.
+			t.Stats.PVSkipped++
+			return
+		}
+
+		// Slow path: a multi-bit CAS or a full publication is coming.
+		// If this transaction already established its visibility on o,
+		// skip it — within one transaction that decision is stable, and
+		// re-running the protocol could only reach another skip
+		// (soundness: CORRECTNESS.md §10). The probe pays for itself
+		// here because what it elides is an atomic update, not a load.
+		if !probed && !rt.NoHintCache {
+			probed = true
+			if t.visCache.Has(o.Index()) {
 				t.Stats.PVSkipped++
+				t.Stats.PVCacheHits++
 				return
 			}
+		}
+
+		if covered {
 			// Set only the multiple-readers bit.
 			nv := v | 1
 			if proto == VisCAS {
-				if o.Vis.CompareAndSwap(v, nv) {
+				if o.Vis().CompareAndSwap(v, nv) {
 					t.Stats.PVMultiSets++
+					t.cacheVisible(o.Index())
 					return
 				}
 				continue
 			}
 			if t.visStoreUpdate(o, v, nv) {
 				t.Stats.PVMultiSets++
+				t.cacheVisible(o.Index())
 				return
 			}
 			mustMulti = true
@@ -76,7 +99,7 @@ func (t *Thread) MakeVisible(o *orec.Orec, useGrace bool, proto VisProto) {
 		// Full update: rts ← now+G, tid ← us.
 		g := uint64(0)
 		if useGrace {
-			g = o.Grace.Load()
+			g = o.Grace().Load()
 		}
 		now := rt.Clock.Now()
 		// Carry the multi bit if any live transaction may be covered by
@@ -86,7 +109,7 @@ func (t *Thread) MakeVisible(o *orec.Orec, useGrace bool, proto VisProto) {
 		nv := orec.PackVis(now+g, t.ID, carry)
 		var done bool
 		if proto == VisCAS {
-			done = o.Vis.CompareAndSwap(v, nv)
+			done = o.Vis().CompareAndSwap(v, nv)
 		} else {
 			done = t.visStoreUpdate(o, v, nv)
 		}
@@ -97,11 +120,25 @@ func (t *Thread) MakeVisible(o *orec.Orec, useGrace bool, proto VisProto) {
 			continue
 		}
 		t.Stats.PVUpdates++
-		t.notePublished(o, orec.VisRTS(nv))
+		t.VisPub.Add(o, orec.VisRTS(nv))
+		t.cacheVisible(o.Index())
 		if useGrace {
-			raiseGrace(o, rt.GraceStrategy, rt.MaxGrace)
+			t.Stats.GraceRaces += raiseGrace(o, rt.GraceStrategy, rt.MaxGrace)
 		}
 		return
+	}
+}
+
+// cacheVisible records in the thread-local hint cache that the running
+// transaction has established its visibility on the orec at table index
+// key by updating shared state (a multi-bit set or a full publication);
+// later MakeVisible calls on the same orec that would otherwise re-enter
+// the slow path return without re-running the update protocol. The cache
+// is flushed at transaction reset and (conservatively) on snapshot
+// extension.
+func (t *Thread) cacheVisible(key uint32) {
+	if !t.RT.NoHintCache {
+		t.visCache.Add(key)
 	}
 }
 
@@ -121,49 +158,39 @@ func (t *Thread) MakeVisible(o *orec.Orec, useGrace bool, proto VisProto) {
 // compare-and-swap is involved, which is the protocol's entire purpose.
 func (t *Thread) visStoreUpdate(o *orec.Orec, expected, newv uint64) bool {
 	var b spin.Backoff
-	for o.CurrReader.Load() != orec.NoReader {
+	for o.CurrReader().Load() != orec.NoReader {
 		b.Wait()
 	}
 	id := t.ID + 1 // offset so thread 0 is distinguishable from NoReader
-	o.CurrReader.Store(id)
-	if o.Vis.Load() != expected {
+	o.CurrReader().Store(id)
+	if o.Vis().Load() != expected {
 		// Raced before our update: withdraw (only if the slot is still
 		// ours; overwriting a racer's claim would be repaired by the
 		// racer's own step-5 check).
-		if o.CurrReader.Load() == id {
-			o.CurrReader.Store(orec.NoReader)
+		if o.CurrReader().Load() == id {
+			o.CurrReader().Store(orec.NoReader)
 		}
 		t.Stats.StoreRaces++
 		return false
 	}
-	o.Vis.Store(newv)
-	if o.CurrReader.Load() == id {
-		o.CurrReader.Store(orec.NoReader)
+	o.Vis().Store(newv)
+	if o.CurrReader().Load() == id {
+		o.CurrReader().Store(orec.NoReader)
 		return true
 	}
 	t.Stats.StoreRaces++
 	return false
 }
 
-// notePublished records that this transaction published a hint with the
-// given rts on o. The writer-side self-test consults this log: a hint may
-// be treated as "my own read, no fence needed" only if it was published by
-// the writer's current transaction. (Without this, a stale hint — whose rts
-// can sit in the future when grace periods are on — could be claimed by the
-// publisher's *next* transaction, silently skipping a fence another live
-// reader depends on.)
-func (t *Thread) notePublished(o *orec.Orec, rts uint64) {
-	if t.VisPub == nil {
-		t.VisPub = make(map[*orec.Orec]uint64, 32)
-	}
-	t.VisPub[o] = rts
-}
-
 // publishedHere reports whether (o, rts) is a hint published by the current
-// transaction.
+// transaction. The writer-side self-test consults the publication log: a
+// hint may be treated as "my own read, no fence needed" only if it was
+// published by the writer's current transaction. (Without this, a stale
+// hint — whose rts can sit in the future when grace periods are on — could
+// be claimed by the publisher's *next* transaction, silently skipping a
+// fence another live reader depends on.)
 func (t *Thread) publishedHere(o *orec.Orec, rts uint64) bool {
-	r, ok := t.VisPub[o]
-	return ok && r == rts
+	return t.VisPub.Contains(o, rts)
 }
 
 // GraceStrategy selects how per-orec grace periods adapt. §III-A settles
@@ -188,39 +215,69 @@ const (
 // strategies.
 const graceLinearStep = 16
 
+// graceCASRetries bounds the grace adapters' compare-and-swap loops.
+// Adaptation is a heuristic, so abandoning an update after a few lost
+// races is harmless — but each *individual* update must be a real
+// read-modify-write: the previous plain load-then-store could overwrite a
+// concurrent adaptation with a value derived from a stale read, e.g. a
+// racing raise and lower could leave the grace period *above* where either
+// alone would have put it, and repeated races could walk it arbitrarily
+// far from the adaptive equilibrium. Lost attempts (retried or abandoned)
+// are counted in stats.GraceRaces so the ablation benchmarks can report
+// how often adaptation actually contends.
+const graceCASRetries = 4
+
 // raiseGrace grows o's grace period after a successful visibility update,
-// per the runtime's strategy, up to cap.
-func raiseGrace(o *orec.Orec, strat GraceStrategy, cap uint64) {
-	g := o.Grace.Load()
-	switch strat {
-	case GraceLinear, GraceHybrid:
-		g += graceLinearStep
-	default:
-		if g == 0 {
-			g = 1
-		} else {
-			g *= 2
+// per the runtime's strategy, up to maxGrace. It returns the number of
+// CAS attempts lost to concurrent adapters (for stats.GraceRaces).
+func raiseGrace(o *orec.Orec, strat GraceStrategy, maxGrace uint64) (races uint64) {
+	for {
+		g := o.Grace().Load()
+		ng := g
+		switch strat {
+		case GraceLinear, GraceHybrid:
+			ng += graceLinearStep
+		default:
+			if ng == 0 {
+				ng = 1
+			} else {
+				ng *= 2
+			}
+		}
+		if ng > maxGrace {
+			ng = maxGrace
+		}
+		if ng == g || o.Grace().CompareAndSwap(g, ng) {
+			return races
+		}
+		if races++; races >= graceCASRetries {
+			return races
 		}
 	}
-	if g > cap {
-		g = cap
-	}
-	o.Grace.Store(g)
 }
 
 // lowerGrace shrinks o's grace period when a writer detects a (possibly
-// false-positive) reader conflict through o.
-func lowerGrace(o *orec.Orec, strat GraceStrategy) {
-	g := o.Grace.Load()
-	switch strat {
-	case GraceLinear:
-		if g >= graceLinearStep {
-			g -= graceLinearStep
-		} else {
-			g = 0
+// false-positive) reader conflict through o. Bounded-retry CAS like
+// raiseGrace; returns the number of lost attempts.
+func lowerGrace(o *orec.Orec, strat GraceStrategy) (races uint64) {
+	for {
+		g := o.Grace().Load()
+		ng := g
+		switch strat {
+		case GraceLinear:
+			if ng >= graceLinearStep {
+				ng -= graceLinearStep
+			} else {
+				ng = 0
+			}
+		default:
+			ng /= 2
 		}
-	default:
-		g /= 2
+		if ng == g || o.Grace().CompareAndSwap(g, ng) {
+			return races
+		}
+		if races++; races >= graceCASRetries {
+			return races
+		}
 	}
-	o.Grace.Store(g)
 }

@@ -22,9 +22,6 @@ type ReadEntry struct {
 	Orec *orec.Orec
 	Addr heap.Addr
 	WTS  uint64
-	// key is the orec-table index of Orec, the filter's hash key (a block
-	// of addresses shares one orec, so one key).
-	key uint32
 }
 
 // ReadSet is a log of reads, deduplicated per orec: re-reading a block
@@ -32,75 +29,42 @@ type ReadEntry struct {
 // validation and the writer-side conflict scan proportional to the number
 // of *distinct* blocks read rather than the number of loads.
 //
-// The filter is the same open-addressing design as Redo's index, keyed by
-// the orec-table slot the caller passes to Add. Keys and orec pointers are
-// in bijection (one table per runtime), so matching on the entry's orec
-// pointer is exact.
-//
-// Each filter word packs (epoch, entry index + 1); a word whose epoch is
-// not the container's current epoch reads as empty. Reset then just bumps
-// the epoch — O(1) — instead of memsetting the whole filter, so one large
-// transaction does not tax every later small transaction on the thread
-// with an O(max-historical-capacity) clear per begin. One real clear runs
-// per 2^32 resets, when the epoch wraps (see Reset).
+// The index is a shared epoch-stamped filter (filter.go) keyed by the
+// orec's table slot (Orec.Index). Keys and orec handles are in bijection
+// (one table per runtime), so matching on the entry's orec pointer is
+// exact.
 type ReadSet struct {
 	entries []ReadEntry
-	idx     []uint64
-	mask    uint32
-	epoch   uint32
+	f       filter
 }
 
-func (rs *ReadSet) slot(key uint32) uint32 {
-	return key * 2654435769 & rs.mask // 32-bit Fibonacci scatter
-}
+func (rs *ReadSet) keyAt(i int) uint32 { return rs.entries[i].Orec.Index() }
 
-// live reports whether filter word v holds a current-epoch entry index.
-func (rs *ReadSet) live(v uint64) bool {
-	return uint32(v>>32) == rs.epoch && uint32(v) != 0
-}
-
-func (rs *ReadSet) grow() {
-	n := 64
-	if rs.idx != nil {
-		n = len(rs.idx) * 2
+// Add records a read of address a covered by orec o with write timestamp
+// wts. A re-read of a block already logged at the same timestamp appends
+// nothing; a re-read observing a *newer* timestamp (the snapshot was
+// extended past an intervening commit) refreshes the entry in place, so
+// validation keeps checking "unchanged since my latest read".
+func (rs *ReadSet) Add(o *orec.Orec, a heap.Addr, wts uint64) {
+	if rs.f.needGrow(len(rs.entries)) {
+		rs.f.grow(64, len(rs.entries), rs.keyAt)
 	}
-	rs.idx = make([]uint64, n)
-	rs.mask = uint32(n - 1)
-	tag := uint64(rs.epoch) << 32
-	for i := range rs.entries {
-		s := rs.slot(rs.entries[i].key)
-		for rs.live(rs.idx[s]) {
-			s = (s + 1) & rs.mask
-		}
-		rs.idx[s] = tag | uint64(i+1)
-	}
-}
-
-// Add records a read of address a covered by orec o (at table slot key)
-// with write timestamp wts. A re-read of a block already logged at the
-// same timestamp is dropped; a re-read observing a *newer* timestamp (the
-// snapshot was extended past an intervening commit) refreshes the entry in
-// place, so validation keeps checking "unchanged since my latest read".
-func (rs *ReadSet) Add(o *orec.Orec, a heap.Addr, wts uint64, key uint32) {
-	if rs.idx == nil || len(rs.entries)*4 >= len(rs.idx)*3 {
-		rs.grow()
-	}
-	s := rs.slot(key)
+	s := rs.f.start(o.Index())
 	for {
-		v := rs.idx[s]
-		if !rs.live(v) {
-			rs.idx[s] = uint64(rs.epoch)<<32 | uint64(len(rs.entries)+1)
-			rs.entries = append(rs.entries, ReadEntry{Orec: o, Addr: a, WTS: wts, key: key})
+		i := rs.f.at(s)
+		if i < 0 {
+			rs.f.put(s, len(rs.entries))
+			rs.entries = append(rs.entries, ReadEntry{Orec: o, Addr: a, WTS: wts})
 			return
 		}
-		if e := &rs.entries[uint32(v)-1]; e.Orec == o {
+		if e := &rs.entries[i]; e.Orec == o {
 			if wts > e.WTS {
 				e.WTS = wts
 				e.Addr = a
 			}
 			return
 		}
-		s = (s + 1) & rs.mask
+		s = rs.f.next(s)
 	}
 }
 
@@ -110,16 +74,11 @@ func (rs *ReadSet) Len() int { return len(rs.entries) }
 // At returns the i-th entry.
 func (rs *ReadSet) At(i int) *ReadEntry { return &rs.entries[i] }
 
-// Reset empties the set, retaining capacity. It is O(1): bumping the epoch
-// invalidates every filter word at once. The filter is physically cleared
-// only when the 32-bit epoch wraps, so a stale word from 2^32 resets ago
-// can never alias a current one.
+// Reset empties the set, retaining capacity; O(1) via the filter's epoch
+// bump.
 func (rs *ReadSet) Reset() {
 	rs.entries = rs.entries[:0]
-	if rs.epoch++; rs.epoch == 0 {
-		clear(rs.idx)
-		rs.epoch = 1
-	}
+	rs.f.reset()
 }
 
 // UndoEntry records a pre-image for in-place writes.
@@ -165,61 +124,39 @@ type RedoEntry struct {
 // same address overwrite in place, so write-back applies each address once,
 // with the latest value. The zero value is an empty log ready to use.
 //
-// The index is a small open-addressing hash table rather than a Go map:
-// redo lookup sits on the read hot path of every buffered-update engine,
-// and the paper's C systems pay only a few instructions there. Filter
-// words are epoch-stamped exactly like ReadSet's, so Reset is O(1).
+// The index is the shared epoch-stamped filter (filter.go) rather than a
+// Go map: redo lookup sits on the read hot path of every buffered-update
+// engine, and the paper's C systems pay only a few instructions there.
 type Redo struct {
 	entries []RedoEntry
-	idx     []uint64
-	mask    uint32
-	epoch   uint32
+	f       filter
 }
 
-func (r *Redo) slot(a heap.Addr) uint32 {
-	return uint32(uint64(a)*0x9e3779b97f4a7c15>>33) & r.mask
+// redoKey condenses an address into the filter's 32-bit key space.
+func redoKey(a heap.Addr) uint32 {
+	return uint32(uint64(a) * 0x9e3779b97f4a7c15 >> 33)
 }
 
-// live reports whether filter word v holds a current-epoch entry index.
-func (r *Redo) live(v uint64) bool {
-	return uint32(v>>32) == r.epoch && uint32(v) != 0
-}
-
-func (r *Redo) grow() {
-	n := 32
-	if r.idx != nil {
-		n = len(r.idx) * 2
-	}
-	r.idx = make([]uint64, n)
-	r.mask = uint32(n - 1)
-	tag := uint64(r.epoch) << 32
-	for i := range r.entries {
-		s := r.slot(r.entries[i].Addr)
-		for r.live(r.idx[s]) {
-			s = (s + 1) & r.mask
-		}
-		r.idx[s] = tag | uint64(i+1)
-	}
-}
+func (r *Redo) keyAt(i int) uint32 { return redoKey(r.entries[i].Addr) }
 
 // Put buffers a write of w to a.
 func (r *Redo) Put(a heap.Addr, w heap.Word) {
-	if r.idx == nil || len(r.entries)*4 >= len(r.idx)*3 {
-		r.grow()
+	if r.f.needGrow(len(r.entries)) {
+		r.f.grow(32, len(r.entries), r.keyAt)
 	}
-	s := r.slot(a)
+	s := r.f.start(redoKey(a))
 	for {
-		v := r.idx[s]
-		if !r.live(v) {
-			r.idx[s] = uint64(r.epoch)<<32 | uint64(len(r.entries)+1)
+		i := r.f.at(s)
+		if i < 0 {
+			r.f.put(s, len(r.entries))
 			r.entries = append(r.entries, RedoEntry{Addr: a, Val: w})
 			return
 		}
-		if e := &r.entries[uint32(v)-1]; e.Addr == a {
+		if e := &r.entries[i]; e.Addr == a {
 			e.Val = w
 			return
 		}
-		s = (s + 1) & r.mask
+		s = r.f.next(s)
 	}
 }
 
@@ -228,16 +165,16 @@ func (r *Redo) Get(a heap.Addr) (heap.Word, bool) {
 	if len(r.entries) == 0 {
 		return 0, false
 	}
-	s := r.slot(a)
+	s := r.f.start(redoKey(a))
 	for {
-		v := r.idx[s]
-		if !r.live(v) {
+		i := r.f.at(s)
+		if i < 0 {
 			return 0, false
 		}
-		if e := &r.entries[uint32(v)-1]; e.Addr == a {
+		if e := &r.entries[i]; e.Addr == a {
 			return e.Val, true
 		}
-		s = (s + 1) & r.mask
+		s = r.f.next(s)
 	}
 }
 
@@ -254,15 +191,11 @@ func (r *Redo) WriteBack(h *heap.Heap) {
 	}
 }
 
-// Reset empties the log, retaining capacity. O(1) epoch bump; the filter
-// is physically cleared only when the 32-bit epoch wraps (see
-// ReadSet.Reset).
+// Reset empties the log, retaining capacity; O(1) via the filter's epoch
+// bump.
 func (r *Redo) Reset() {
 	r.entries = r.entries[:0]
-	if r.epoch++; r.epoch == 0 {
-		clear(r.idx)
-		r.epoch = 1
-	}
+	r.f.reset()
 }
 
 // AcquiredEntry records ownership of one orec and the owner-word value it
@@ -293,7 +226,7 @@ func (ac *Acquired) At(i int) *AcquiredEntry { return &ac.entries[i] }
 func (ac *Acquired) ReleaseAll(wts uint64) {
 	packed := orec.PackUnowned(wts)
 	for i := range ac.entries {
-		ac.entries[i].Orec.Owner.Store(packed)
+		ac.entries[i].Orec.Owner().Store(packed)
 	}
 }
 
@@ -301,7 +234,7 @@ func (ac *Acquired) ReleaseAll(wts uint64) {
 func (ac *Acquired) RestoreAll() {
 	for i := range ac.entries {
 		e := &ac.entries[i]
-		e.Orec.Owner.Store(orec.PackUnowned(e.PrevWTS))
+		e.Orec.Owner().Store(orec.PackUnowned(e.PrevWTS))
 	}
 }
 

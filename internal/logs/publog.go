@@ -1,0 +1,139 @@
+package logs
+
+import "privstm/internal/orec"
+
+// PubEntry records one visibility hint published by the current
+// transaction: the orec and the read timestamp written into its vis word.
+type PubEntry struct {
+	Orec *orec.Orec
+	RTS  uint64
+}
+
+// PubLog is the per-transaction visibility publication log: the writer-side
+// self-test (core.Thread.publishedHere) may treat a hint as "my own read,
+// no fence needed" only if the hint's exact (orec, rts) pair appears here.
+//
+// It replaces a lazily allocated Go map: entries and the epoch-stamped
+// filter (filter.go) are retained across transactions, so steady-state
+// publication and lookup are alloc-free and Reset is O(1). Keyed by the
+// orec's table index; re-publishing on the same orec overwrites the RTS in
+// place (only the latest hint can still be in the vis word).
+type PubLog struct {
+	entries []PubEntry
+	f       filter
+}
+
+func (p *PubLog) keyAt(i int) uint32 { return p.entries[i].Orec.Index() }
+
+// Add records that this transaction published a hint with read timestamp
+// rts on o.
+func (p *PubLog) Add(o *orec.Orec, rts uint64) {
+	if p.f.needGrow(len(p.entries)) {
+		p.f.grow(32, len(p.entries), p.keyAt)
+	}
+	s := p.f.start(o.Index())
+	for {
+		i := p.f.at(s)
+		if i < 0 {
+			p.f.put(s, len(p.entries))
+			p.entries = append(p.entries, PubEntry{Orec: o, RTS: rts})
+			return
+		}
+		if e := &p.entries[i]; e.Orec == o {
+			e.RTS = rts
+			return
+		}
+		s = p.f.next(s)
+	}
+}
+
+// Contains reports whether this transaction published exactly (o, rts).
+func (p *PubLog) Contains(o *orec.Orec, rts uint64) bool {
+	if len(p.entries) == 0 {
+		return false
+	}
+	s := p.f.start(o.Index())
+	for {
+		i := p.f.at(s)
+		if i < 0 {
+			return false
+		}
+		if e := &p.entries[i]; e.Orec == o {
+			return e.RTS == rts
+		}
+		s = p.f.next(s)
+	}
+}
+
+// Len returns the number of orecs published on this transaction.
+func (p *PubLog) Len() int { return len(p.entries) }
+
+// At returns the i-th entry.
+func (p *PubLog) At(i int) *PubEntry { return &p.entries[i] }
+
+// Reset empties the log, retaining capacity; O(1) via the filter's epoch
+// bump.
+func (p *PubLog) Reset() {
+	p.entries = p.entries[:0]
+	p.f.reset()
+}
+
+// KeySet is a small set of 32-bit keys with alloc-free steady-state
+// insertion and O(1) epoch reset. core.Thread uses one as the thread-local
+// orec hint cache: the table indices of orecs on which the running
+// transaction has already established its visibility, so re-reads skip the
+// shared vis-word load entirely (CORRECTNESS.md §10).
+type KeySet struct {
+	keys []uint32
+	f    filter
+}
+
+func (k *KeySet) keyAt(i int) uint32 { return k.keys[i] }
+
+// Add inserts key (idempotent).
+func (k *KeySet) Add(key uint32) {
+	if k.f.needGrow(len(k.keys)) {
+		k.f.grow(32, len(k.keys), k.keyAt)
+	}
+	s := k.f.start(key)
+	for {
+		i := k.f.at(s)
+		if i < 0 {
+			k.f.put(s, len(k.keys))
+			k.keys = append(k.keys, key)
+			return
+		}
+		if k.keys[i] == key {
+			return
+		}
+		s = k.f.next(s)
+	}
+}
+
+// Has reports whether key is in the set.
+func (k *KeySet) Has(key uint32) bool {
+	if len(k.keys) == 0 {
+		return false
+	}
+	s := k.f.start(key)
+	for {
+		i := k.f.at(s)
+		if i < 0 {
+			return false
+		}
+		if k.keys[i] == key {
+			return true
+		}
+		s = k.f.next(s)
+	}
+}
+
+// Len returns the set's size.
+func (k *KeySet) Len() int { return len(k.keys) }
+
+// Reset empties the set, retaining capacity; O(1) via the filter's epoch
+// bump.
+func (k *KeySet) Reset() {
+	k.keys = k.keys[:0]
+	k.f.reset()
+}

@@ -59,6 +59,11 @@ type Config struct {
 	ScanTracker      bool
 	DisableExtension bool
 	CapFenceAtCommit bool
+	// OrecLayout selects the orec-table memory layout; the safety
+	// assertions are layout-independent.
+	OrecLayout stm.OrecLayout
+	// DisableHintCache turns off the thread-local orec hint cache.
+	DisableHintCache bool
 	// AtomicPrivate makes the privatizer's "uninstrumented" accesses use
 	// atomic loads/stores. The fence-based algorithms are race-free with
 	// plain accesses (the interesting property!); the TL2 baseline and the
@@ -119,6 +124,8 @@ func Run(cfg Config) (*Result, error) {
 		ScanTracker:              cfg.ScanTracker,
 		DisableSnapshotExtension: cfg.DisableExtension,
 		CapFenceAtCommit:         cfg.CapFenceAtCommit,
+		OrecLayout:               cfg.OrecLayout,
+		DisableHintCache:         cfg.DisableHintCache,
 	})
 	if err != nil {
 		return nil, err

@@ -145,3 +145,58 @@ func TestPrivatizationSafeWithExtensions(t *testing.T) {
 		})
 	}
 }
+
+// TestPrivatizationSafeWithSoALayout re-runs the safety assertions under
+// the structure-of-arrays orec layout (with the hint cache at its default,
+// on). The layout moves the metadata words to different cache lines but
+// must not change any protocol outcome, so every safe engine has to stay
+// clean under plain or atomic private access exactly as in the AoS runs.
+func TestPrivatizationSafeWithSoALayout(t *testing.T) {
+	run := func(alg stm.Algorithm, atomicPriv bool) {
+		t.Run(alg.String(), func(t *testing.T) {
+			cfg := testCfg(alg, atomicPriv)
+			cfg.OrecLayout = stm.OrecLayoutSoA
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%v+soa: %v", alg, res)
+			if !res.Clean() {
+				t.Errorf("privatization violation under %v with SoA layout: %v", alg, res)
+			}
+		})
+	}
+	for _, alg := range safePlain {
+		run(alg, false)
+	}
+	for _, alg := range safeAtomic {
+		run(alg, true)
+	}
+}
+
+// TestPrivatizationSafeWithoutHintCache is the hint-cache ablation: the
+// cache only elides provably redundant updates, so turning it off must not
+// change safety either (and a violation *with* the cache but not without it
+// would point straight at an unsound elision).
+func TestPrivatizationSafeWithoutHintCache(t *testing.T) {
+	run := func(alg stm.Algorithm, atomicPriv bool) {
+		t.Run(alg.String(), func(t *testing.T) {
+			cfg := testCfg(alg, atomicPriv)
+			cfg.DisableHintCache = true
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%v+nohintcache: %v", alg, res)
+			if !res.Clean() {
+				t.Errorf("privatization violation under %v without hint cache: %v", alg, res)
+			}
+		})
+	}
+	for _, alg := range safePlain {
+		run(alg, false)
+	}
+	for _, alg := range safeAtomic {
+		run(alg, true)
+	}
+}

@@ -88,8 +88,8 @@ func (e *Engine) Read(t *core.Thread, a heap.Addr) heap.Word {
 	}
 	// Reading our own in-place write needs no visibility hint: ownership
 	// already blocks every other reader and writer.
-	if own := o.Owner.Load(); orec.IsOwned(own) && orec.OwnerTID(own) == t.ID {
-		t.Reads.Add(o, a, t.BeginTS, uint32(t.RT.Orecs.Index(a)))
+	if own := o.Owner().Load(); orec.IsOwned(own) && orec.OwnerTID(own) == t.ID {
+		t.Reads.Add(o, a, t.BeginTS)
 		return t.RT.Heap.AtomicLoad(a)
 	}
 	t.MakeVisible(o, e.grace, e.proto)

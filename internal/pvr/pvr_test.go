@@ -406,7 +406,7 @@ func TestGraceLoweredOnWriterConflict(t *testing.T) {
 	w := thread(t, rt)
 	a := rt.Heap.MustAlloc(1)
 	o := rt.Orecs.For(a)
-	o.Grace.Store(64)
+	o.Grace().Store(64)
 
 	rIn := make(chan struct{})
 	rGo := make(chan struct{})
@@ -421,7 +421,7 @@ func TestGraceLoweredOnWriterConflict(t *testing.T) {
 		})
 	}()
 	<-rIn
-	graceAfterRead := o.Grace.Load()
+	graceAfterRead := o.Grace().Load()
 	if graceAfterRead != 128 {
 		t.Errorf("grace after successful visibility update = %d, want 128", graceAfterRead)
 	}
@@ -434,7 +434,7 @@ func TestGraceLoweredOnWriterConflict(t *testing.T) {
 	close(rGo)
 	<-done
 	wg.Wait()
-	if got := o.Grace.Load(); got != graceAfterRead/2 {
+	if got := o.Grace().Load(); got != graceAfterRead/2 {
 		t.Errorf("grace after writer conflict = %d, want %d", got, graceAfterRead/2)
 	}
 	if w.Stats.Fenced != 1 {

@@ -22,11 +22,13 @@ type Counters struct {
 	PVReads         uint64 // transactional reads executed in partially visible mode
 	PVUpdates       uint64 // partial-visibility metadata updates performed
 	PVSkipped       uint64 // partial-visibility updates skipped (read was covered)
+	PVCacheHits     uint64 // skips resolved by the thread-local hint cache (no vis load)
 	PVMultiSets     uint64 // updates that only set the multiple-readers bit
 	Validations     uint64 // full read-set validations
 	Extensions      uint64 // successful snapshot (timestamp) extensions
 	OrderWaits      uint64 // commits that waited for strict-ordering turns
 	StoreRaces      uint64 // retries of the store-only visibility protocol
+	GraceRaces      uint64 // grace-adaptation CAS attempts lost to concurrent adapters
 	ModeSwitches    uint64 // hybrid/writer-only transitions to visible mode
 	Serialized      uint64 // commits via the serialized-irrevocable fallback
 	FenceStalls     uint64 // stall-watchdog firings inside fences
@@ -44,11 +46,13 @@ func (c *Counters) Add(o *Counters) {
 	c.PVReads += o.PVReads
 	c.PVUpdates += o.PVUpdates
 	c.PVSkipped += o.PVSkipped
+	c.PVCacheHits += o.PVCacheHits
 	c.PVMultiSets += o.PVMultiSets
 	c.Validations += o.Validations
 	c.Extensions += o.Extensions
 	c.OrderWaits += o.OrderWaits
 	c.StoreRaces += o.StoreRaces
+	c.GraceRaces += o.GraceRaces
 	c.ModeSwitches += o.ModeSwitches
 	c.Serialized += o.Serialized
 	c.FenceStalls += o.FenceStalls

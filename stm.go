@@ -165,6 +165,18 @@ type Config struct {
 	// default GraceExponential is the paper's choice; GraceLinear and
 	// GraceHybrid reproduce the alternatives the authors report trying.
 	GraceStrategy GraceStrategy
+	// OrecLayout selects the orec table's memory layout: OrecLayoutAoS
+	// (default) keeps each record's four metadata words on one padded
+	// cache line; OrecLayoutSoA splits them into four parallel padded
+	// column arrays so a committing writer's owner-word scan stops
+	// false-sharing with concurrent readers' visibility-hint stores (at
+	// 4x the metadata footprint).
+	OrecLayout OrecLayout
+	// DisableHintCache turns off the thread-local orec hint cache on the
+	// partially-visible-read engines: every re-read then re-runs the full
+	// §II-E visibility protocol instead of skipping after the first
+	// covered observation. Kept for ablations.
+	DisableHintCache bool
 	// ContentionManager selects the policy applied between retry attempts
 	// of an aborted transaction: CMBackoff (default), CMKarma, or
 	// CMSerialize.
@@ -230,6 +242,19 @@ const (
 	GraceHybrid      = core.GraceHybrid
 )
 
+// OrecLayout re-exports the orec-table memory layout selector.
+type OrecLayout = core.OrecLayout
+
+// The orec-table layouts (Config.OrecLayout).
+const (
+	OrecLayoutAoS = core.OrecLayoutAoS
+	OrecLayoutSoA = core.OrecLayoutSoA
+)
+
+// ParseOrecLayout maps a flag spelling ("aos", "soa") back to its
+// OrecLayout.
+func ParseOrecLayout(s string) (OrecLayout, error) { return core.ParseOrecLayout(s) }
+
 // STM is one transactional memory instance: a heap, its metadata, and an
 // algorithm. Create with New; register worker threads with NewThread.
 type STM struct {
@@ -252,6 +277,8 @@ func New(cfg Config) (*STM, error) {
 		DisableExtension: cfg.DisableSnapshotExtension,
 		CapFenceAtCommit: cfg.CapFenceAtCommit,
 		GraceStrategy:    cfg.GraceStrategy,
+		OrecLayout:       cfg.OrecLayout,
+		DisableHintCache: cfg.DisableHintCache,
 		CM:               cfg.ContentionManager,
 		MaxAttempts:      cfg.MaxAttempts,
 		StallThreshold:   cfg.StallThreshold,
