@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-faults bench bench-json bench-smoke bench-readpath bench-readpath-smoke figures privtest stress cover clean lint
+.PHONY: all build test race test-faults explore bench bench-json bench-smoke bench-readpath bench-readpath-smoke figures privtest stress cover clean lint
 
 all: build test lint
 
@@ -28,6 +28,17 @@ race:
 test-faults:
 	$(GO) test -race -count=3 -run 'Fault|Failpoint|Stall|Watchdog|Serial|CM|Karma' ./...
 
+# Schedule-exploration corpus (CORRECTNESS.md §11): the fixed-seed PCT and
+# bounded-DFS corpus over every engine family (serializability and
+# privatization-safety oracles; failures print a replayable trace), the
+# slot tracker's watermark program enumerated exhaustively on the
+# production write path, and the rediscovery control — with the historical
+# watermark fix reverted (-tags privstm_watermark_race) the same program
+# must FAIL: the explorer finds the race and logs the trace.
+explore:
+	$(GO) test -count=1 -run 'TestExplore|TestSched|TestWatermark|TestPCT|TestDFS' . ./internal/sched ./internal/txnlist
+	$(GO) test -count=1 -tags privstm_watermark_race -run TestWatermarkRaceRediscovered -v ./internal/txnlist
+
 # One testing.B benchmark per paper figure, plus the ablations.
 bench:
 	$(GO) test -bench . -benchmem ./...
@@ -41,7 +52,7 @@ bench-json:
 # Single-iteration pass over the hot-path benchmarks; catches bit-rot
 # without paying for a real measurement run (used by CI).
 bench-smoke:
-	$(GO) test -bench . -benchtime 1x ./internal/bench ./internal/txnlist
+	$(GO) test -bench . -benchtime 1x ./internal/bench ./internal/txnlist ./internal/sched
 
 # Read-path baseline for regression checks: the figures most sensitive to
 # MakeVisible cost (read-mostly hashtable 3a and long-traversal multi-list

@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -188,10 +190,51 @@ func goSources(dir string) []string {
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
 			continue
 		}
-		out = append(out, filepath.Join(dir, name))
+		path := filepath.Join(dir, name)
+		if !buildTagsSatisfied(path) {
+			continue
+		}
+		out = append(out, path)
 	}
 	sort.Strings(out)
 	return out
+}
+
+// buildTagsSatisfied reports whether the file's //go:build constraint (if
+// any) holds under the default build configuration — GOOS/GOARCH/compiler
+// and release tags true, custom tags false. stmlint analyzes the same file
+// set as a plain `go build ./...`; files excluded by a custom tag (e.g. the
+// schedule explorer's privstm_watermark_race bug-revert variant) would
+// otherwise collide with their default-build counterparts at type-check.
+func buildTagsSatisfied(path string) bool {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return true // let the parser report the real problem
+	}
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if constraint.IsGoBuild(trimmed) {
+			expr, err := constraint.Parse(trimmed)
+			if err != nil {
+				return true
+			}
+			return expr.Eval(defaultBuildTag)
+		}
+		if trimmed == "" || strings.HasPrefix(trimmed, "//") {
+			continue
+		}
+		break // reached the package clause: no constraint
+	}
+	return true
+}
+
+// defaultBuildTag evaluates one build tag the way an untagged build would.
+func defaultBuildTag(tag string) bool {
+	if tag == runtime.GOOS || tag == runtime.GOARCH || tag == runtime.Compiler {
+		return true
+	}
+	// Release tags: go1.1 through the running toolchain's version are true.
+	return strings.HasPrefix(tag, "go1.")
 }
 
 // loader parses and type-checks module packages recursively, acting as the

@@ -1,0 +1,21 @@
+// fixture_sched.go exercises the sched allowlist: Point is the explorer's
+// yield seam (allowlisted inside atomic bodies, like failpoint.Eval), and
+// sched.Run's literal arguments are worker goroutine bodies — not
+// transaction bodies — so blocking inside them must not be flagged even
+// though the function shares core.Run's name.
+package txnpurity
+
+import "privstm/internal/analysis/testdata/src/txnpurity/sched"
+
+// SchedBodies is clean: yield points are allowlisted, and exploration
+// worker bodies are ordinary concurrent code.
+func SchedBodies(t *Thread, ch chan int) {
+	_ = t.Atomic(func() {
+		sched.Point("test/fixture/mid-txn")
+		word = pureHelper()
+	})
+	sched.Run(1,
+		func() { ch <- 1 },
+		func() { <-ch },
+	)
+}

@@ -1,0 +1,21 @@
+// Package sched is a stand-in for privstm/internal/sched: Point is the
+// schedule explorer's yield seam (it parks the goroutine under the
+// controller by design), and Run executes worker *goroutine* bodies, not
+// transaction bodies — despite sharing core.Run's name.
+package sched
+
+import "time"
+
+// Point pretends to be a yield point (worst case: parks the goroutine).
+func Point(name string) {
+	if name == "" {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Run pretends to execute worker bodies under the controller.
+func Run(seed int, bodies ...func()) {
+	for _, b := range bodies {
+		b()
+	}
+}

@@ -105,7 +105,11 @@ func isAtomicBlockCall(p *Program, info *types.Info, call *ast.CallExpr) bool {
 	case "Atomic":
 		return fn.Type().(*types.Signature).Recv() != nil
 	case "Run":
-		return true
+		// The schedule explorer's Run (package sched) shares the name but
+		// executes *worker goroutine* bodies, serialized under the
+		// controller — not transaction bodies. Its literal arguments are
+		// ordinary concurrent code and may block.
+		return fn.Pkg().Name() != "sched"
 	default:
 		return false
 	}
@@ -164,8 +168,11 @@ func (pc *purityChecker) checkCall(call *ast.CallExpr) []impurity {
 		// Allowlist: the failpoint package is the sanctioned fault-injection
 		// seam — its hooks may sleep or park by design, under test control
 		// only, so failpoint.Eval inside an atomic body is not a violation
-		// (same name-based precedent as the spin package below).
-		if p := obj.Pkg(); p != nil && p.Name() == "failpoint" {
+		// (same name-based precedent as the spin package below). The sched
+		// package rides the same seam: sched.Point is the explorer's yield
+		// point (a named failpoint.Eval) and parks the calling goroutine
+		// under the controller by design.
+		if p := obj.Pkg(); p != nil && (p.Name() == "failpoint" || p.Name() == "sched") {
 			return nil
 		}
 		if what := impureCallee(obj); what != "" {

@@ -1,6 +1,9 @@
 package core
 
-import "privstm/internal/orec"
+import (
+	"privstm/internal/failpoint"
+	"privstm/internal/orec"
+)
 
 // AcquireOrec attempts to take ownership of o for this transaction
 // (§II-A): the orec must be consistent — unowned, with a write timestamp no
@@ -21,6 +24,7 @@ func (t *Thread) AcquireOrec(o *orec.Orec) bool {
 		}
 		if o.Owner().CompareAndSwap(v, orec.PackOwned(t.ID)) {
 			t.Acq.Add(o, wts)
+			failpoint.Eval(failpoint.OrecAcquired)
 			return true
 		}
 		// Lost a race for the orec; re-examine the new value.

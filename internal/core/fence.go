@@ -62,6 +62,8 @@ func (t *Thread) ReaderConflictScan(adaptGrace bool) (threshold uint64, conflict
 // than a silent hang.
 func (t *Thread) PrivatizationFence(threshold uint64) {
 	t.Stats.Fenced++
+	failpoint.Eval(failpoint.FenceEnter)
+	defer failpoint.Eval(failpoint.FenceExit)
 	var b spin.Backoff
 	var w stallWatch
 	for {
@@ -93,13 +95,15 @@ func (t *Thread) PrivatizationFence(threshold uint64) {
 // restart counts as progress.
 func (t *Thread) ValidationFence(wts uint64) {
 	t.Stats.Fenced++
+	failpoint.Eval(failpoint.FenceEnter)
+	defer failpoint.Eval(failpoint.FenceExit)
 	var b spin.Backoff
 	t.RT.ForEachThread(func(u *Thread) {
 		if u == t {
 			return
 		}
 		b.Reset()
-		b.SetSleepCap(0)
+		b.ResetSleepCap() // clear any stall cap left by the previous thread's loop
 		var w stallWatch
 		for {
 			begin, active := u.Published()

@@ -79,6 +79,7 @@ func Run(e Engine, t *Thread, body func()) error {
 		if limit > 0 && t.Attempts >= limit {
 			return runSerialized(e, t, body)
 		}
+		failpoint.Eval(failpoint.CMWait)
 		t.cm.Wait(t)
 	}
 }

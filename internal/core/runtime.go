@@ -194,6 +194,9 @@ func NewRuntime(opts Options) (*Runtime, error) {
 	default:
 		rt.Active = NewSlotTracker(rt)
 	}
+	// Every tracker kind carries the schedule explorer's yield points
+	// (tracker.go); disabled cost is a nil-check per Enter/EnterAt/Leave.
+	rt.Active = yieldTracker{inner: rt.Active}
 	// Start time at 1 so that a zeroed vis word (rts = 0) can never read
 	// as a hint covering a live transaction: every begin timestamp is ≥ 1.
 	rt.Clock.Tick()

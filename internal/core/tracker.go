@@ -1,6 +1,9 @@
 package core
 
-import "privstm/internal/txnlist"
+import (
+	"privstm/internal/failpoint"
+	"privstm/internal/txnlist"
+)
 
 // ActiveTracker abstracts "the set of incomplete transactions" that
 // privatization fences query. Three implementations are provided:
@@ -55,6 +58,65 @@ type ActiveTracker interface {
 	OldestOtherBegin(t *Thread) (uint64, bool)
 	// Count returns the number of registered transactions (tests/stats).
 	Count() int
+}
+
+// yieldTracker decorates an ActiveTracker with the txnlist yield points:
+// after each registration transition completes it evaluates the matching
+// failpoint, outside any tracker-internal lock, so the schedule explorer
+// can order other workers against central-list entry and exit without
+// deadlocking a suspended lock holder. NewRuntime installs it around every
+// tracker kind; the disabled cost is one failpoint.Eval nil-check per
+// transition. Query methods (OldestBegin etc.) pass through untouched —
+// they run inside fence wait loops that already carry their own yield
+// points.
+type yieldTracker struct {
+	inner ActiveTracker
+}
+
+// Enter registers t and then yields at TrackerEnter.
+func (y yieldTracker) Enter(t *Thread) uint64 {
+	ts := y.inner.Enter(t)
+	failpoint.Eval(failpoint.TrackerEnter)
+	return ts
+}
+
+// EnterAt registers the late joiner and then yields at TrackerEnterAt.
+func (y yieldTracker) EnterAt(t *Thread, ts uint64) {
+	y.inner.EnterAt(t, ts)
+	failpoint.Eval(failpoint.TrackerEnterAt)
+}
+
+// Leave deregisters t and then yields at TrackerLeave.
+func (y yieldTracker) Leave(t *Thread) {
+	y.inner.Leave(t)
+	failpoint.Eval(failpoint.TrackerLeave)
+}
+
+// OldestBegin passes through.
+func (y yieldTracker) OldestBegin() (uint64, bool) { return y.inner.OldestBegin() }
+
+// OldestOtherBegin passes through.
+func (y yieldTracker) OldestOtherBegin(t *Thread) (uint64, bool) {
+	return y.inner.OldestOtherBegin(t)
+}
+
+// Count passes through.
+func (y yieldTracker) Count() int { return y.inner.Count() }
+
+// Unwrap exposes the decorated tracker, so oracles can reach
+// implementation-specific invariant checks (e.g. SlotTracker.CheckWatermark).
+func (y yieldTracker) Unwrap() ActiveTracker { return y.inner }
+
+// UnwrapTracker peels yield-point decoration off tr, returning the concrete
+// tracker underneath (tr itself if undecorated).
+func UnwrapTracker(tr ActiveTracker) ActiveTracker {
+	for {
+		u, ok := tr.(interface{ Unwrap() ActiveTracker })
+		if !ok {
+			return tr
+		}
+		tr = u.Unwrap()
+	}
 }
 
 // ListTracker adapts the §II-C central list.
@@ -124,6 +186,13 @@ func (st *SlotTracker) OldestOtherBegin(t *Thread) (uint64, bool) {
 
 // Count scans for registered transactions.
 func (st *SlotTracker) Count() int { return st.slots.Len() }
+
+// CheckWatermark forwards the slots' watermark-soundness check, for the
+// schedule explorer's oracles: reach it through UnwrapTracker(rt.Active).
+// It is safe to call while transactions run; the explorer calls it with
+// every worker suspended so a reported violation is a real state, not a
+// torn read.
+func (st *SlotTracker) CheckWatermark() error { return st.slots.CheckWatermark() }
 
 // ScanTracker derives everything from the (begin, active) words the
 // threads already publish. Enter/Leave are single atomic stores; oldest

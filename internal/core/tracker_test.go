@@ -121,23 +121,28 @@ func TestTrackerLowerBoundUnderChurn(t *testing.T) {
 }
 
 func TestRuntimeSelectsTracker(t *testing.T) {
+	// NewRuntime wraps every tracker in the yield-point decorator;
+	// UnwrapTracker exposes the selected concrete kind.
 	rt, err := NewRuntime(Options{HeapWords: 64, OrecCount: 16, MaxThreads: 2, ScanTracker: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := rt.Active.(*ScanTracker); !ok {
-		t.Errorf("deprecated ScanTracker option ignored: %T", rt.Active)
+	if _, ok := rt.Active.(yieldTracker); !ok {
+		t.Errorf("runtime tracker not yield-decorated: %T", rt.Active)
+	}
+	if _, ok := UnwrapTracker(rt.Active).(*ScanTracker); !ok {
+		t.Errorf("deprecated ScanTracker option ignored: %T", UnwrapTracker(rt.Active))
 	}
 	rt2, _ := NewRuntime(Options{HeapWords: 64, OrecCount: 16, MaxThreads: 2})
-	if _, ok := rt2.Active.(*SlotTracker); !ok {
-		t.Errorf("default tracker should be the slot array: %T", rt2.Active)
+	if _, ok := UnwrapTracker(rt2.Active).(*SlotTracker); !ok {
+		t.Errorf("default tracker should be the slot array: %T", UnwrapTracker(rt2.Active))
 	}
 	rt3, _ := NewRuntime(Options{HeapWords: 64, OrecCount: 16, MaxThreads: 2, Tracker: TrackerList})
-	if _, ok := rt3.Active.(*ListTracker); !ok {
-		t.Errorf("TrackerList option ignored: %T", rt3.Active)
+	if _, ok := UnwrapTracker(rt3.Active).(*ListTracker); !ok {
+		t.Errorf("TrackerList option ignored: %T", UnwrapTracker(rt3.Active))
 	}
 	rt4, _ := NewRuntime(Options{HeapWords: 64, OrecCount: 16, MaxThreads: 2, Tracker: TrackerScan})
-	if _, ok := rt4.Active.(*ScanTracker); !ok {
-		t.Errorf("TrackerScan option ignored: %T", rt4.Active)
+	if _, ok := UnwrapTracker(rt4.Active).(*ScanTracker); !ok {
+		t.Errorf("TrackerScan option ignored: %T", UnwrapTracker(rt4.Active))
 	}
 }

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+
+	"privstm/internal/failpoint"
 	"privstm/internal/orec"
 	"privstm/internal/spin"
 )
@@ -142,6 +145,50 @@ func (t *Thread) cacheVisible(key uint32) {
 	}
 }
 
+// CheckHintCache audits the thread-local hint cache against CORRECTNESS.md
+// §10's invariant, for the schedule explorer's oracles: while the caching
+// transaction is live, re-running MakeVisible on any cached orec could only
+// take another skip. Concretely, every cached index's vis word must (a)
+// still cover the transaction (rts ≥ BeginTS — coverage, once observed, is
+// irrevocable under a monotonic clock) and (b) not be a foreign
+// possibly-live single-reader hint (the multi bit is preserved by every
+// update that can overwrite a hint covering a live reader). A violation
+// means the cache would elide a *required* shared-state update and a writer
+// could skip a fence a live reader depends on.
+//
+// Call with the thread quiescent — the explorer runs it with every worker
+// suspended at a yield point. Threads without a live transaction vacuously
+// pass (gate: the published-active bit, cleared by PublishInactive at
+// transaction end — NOT t.Visible, which survives until the next Begin's
+// ResetTxnState; between those two points the cache is stale but harmless,
+// since every hint-cache probe happens inside a live transaction).
+func (t *Thread) CheckHintCache() error {
+	if t.RT.NoHintCache || !t.Visible {
+		return nil
+	}
+	if _, active := t.Published(); !active {
+		return nil
+	}
+	var err error
+	t.visCache.ForEach(func(key uint32) {
+		if err != nil {
+			return
+		}
+		o := t.RT.Orecs.At(int(key))
+		rts, tid, multi := orec.UnpackVis(o.Vis().Load())
+		if rts < t.BeginTS {
+			err = fmt.Errorf("hint cache: thread %d caches orec %d but vis rts %d < BeginTS %d (coverage revoked)",
+				t.ID, key, rts, t.BeginTS)
+			return
+		}
+		if !multi && tid != t.ID && t.RT.ReaderMayBeLive(tid, rts) {
+			err = fmt.Errorf("hint cache: thread %d caches orec %d held by possibly-live foreign reader %d (rts %d, multi clear)",
+				t.ID, key, tid, rts)
+		}
+	})
+	return err
+}
+
 // visStoreUpdate runs one attempt of the §III-B store-only protocol:
 //
 //  1. wait for curr_reader to be clear;
@@ -159,6 +206,7 @@ func (t *Thread) cacheVisible(key uint32) {
 func (t *Thread) visStoreUpdate(o *orec.Orec, expected, newv uint64) bool {
 	var b spin.Backoff
 	for o.CurrReader().Load() != orec.NoReader {
+		failpoint.Eval(failpoint.VisStoreWait)
 		b.Wait()
 	}
 	id := t.ID + 1 // offset so thread 0 is distinguishable from NoReader
@@ -231,6 +279,7 @@ const graceCASRetries = 4
 // per the runtime's strategy, up to maxGrace. It returns the number of
 // CAS attempts lost to concurrent adapters (for stats.GraceRaces).
 func raiseGrace(o *orec.Orec, strat GraceStrategy, maxGrace uint64) (races uint64) {
+	failpoint.Eval(failpoint.GraceRaise)
 	for {
 		g := o.Grace().Load()
 		ng := g
@@ -260,6 +309,7 @@ func raiseGrace(o *orec.Orec, strat GraceStrategy, maxGrace uint64) (races uint6
 // false-positive) reader conflict through o. Bounded-retry CAS like
 // raiseGrace; returns the number of lost attempts.
 func lowerGrace(o *orec.Orec, strat GraceStrategy) (races uint64) {
+	failpoint.Eval(failpoint.GraceLower)
 	for {
 		g := o.Grace().Load()
 		ng := g

@@ -110,7 +110,7 @@ func (w *stallWatch) observe(t *Thread, fence string, blockerID int64, blockerSe
 		w.rounds = 1
 		if w.fired {
 			w.fired = false
-			b.SetSleepCap(0)
+			b.ResetSleepCap()
 			b.Reset()
 		}
 		return

@@ -5,10 +5,18 @@
 // panic — to turn the probabilistic races of the paper's §I (delayed
 // cleanup, doomed transactions) into deterministic schedules.
 //
+// The same evaluation points double as the *yield points* of the
+// deterministic schedule explorer (internal/sched): SetGlobal installs a
+// hook that fires on every Eval regardless of name, which the explorer's
+// controller uses to suspend the calling goroutine and hand the processor
+// to the next worker in the schedule under test. The yield-point catalog —
+// every site compiled into the runtime — is documented in CORRECTNESS.md
+// §11.
+//
 // Production cost is one atomic pointer load and a nil check per Eval: the
-// registry pointer is nil until the first Set, and Reset returns it to nil.
-// A pinned test (TestEvalDisabledAllocates0) and BenchmarkEvalDisabled keep
-// the disabled path allocation-free.
+// registry pointer is nil until the first Set or SetGlobal, and Reset
+// returns it to nil. A pinned test (TestEvalDisabledAllocates0) and
+// BenchmarkEvalDisabled keep the disabled path allocation-free.
 package failpoint
 
 import (
@@ -48,7 +56,81 @@ const (
 	// own liveness — the stall watchdog is tested through these.
 	FencePrivWait = "core/fence/privatization-wait"
 	FenceValWait  = "core/fence/validation-wait"
+
+	// --- Yield-point generalization (schedule exploration) ---
+	//
+	// The sites below were added for internal/sched: each names a step of
+	// the protocols whose orderings the paper's proofs constrain, so the
+	// explorer can suspend a worker at every point where another worker's
+	// interleaving could matter. They are ordinary failpoints — tests may
+	// arm them individually too.
+
+	// OrecAcquired fires immediately after a writer wins ownership of an
+	// orec, before any data write under that ownership.
+	OrecAcquired = "core/orec/acquired"
+	// OrecRelease fires before each orec ownership release or restore
+	// (commit-time ReleaseAll, abort-time RestoreAll).
+	OrecRelease = "core/orec/release"
+	// RedoWriteBackWord fires before each word of a redo-log write-back,
+	// exposing the partially-written window of the buffered-update engines.
+	RedoWriteBackWord = "core/commit/writeback-word"
+	// FenceEnter and FenceExit bracket both fences, so schedules can
+	// order other workers' steps against fence entry and release.
+	FenceEnter = "core/fence/enter"
+	FenceExit  = "core/fence/exit"
+	// TrackerEnter, TrackerEnterAt and TrackerLeave fire right after a
+	// transaction registers on (or deregisters from) the incomplete-
+	// transaction tracker — the central-list transitions of §II-C.
+	TrackerEnter   = "core/txnlist/enter"
+	TrackerEnterAt = "core/txnlist/enter-at"
+	TrackerLeave   = "core/txnlist/leave"
+	// GraceRaise and GraceLower fire at the top of the §III-A grace-period
+	// adapters (reader-side raise, writer-side lower).
+	GraceRaise = "core/grace/raise"
+	GraceLower = "core/grace/lower"
+	// VisStoreWait fires once per poll of the §III-B store protocol's
+	// curr_reader wait loop.
+	VisStoreWait = "core/vis/store-wait"
+	// SpinMutexWait fires once per contended iteration of spin.Mutex.Lock,
+	// so a worker waiting on a spin lock yields to the explorer instead of
+	// spinning against a suspended holder.
+	SpinMutexWait = "spin/mutex/wait"
+	// OrderWait fires once per poll of the §IV ordering locks' wait loops
+	// (ticket and CLH queue).
+	OrderWait = "ticket/order/wait"
+	// SlotsEnterAtLower fires inside txnlist.Slots.EnterAt between the
+	// joiner's slot store and the watermark-cache check.
+	SlotsEnterAtLower = "txnlist/watermark/enter-at-lower"
+	// SlotsScanPublish fires in txnlist.Slots' oldest-begin recompute
+	// around the scan-and-publish step (between scan and publish in the
+	// privstm_watermark_race build that reverts the PR-2 locking fix; just
+	// before the locked section otherwise).
+	SlotsScanPublish = "txnlist/watermark/scan-publish"
+	// CMWait fires before the contention-management wait between retry
+	// attempts of an aborted transaction. It is a wait site: an aborted
+	// transaction is effectively polling for its rival to get out of the
+	// way, and a scheduler that kept granting it (each retry looks like
+	// progress) would starve the suspended rival forever.
+	CMWait = "core/retry/cm-wait"
 )
+
+// waitSites is the set of points that sit inside wait/poll loops: a worker
+// suspended there is re-polling a condition some other worker must change.
+// The schedule explorer deprioritizes workers yielding at these sites so a
+// spin loop cannot monopolize the schedule. Kept here, next to the catalog,
+// so a new wait loop's site cannot be forgotten in a second list.
+var waitSites = map[string]bool{
+	FencePrivWait: true,
+	FenceValWait:  true,
+	VisStoreWait:  true,
+	SpinMutexWait: true,
+	OrderWait:     true,
+	CMWait:        true,
+}
+
+// IsWaitSite reports whether name is a wait-loop yield point (see
+// waitSites).
+func IsWaitSite(name string) bool { return waitSites[name] }
 
 // Func is a hook invoked when an armed point is evaluated; it receives the
 // point's name so one hook can serve several points.
@@ -74,6 +156,9 @@ type point struct {
 type registry struct {
 	mu  sync.Mutex
 	pts map[string]*point
+	// global, when non-nil, is invoked for every evaluated point before
+	// any per-name hook — the schedule explorer's yield hook.
+	global Func
 }
 
 var reg atomic.Pointer[registry]
@@ -91,8 +176,12 @@ func Eval(name string) {
 
 func (r *registry) eval(name string) {
 	r.mu.Lock()
+	g := r.global
 	p := r.pts[name]
 	r.mu.Unlock()
+	if g != nil {
+		g(name)
+	}
 	if p == nil {
 		return
 	}
@@ -119,6 +208,35 @@ func Set(name string, fn Func) {
 			fresh.mu.Unlock()
 			return
 		}
+	}
+}
+
+// SetGlobal installs fn as the global yield hook: it is invoked for every
+// evaluated point, before any per-name hook, with the point's name. The
+// schedule explorer (internal/sched) is the intended caller. Arms the
+// registry if it was disabled.
+func SetGlobal(fn Func) {
+	for {
+		if r := reg.Load(); r != nil {
+			r.mu.Lock()
+			r.global = fn
+			r.mu.Unlock()
+			return
+		}
+		fresh := &registry{pts: make(map[string]*point), global: fn}
+		if reg.CompareAndSwap(nil, fresh) {
+			return
+		}
+	}
+}
+
+// ClearGlobal removes the global yield hook. The registry stays armed (per-
+// name points keep working); call Reset to restore the zero-cost state.
+func ClearGlobal() {
+	if r := reg.Load(); r != nil {
+		r.mu.Lock()
+		r.global = nil
+		r.mu.Unlock()
 	}
 }
 
@@ -179,14 +297,24 @@ func Panic(v any) Func {
 	return func(string) { panic(v) }
 }
 
-// Times wraps fn so that only the first n evaluations invoke it; later
-// evaluations are inert. Safe for concurrent evaluation.
+// Times wraps fn so that exactly the first n evaluations invoke it; later
+// evaluations are inert. Safe for concurrent evaluation: the counter is
+// claimed with a CAS loop that never goes below zero, so no interleaving of
+// concurrent callers — and no number of later calls — can fire fn more than
+// n times (a plain saturating decrement could wrap after 2^63 calls).
 func Times(n int, fn Func) Func {
 	var left atomic.Int64
 	left.Store(int64(n))
 	return func(name string) {
-		if left.Add(-1) >= 0 {
-			fn(name)
+		for {
+			v := left.Load()
+			if v <= 0 {
+				return
+			}
+			if left.CompareAndSwap(v, v-1) {
+				fn(name)
+				return
+			}
 		}
 	}
 }

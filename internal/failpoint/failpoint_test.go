@@ -103,6 +103,59 @@ func TestTimesConcurrent(t *testing.T) {
 	}
 }
 
+func TestGlobalHook(t *testing.T) {
+	t.Cleanup(Reset)
+	Reset()
+	var names []string
+	SetGlobal(func(name string) { names = append(names, name) })
+	perName := 0
+	Set("test/armed", func(string) { perName++ })
+	Eval("test/armed")
+	Eval("test/unarmed") // global fires even for never-Set names
+	if perName != 1 {
+		t.Fatalf("per-name hook ran %d times, want 1", perName)
+	}
+	want := []string{"test/armed", "test/unarmed"}
+	if len(names) != len(want) || names[0] != want[0] || names[1] != want[1] {
+		t.Fatalf("global hook saw %v, want %v", names, want)
+	}
+
+	ClearGlobal()
+	Eval("test/armed")
+	Eval("test/unarmed")
+	if len(names) != 2 {
+		t.Fatalf("global hook fired after ClearGlobal (saw %v)", names)
+	}
+	if perName != 2 {
+		t.Fatalf("per-name hook broken by ClearGlobal (ran %d times, want 2)", perName)
+	}
+}
+
+func TestGlobalHookRunsBeforePerName(t *testing.T) {
+	t.Cleanup(Reset)
+	Reset()
+	var order []string
+	SetGlobal(func(string) { order = append(order, "global") })
+	Set("test/order", func(string) { order = append(order, "point") })
+	Eval("test/order")
+	if len(order) != 2 || order[0] != "global" || order[1] != "point" {
+		t.Fatalf("hook order = %v, want [global point]", order)
+	}
+}
+
+func TestIsWaitSite(t *testing.T) {
+	for _, name := range []string{FencePrivWait, FenceValWait, VisStoreWait, SpinMutexWait, OrderWait} {
+		if !IsWaitSite(name) {
+			t.Errorf("IsWaitSite(%q) = false, want true", name)
+		}
+	}
+	for _, name := range []string{OrecAcquired, CommitBeforeFence, TrackerLeave, "made/up"} {
+		if IsWaitSite(name) {
+			t.Errorf("IsWaitSite(%q) = true, want false", name)
+		}
+	}
+}
+
 func TestStall(t *testing.T) {
 	t.Cleanup(Reset)
 	st := NewStall()

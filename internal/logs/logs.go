@@ -184,9 +184,13 @@ func (r *Redo) Len() int { return len(r.entries) }
 // At returns the i-th buffered write.
 func (r *Redo) At(i int) *RedoEntry { return &r.entries[i] }
 
-// WriteBack flushes every buffered write to h with atomic stores.
+// WriteBack flushes every buffered write to h with atomic stores. The
+// per-word yield point exposes the partially-written window a privatizer
+// must never observe (the fence proofs cover it; the schedule explorer
+// attacks it).
 func (r *Redo) WriteBack(h *heap.Heap) {
 	for i := range r.entries {
+		failpoint.Eval(failpoint.RedoWriteBackWord)
 		h.AtomicStore(r.entries[i].Addr, r.entries[i].Val)
 	}
 }
@@ -222,10 +226,12 @@ func (ac *Acquired) Len() int { return len(ac.entries) }
 func (ac *Acquired) At(i int) *AcquiredEntry { return &ac.entries[i] }
 
 // ReleaseAll stores wts into every owned orec, making the updates visible
-// at that timestamp (commit path).
+// at that timestamp (commit path). Per-orec yield point: a schedule may
+// interleave other workers between individual releases.
 func (ac *Acquired) ReleaseAll(wts uint64) {
 	packed := orec.PackUnowned(wts)
 	for i := range ac.entries {
+		failpoint.Eval(failpoint.OrecRelease)
 		ac.entries[i].Orec.Owner().Store(packed)
 	}
 }
@@ -233,6 +239,7 @@ func (ac *Acquired) ReleaseAll(wts uint64) {
 // RestoreAll puts each orec's previous write timestamp back (abort path).
 func (ac *Acquired) RestoreAll() {
 	for i := range ac.entries {
+		failpoint.Eval(failpoint.OrecRelease)
 		e := &ac.entries[i]
 		e.Orec.Owner().Store(orec.PackUnowned(e.PrevWTS))
 	}

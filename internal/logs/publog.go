@@ -131,6 +131,15 @@ func (k *KeySet) Has(key uint32) bool {
 // Len returns the set's size.
 func (k *KeySet) Len() int { return len(k.keys) }
 
+// ForEach calls fn for every key in the set, in insertion order. The
+// schedule explorer's hint-cache oracle (core.Thread.CheckHintCache) uses
+// it to audit every cached index against the shared vis words.
+func (k *KeySet) ForEach(fn func(key uint32)) {
+	for _, key := range k.keys {
+		fn(key)
+	}
+}
+
 // Reset empties the set, retaining capacity; O(1) via the filter's epoch
 // bump.
 func (k *KeySet) Reset() {

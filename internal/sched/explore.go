@@ -1,0 +1,99 @@
+package sched
+
+// ExplorePCT runs `runs` schedules of the program produced by mk, one per
+// derived seed, and returns the first failing result (nil if all pass) plus
+// the number of schedules executed. mk must build a fresh program — state
+// and worker bodies — per call; sharing state across schedules would let
+// one schedule's outcome leak into the next.
+//
+// Seeds are derived deterministically from cfg.Seed (seed, seed+1, ...), so
+// a corpus is reproducible from one number and a failure names the exact
+// seed to replay.
+func ExplorePCT(cfg Config, runs int, mk func() (Config, []func())) (*Result, int) {
+	for i := 0; i < runs; i++ {
+		rcfg, bodies := mk()
+		rcfg.Seed = cfg.Seed + uint64(i)
+		rcfg.Strategy = StrategyPCT
+		if rcfg.ChangePoints == 0 {
+			rcfg.ChangePoints = cfg.ChangePoints
+		}
+		if rcfg.MaxSteps == 0 {
+			rcfg.MaxSteps = cfg.MaxSteps
+		}
+		if rcfg.Horizon == 0 {
+			rcfg.Horizon = cfg.Horizon
+		}
+		res := Run(rcfg, bodies...)
+		if res.Failed() {
+			return res, i + 1
+		}
+	}
+	return nil, runs
+}
+
+// ExploreDFS enumerates the program's schedules depth-first and bounded:
+// it runs the first schedule under the first-enabled policy, then
+// repeatedly backtracks the deepest decision that still has an untried
+// alternative, re-running with that prefix, until the space is exhausted or
+// maxSchedules is reached. It returns the first failing result (nil if
+// every visited schedule passes) and the number of schedules executed.
+//
+// The enumeration is stateless (CHESS-style): each schedule is a fresh
+// program execution driven by a decision prefix, so mk must produce an
+// identical-behaving program each call — the exploration assumes the same
+// prefix always reaches the same choice points. Programs whose branching
+// outgrows maxSchedules are cut off, not sampled; callers wanting coverage
+// beyond the bound should use ExplorePCT.
+func ExploreDFS(cfg Config, maxSchedules int, mk func() (Config, []func())) (*Result, int) {
+	var prefix Trace
+	for n := 0; n < maxSchedules; n++ {
+		rcfg, bodies := mk()
+		rcfg.Strategy = StrategyFirst
+		rcfg.Prefix = prefix
+		if rcfg.MaxSteps == 0 {
+			rcfg.MaxSteps = cfg.MaxSteps
+		}
+		res := Run(rcfg, bodies...)
+		if res.Failed() {
+			return res, n + 1
+		}
+		next, ok := nextPrefix(res)
+		if !ok {
+			return nil, n + 1
+		}
+		prefix = next
+	}
+	return nil, maxSchedules
+}
+
+// nextPrefix backtracks a completed run's decision sequence: the deepest
+// step whose choice has an untried successor in its candidate set
+// (Picked[i]+1 < Choices[i]) is advanced; everything before it replays
+// verbatim. ok is false when the whole space has been visited.
+//
+// The advanced step is encoded as a position sentinel (^(Picked[i]+1)):
+// worker indexes in a trace are not positions in the candidate set, but
+// deterministic re-execution of the same prefix reproduces the same
+// candidate set in the same order, so "the sibling after the one last
+// taken" is exactly the candidate at position Picked[i]+1.
+func nextPrefix(res *Result) (Trace, bool) {
+	for i := len(res.Trace) - 1; i >= 0; i-- {
+		if res.Picked[i]+1 >= res.Choices[i] {
+			continue
+		}
+		alt := make(Trace, i+1)
+		copy(alt, res.Trace[:i])
+		alt[i] = ^(res.Picked[i] + 1)
+		return alt, true
+	}
+	return nil, false
+}
+
+// altSentinel reports whether a prefix element is a nextPrefix alternative
+// marker and decodes the candidate position it names.
+func altSentinel(v int) (pos int, ok bool) {
+	if v < 0 {
+		return ^v, true
+	}
+	return 0, false
+}

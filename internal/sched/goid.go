@@ -1,0 +1,27 @@
+package sched
+
+import "runtime"
+
+// goid returns the calling goroutine's ID, parsed from the runtime.Stack
+// header ("goroutine N [running]:"). The runtime offers no public
+// accessor; the explorer needs one because the failpoint global hook is
+// invoked on whatever goroutine evaluated the point, and must map it back
+// to a registered worker (or pass the evaluation through). Stack with a
+// small buffer and false (current goroutine only) does not stop the world
+// and costs well under a microsecond — negligible against a scheduling
+// step, and paid only while an exploration is running.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[:n]
+	const prefix = "goroutine "
+	if len(s) < len(prefix) {
+		return 0
+	}
+	s = s[len(prefix):]
+	var id uint64
+	for i := 0; i < len(s) && s[i] >= '0' && s[i] <= '9'; i++ {
+		id = id*10 + uint64(s[i]-'0')
+	}
+	return id
+}

@@ -1,0 +1,42 @@
+package sched
+
+import (
+	"testing"
+
+	"privstm/internal/failpoint"
+)
+
+// TestPointDisabledZeroAlloc pins the disabled explorer's cost model: with
+// no controller installed (the production state) a yield point must not
+// allocate. The runtime's hot paths call failpoint.Eval unconditionally,
+// so any allocation here would tax every transaction in every build.
+func TestPointDisabledZeroAlloc(t *testing.T) {
+	failpoint.Reset()
+	if n := testing.AllocsPerRun(1000, func() { Point("sched/overhead/probe") }); n != 0 {
+		t.Fatalf("disabled yield point allocates %v times per call, want 0", n)
+	}
+}
+
+// BenchmarkPointDisabled measures the disabled yield point: one atomic
+// pointer load and a nil check (same budget as a bare failpoint.Eval).
+// Compare against BenchmarkPointArmedNoHook for the cost of an armed
+// registry without a controller.
+func BenchmarkPointDisabled(b *testing.B) {
+	failpoint.Reset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Point("sched/overhead/probe")
+	}
+}
+
+// BenchmarkPointArmedNoHook measures a yield point with the registry armed
+// (some unrelated failpoint set) but no global controller hook — the state
+// a fault-injection test leaves between arms.
+func BenchmarkPointArmedNoHook(b *testing.B) {
+	failpoint.Set("sched/overhead/other", nil)
+	defer failpoint.Reset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Point("sched/overhead/probe")
+	}
+}

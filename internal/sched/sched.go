@@ -1,0 +1,560 @@
+// Package sched is a deterministic interleaving explorer for the STM
+// runtime, in the CHESS/PCT mold, layered on the failpoint registry's yield
+// points (internal/failpoint).
+//
+// A Controller serializes a set of worker goroutines so that exactly one
+// runs between yield points: every failpoint.Eval compiled into the runtime
+// becomes a place where the running worker parks and hands control back to
+// the scheduler, which picks the next worker according to the configured
+// strategy. Because context switches happen only at yield points and the
+// pick sequence is recorded, every run is reproducible: a failure prints a
+// decision trace that Replay re-executes verbatim.
+//
+// Strategies:
+//
+//   - PCT (Config.Seed, Config.ChangePoints): the probabilistic concurrency
+//     testing scheduler — workers get random distinct priorities, the
+//     highest-priority enabled worker runs, and at d random steps the
+//     running worker's priority drops below everyone else's. Small d finds
+//     most real bugs with high probability per run.
+//   - First-enabled (StrategyFirst): always the lowest-indexed enabled
+//     worker; the deterministic base policy under DFS prefixes and replays.
+//   - Prefix (Config.Prefix): follow a recorded decision sequence, then
+//     fall back to the strategy. ExploreDFS (explore.go) uses prefixes to
+//     enumerate all schedules of small programs; Replay uses them to
+//     reproduce failures.
+//
+// Wait-site discipline: yield points inside wait/poll loops
+// (failpoint.IsWaitSite) mark the worker as polling, and the scheduler
+// prefers non-polling workers — a spin loop re-checking a condition only
+// runs when no worker can make real progress, so a suspended lock or fence
+// holder cannot be starved by its own waiter and serialized execution never
+// livelocks on a healthy runtime. If every live worker is polling the
+// scheduler round-robins them (oldest-run first); MaxSteps bounds runaway
+// schedules and reports them as suspected livelock.
+//
+// The per-run oracles (Config.OnStep, Config.AtEnd) run while every worker
+// is suspended, so they observe a consistent global state — that is what
+// lets invariant checks like txnlist.Slots.CheckWatermark run mid-schedule
+// without locks of their own. See CORRECTNESS.md §11 for the yield-point
+// catalog and oracle definitions.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"privstm/internal/failpoint"
+	"privstm/internal/rng"
+)
+
+// Point is a named yield point for test bodies: programs under exploration
+// call it to offer the scheduler a context-switch opportunity at
+// application level (between transactions, around nontransactional reads).
+// It is a plain failpoint evaluation — free when nothing is armed — and is
+// allowlisted by stmlint's txnpurity rule alongside failpoint.Eval.
+func Point(name string) { failpoint.Eval(name) }
+
+// Config parameterizes one schedule execution.
+type Config struct {
+	// Seed drives the PCT scheduler's priority assignment and change
+	// points. Two runs of the same program with the same Config produce
+	// identical traces and verdicts.
+	Seed uint64
+	// Strategy picks the scheduling policy (default StrategyPCT).
+	Strategy Strategy
+	// ChangePoints is PCT's d — how many priority-change points are
+	// planted in the schedule (default 3). Ignored by StrategyFirst.
+	ChangePoints int
+	// Horizon is the estimated schedule length over which PCT scatters its
+	// change points (default 64, clamped to MaxSteps). PCT's bug-finding
+	// probability depends on change points landing inside the actual
+	// schedule, so set this near the program's real step count — scattering
+	// over MaxSteps would make demotions vanishingly rare in short runs.
+	Horizon int
+	// MaxSteps bounds the schedule length; exceeding it fails the run with
+	// a suspected-livelock diagnostic (default 20000).
+	MaxSteps int
+	// Prefix, when non-empty, is a decision sequence to follow verbatim
+	// before falling back to Strategy. A prefix step naming a worker that
+	// is finished or not enabled fails the run (replay divergence).
+	Prefix Trace
+	// OnStep, when non-nil, runs after every scheduling step, with every
+	// worker suspended; returning an error fails the run at that step.
+	OnStep func() error
+	// AtEnd, when non-nil, runs once after every worker has finished;
+	// returning an error fails the run.
+	AtEnd func() error
+	// StepTimeout is the wall-clock bound on a single step — how long the
+	// scheduler waits for the granted worker to reach its next yield point
+	// or finish (default 30s; exploration steps are microseconds, so a
+	// trip here means a worker blocked somewhere without a yield point).
+	StepTimeout time.Duration
+}
+
+// Strategy selects the scheduling policy.
+type Strategy int
+
+const (
+	// StrategyPCT is the randomized-priority scheduler (default).
+	StrategyPCT Strategy = iota
+	// StrategyFirst always runs the lowest-indexed enabled worker.
+	StrategyFirst
+)
+
+const (
+	defaultChangePoints = 3
+	defaultMaxSteps     = 20000
+	defaultHorizon      = 64
+	defaultStepTimeout  = 30 * time.Second
+)
+
+// Result describes one executed schedule.
+type Result struct {
+	// Trace is the decision sequence: Trace[i] is the worker index granted
+	// at step i. Feed it back through Config.Prefix (or Replay) to
+	// re-execute the schedule.
+	Trace Trace
+	// Choices[i] is how many workers were eligible at step i — the
+	// branching degree ExploreDFS backtracks over. The candidate ordering
+	// is deterministic (by worker index, or oldest-run first when every
+	// candidate is polling).
+	Choices []int
+	// Picked[i] is the chosen worker's position within step i's candidate
+	// set; an untried DFS alternative exists at step i iff
+	// Picked[i]+1 < Choices[i].
+	Picked []int
+	// Seed echoes Config.Seed.
+	Seed uint64
+	// Err is nil for a passing run; otherwise the first failure — a
+	// worker panic, an oracle violation, a replay divergence, or the
+	// MaxSteps livelock diagnostic.
+	Err error
+}
+
+// Failed reports whether the schedule ended in a failure.
+func (r *Result) Failed() bool { return r.Err != nil }
+
+// workerState is a worker's lifecycle stage.
+type workerState int
+
+const (
+	stateParked workerState = iota // waiting for a grant
+	stateRunning
+	stateDone
+)
+
+// worker is one serialized goroutine.
+type worker struct {
+	idx   int
+	gate  chan struct{} // grant token; capacity 1
+	state workerState
+	// polling marks a worker whose last yield was at a wait site
+	// (failpoint.IsWaitSite): it is re-checking a condition someone else
+	// must change, so the scheduler deprioritizes it.
+	polling bool
+	// site is the yield point the worker is parked at ("" = start).
+	site string
+	// prio is the PCT priority (higher runs first).
+	prio int
+	// lastRun is the step at which the worker last ran, for the
+	// all-polling round-robin.
+	lastRun int
+}
+
+// event is a worker→scheduler notification: the worker with the token
+// either parked at a yield point or finished.
+type event struct {
+	w    *worker
+	site string
+	done bool
+	err  error // worker panic (done only)
+}
+
+// schedStop is the panic value used to unwind workers after the scheduler
+// aborts a run (oracle failure, livelock bound). core.Run propagates it
+// after rolling the transaction back, because it arrives with a consistent
+// read set.
+type schedStop struct{}
+
+// controller serializes one program's workers.
+type controller struct {
+	cfg     Config
+	workers []*worker
+	events  chan event
+	abort   chan struct{}
+
+	// gids maps goroutine IDs to workers so the failpoint global hook can
+	// tell worker yields from stray evaluations (test main, helpers).
+	mu   sync.Mutex
+	gids map[uint64]*worker
+}
+
+// Run executes the given worker bodies under one deterministic schedule and
+// reports the outcome. It owns the failpoint global hook for the duration
+// (callers must not run concurrent explorations or arm a competing global
+// hook; per-name failpoints still fire normally).
+func Run(cfg Config, bodies ...func()) *Result {
+	if cfg.ChangePoints == 0 {
+		cfg.ChangePoints = defaultChangePoints
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = defaultMaxSteps
+	}
+	if cfg.Horizon == 0 {
+		cfg.Horizon = defaultHorizon
+	}
+	if cfg.Horizon > cfg.MaxSteps {
+		cfg.Horizon = cfg.MaxSteps
+	}
+	if cfg.StepTimeout == 0 {
+		cfg.StepTimeout = defaultStepTimeout
+	}
+	c := &controller{
+		cfg:    cfg,
+		events: make(chan event, len(bodies)), // finish events never block
+		abort:  make(chan struct{}),
+		gids:   make(map[uint64]*worker),
+	}
+	for i := range bodies {
+		c.workers = append(c.workers, &worker{
+			idx:     i,
+			gate:    make(chan struct{}, 1),
+			lastRun: -1,
+		})
+	}
+	failpoint.SetGlobal(c.hook)
+	defer failpoint.ClearGlobal()
+
+	for i, body := range bodies {
+		go c.runWorker(c.workers[i], body)
+	}
+	return c.schedule()
+}
+
+// Replay re-executes a recorded decision trace: the strategy is pinned to
+// first-enabled so steps beyond the trace (there are normally none) stay
+// deterministic, and any divergence from the trace is reported as an error.
+func Replay(cfg Config, trace Trace, bodies ...func()) *Result {
+	cfg.Prefix = trace
+	cfg.Strategy = StrategyFirst
+	return Run(cfg, bodies...)
+}
+
+// runWorker is the worker goroutine: register, wait for the first grant,
+// run the body, notify completion. A schedStop unwind (aborted run) is a
+// silent exit; any other panic is reported as the run's failure.
+func (c *controller) runWorker(w *worker, body func()) {
+	gid := goid()
+	c.mu.Lock()
+	c.gids[gid] = w
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.gids, gid)
+		c.mu.Unlock()
+		var err error
+		if r := recover(); r != nil {
+			if _, stopped := r.(schedStop); !stopped {
+				err = fmt.Errorf("sched: worker %d panicked: %v", w.idx, r)
+			}
+		}
+		c.events <- event{w: w, done: true, err: err}
+	}()
+	c.park(w)
+	body()
+}
+
+// hook is the failpoint global hook: when the calling goroutine is a
+// registered worker, park it at the named yield point until the scheduler
+// grants it the token again. Evaluations from unregistered goroutines
+// (test main, monitors, goroutines outside the program) pass through.
+func (c *controller) hook(site string) {
+	c.mu.Lock()
+	w := c.gids[goid()]
+	c.mu.Unlock()
+	if w == nil {
+		return
+	}
+	c.events <- event{w: w, site: site}
+	c.park(w)
+}
+
+// park blocks until the scheduler grants the worker the token, unwinding
+// with schedStop if the run was aborted meanwhile.
+func (c *controller) park(w *worker) {
+	select {
+	case <-w.gate:
+	case <-c.abort:
+		panic(schedStop{})
+	}
+}
+
+// schedule is the controller loop: pick an eligible worker, grant it the
+// token, wait for it to yield or finish, run the oracle, repeat. It runs on
+// the caller's goroutine.
+func (c *controller) schedule() *Result {
+	res := &Result{Seed: c.cfg.Seed}
+	st := newStrategyState(c.cfg, len(c.workers))
+	timer := time.NewTimer(c.cfg.StepTimeout)
+	defer timer.Stop()
+
+	live := len(c.workers)
+	fail := func(err error) *Result {
+		res.Err = err
+		close(c.abort)
+		// Drain: every worker unwinds via schedStop (or was already done)
+		// and sends exactly one finish event; the channel buffer holds
+		// them all, so no worker blocks on a scheduler that stopped
+		// listening. The timeout covers a worker stuck in native blocking
+		// with no yield point (the StepTimeout failure case): it cannot
+		// observe the abort, so leak it rather than hang the run — the
+		// buffered events channel absorbs its eventual finish event.
+		deadline := time.NewTimer(c.cfg.StepTimeout)
+		defer deadline.Stop()
+		for live > 0 {
+			select {
+			case ev := <-c.events:
+				if ev.done {
+					live--
+				}
+			case <-deadline.C:
+				return res
+			}
+		}
+		return res
+	}
+
+	for step := 0; live > 0; step++ {
+		if step >= c.cfg.MaxSteps {
+			return fail(fmt.Errorf("sched: exceeded MaxSteps=%d without completing — suspected livelock (workers parked at: %s)",
+				c.cfg.MaxSteps, c.parkedSites()))
+		}
+		cands := c.eligible()
+		if len(cands) == 0 {
+			// All live workers are mid-step? Impossible: the token holder
+			// always produces an event before the scheduler runs again.
+			return fail(fmt.Errorf("sched: no eligible worker at step %d", step))
+		}
+		w, err := st.pick(step, cands, res)
+		if err != nil {
+			return fail(err)
+		}
+		res.Trace = append(res.Trace, w.idx)
+		res.Choices = append(res.Choices, len(cands))
+		pos := 0
+		for j, cw := range cands {
+			if cw == w {
+				pos = j
+				break
+			}
+		}
+		res.Picked = append(res.Picked, pos)
+		w.state = stateRunning
+		w.lastRun = step
+		w.gate <- struct{}{}
+
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(c.cfg.StepTimeout)
+		select {
+		case ev := <-c.events:
+			if ev.done {
+				ev.w.state = stateDone
+				live--
+				if ev.err != nil {
+					return fail(ev.err)
+				}
+			} else {
+				ev.w.state = stateParked
+				ev.w.site = ev.site
+				ev.w.polling = failpoint.IsWaitSite(ev.site)
+			}
+		case <-timer.C:
+			return fail(fmt.Errorf("sched: worker %d did not reach a yield point within %v (blocked without a yield site?)",
+				w.idx, c.cfg.StepTimeout))
+		}
+		if c.cfg.OnStep != nil {
+			if oerr := c.cfg.OnStep(); oerr != nil {
+				return fail(fmt.Errorf("sched: oracle failed at step %d (worker %d at %q): %w",
+					step, w.idx, w.site, oerr))
+			}
+		}
+	}
+	if c.cfg.AtEnd != nil {
+		if oerr := c.cfg.AtEnd(); oerr != nil {
+			res.Err = fmt.Errorf("sched: end-of-run oracle failed: %w", oerr)
+		}
+	}
+	return res
+}
+
+// eligible returns the workers the next step may grant: the parked
+// non-polling workers ordered by index, or — when every parked worker is
+// polling — all of them, ordered oldest-run first (ties by index). The
+// all-polling ordering IS the round-robin discipline: cands[0] is always
+// the poller that has waited longest, so first-enabled scheduling and
+// exhausted PCT priorities both rotate through spin loops instead of
+// re-running one forever.
+func (c *controller) eligible() []*worker {
+	var ready, polling []*worker
+	for _, w := range c.workers {
+		if w.state != stateParked {
+			continue
+		}
+		if w.polling {
+			polling = append(polling, w)
+		} else {
+			ready = append(ready, w)
+		}
+	}
+	if len(ready) > 0 {
+		return ready
+	}
+	sort.SliceStable(polling, func(i, j int) bool {
+		return polling[i].lastRun < polling[j].lastRun
+	})
+	return polling
+}
+
+// parkedSites describes where every live worker is parked, for livelock
+// diagnostics.
+func (c *controller) parkedSites() string {
+	s := ""
+	for _, w := range c.workers {
+		if w.state == stateDone {
+			continue
+		}
+		if s != "" {
+			s += ", "
+		}
+		site := w.site
+		if site == "" {
+			site = "start"
+		}
+		s += fmt.Sprintf("w%d@%s", w.idx, site)
+	}
+	return s
+}
+
+// strategyState carries the per-run scheduling policy state.
+type strategyState struct {
+	cfg    Config
+	prefix Trace
+	// permInit holds the initial PCT priorities until the first pick
+	// installs them on the workers (which the controller owns).
+	permInit []int
+	// changeAt maps step numbers to planted PCT priority-change points.
+	changeAt map[int]bool
+	// nextLowPrio is the next priority handed out at a change point; it
+	// only decreases, so each demotion lands below everything assigned
+	// before it.
+	nextLowPrio int
+}
+
+func newStrategyState(cfg Config, n int) *strategyState {
+	st := &strategyState{cfg: cfg, prefix: cfg.Prefix, nextLowPrio: -1}
+	if cfg.Strategy != StrategyPCT {
+		return st
+	}
+	r := rng.New(cfg.Seed)
+	// Random distinct priorities: a Fisher–Yates permutation of [0, n).
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	st.permInit = perm
+	st.changeAt = make(map[int]bool, cfg.ChangePoints)
+	for i := 0; i < cfg.ChangePoints; i++ {
+		st.changeAt[r.Intn(cfg.Horizon)] = true
+	}
+	return st
+}
+
+// pick chooses the worker for this step from cands (non-empty, ordered by
+// index).
+func (st *strategyState) pick(step int, cands []*worker, res *Result) (*worker, error) {
+	// Install initial PCT priorities once.
+	if st.permInit != nil {
+		for _, w := range cands {
+			w.prio = st.permInit[w.idx%len(st.permInit)]
+		}
+		st.permInit = nil
+	}
+	// Prefix steps come first (DFS branches, replays).
+	if len(st.prefix) > 0 {
+		want := st.prefix[0]
+		st.prefix = st.prefix[1:]
+		if pos, alt := altSentinel(want); alt {
+			// DFS alternative marker: take the candidate at this position.
+			// Deterministic re-execution of the same prefix reproduces the
+			// same candidate set in the same order, so a position recorded
+			// by the previous visit resolves to the sibling it names.
+			if pos >= len(cands) {
+				return nil, fmt.Errorf("sched: DFS prefix diverged at step %d: position %d out of range (have %s)",
+					step, pos, workersString(cands))
+			}
+			w := cands[pos]
+			st.demoteAfter(step, w)
+			return w, nil
+		}
+		for _, w := range cands {
+			if w.idx == want {
+				st.demoteAfter(step, w)
+				return w, nil
+			}
+		}
+		return nil, fmt.Errorf("sched: replay diverged at step %d: worker %d not eligible (have %s)",
+			step, want, workersString(cands))
+	}
+	switch st.cfg.Strategy {
+	case StrategyFirst:
+		return cands[0], nil
+	default: // StrategyPCT
+		if cands[0].polling {
+			// All-polling phase: eligible() already put the oldest-run
+			// poller first; priorities would let one spin loop monopolize.
+			best := cands[0]
+			st.demoteAfter(step, best)
+			return best, nil
+		}
+		best := cands[0]
+		for _, w := range cands[1:] {
+			if w.prio > best.prio {
+				best = w
+			}
+		}
+		st.demoteAfter(step, best)
+		return best, nil
+	}
+}
+
+// demoteAfter applies a PCT priority-change point: if this step is one, the
+// chosen worker's priority drops below every priority handed out so far.
+func (st *strategyState) demoteAfter(step int, w *worker) {
+	if st.changeAt != nil && st.changeAt[step] {
+		w.prio = st.nextLowPrio
+		st.nextLowPrio--
+	}
+}
+
+func workersString(ws []*worker) string {
+	s := ""
+	for _, w := range ws {
+		if s != "" {
+			s += ","
+		}
+		s += fmt.Sprintf("%d", w.idx)
+	}
+	return s
+}

@@ -1,0 +1,413 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"privstm/internal/failpoint"
+)
+
+// TestRunSerializes: workers mutate shared state with no synchronization of
+// their own; the explorer's token passing is the only thing keeping this
+// data-race-free, so running it under -race validates the serialization
+// protocol end to end.
+func TestRunSerializes(t *testing.T) {
+	counter := 0
+	body := func() {
+		for i := 0; i < 50; i++ {
+			counter++
+			Point("test/inc")
+		}
+	}
+	res := Run(Config{Seed: 1}, body, body, body)
+	if res.Failed() {
+		t.Fatal(res.Err)
+	}
+	if counter != 150 {
+		t.Fatalf("counter = %d, want 150", counter)
+	}
+	if len(res.Trace) == 0 || len(res.Trace) != len(res.Choices) || len(res.Trace) != len(res.Picked) {
+		t.Fatalf("trace/choices/picked lengths: %d/%d/%d", len(res.Trace), len(res.Choices), len(res.Picked))
+	}
+}
+
+// TestDeterminism: identical Config + program twice must yield identical
+// traces and verdicts — the property every replay and CI corpus rests on.
+func TestDeterminism(t *testing.T) {
+	mk := func() (func(), func()) {
+		x := 0
+		return func() {
+				x++
+				Point("test/a")
+				x++
+				Point("test/b")
+			}, func() {
+				x += 10
+				Point("test/c")
+				x += 10
+			}
+	}
+	for seed := uint64(0); seed < 20; seed++ {
+		b0, b1 := mk()
+		r1 := Run(Config{Seed: seed, ChangePoints: 2}, b0, b1)
+		b0, b1 = mk()
+		r2 := Run(Config{Seed: seed, ChangePoints: 2}, b0, b1)
+		if r1.Failed() || r2.Failed() {
+			t.Fatalf("seed %d: unexpected failure: %v / %v", seed, r1.Err, r2.Err)
+		}
+		if !reflect.DeepEqual(r1.Trace, r2.Trace) || !reflect.DeepEqual(r1.Choices, r2.Choices) {
+			t.Fatalf("seed %d: runs diverged: %v vs %v", seed, r1.Trace, r2.Trace)
+		}
+	}
+}
+
+// TestReplayFollowsTrace: replaying a recorded trace re-executes the same
+// decision sequence.
+func TestReplayFollowsTrace(t *testing.T) {
+	mk := func() []func() {
+		return []func(){
+			func() { Point("test/a"); Point("test/b") },
+			func() { Point("test/c") },
+		}
+	}
+	bodies := mk()
+	orig := Run(Config{Seed: 7}, bodies...)
+	if orig.Failed() {
+		t.Fatal(orig.Err)
+	}
+	bodies = mk()
+	rep := Replay(Config{}, orig.Trace, bodies...)
+	if rep.Failed() {
+		t.Fatal(rep.Err)
+	}
+	if !reflect.DeepEqual(rep.Trace, orig.Trace) {
+		t.Fatalf("replay trace %v != original %v", rep.Trace, orig.Trace)
+	}
+}
+
+// TestReplayDivergenceReported: a trace that names a finished worker fails
+// with a divergence error instead of silently rescheduling.
+func TestReplayDivergenceReported(t *testing.T) {
+	bodies := []func(){
+		func() {},
+		func() { Point("test/a") },
+	}
+	// Worker 0 has exactly one grant (start→done); granting it twice
+	// diverges at the second step.
+	res := Replay(Config{}, Trace{0, 0, 1, 1}, bodies...)
+	if !res.Failed() || !strings.Contains(res.Err.Error(), "diverged") {
+		t.Fatalf("err = %v, want divergence", res.Err)
+	}
+}
+
+// TestDFSEnumeratesInterleavings: two workers with three grants each
+// (start→a, a→b, b→done) have C(6,3) = 20 interleavings; bounded DFS must
+// visit exactly that many and terminate.
+func TestDFSEnumeratesInterleavings(t *testing.T) {
+	mk := func() (Config, []func()) {
+		body := func() { Point("test/a"); Point("test/b") }
+		return Config{}, []func(){body, body}
+	}
+	res, n := ExploreDFS(Config{}, 1000, mk)
+	if res != nil {
+		t.Fatalf("unexpected failure: %v", res.Err)
+	}
+	if n != 20 {
+		t.Fatalf("DFS visited %d schedules, want 20", n)
+	}
+}
+
+// TestDFSFindsInterleavingBug: a transient state (x == 1 between two writes)
+// is observable only in some interleavings; DFS must find one, and the
+// reported trace must reproduce the failure under Replay.
+func TestDFSFindsInterleavingBug(t *testing.T) {
+	type prog struct {
+		x    int
+		seen bool
+	}
+	mkProg := func() (*prog, []func()) {
+		p := &prog{}
+		return p, []func(){
+			func() {
+				p.x = 1
+				Point("test/mid")
+				p.x = 0
+			},
+			func() {
+				Point("test/look")
+				if p.x == 1 {
+					p.seen = true
+				}
+			},
+		}
+	}
+	var cur *prog
+	mk := func() (Config, []func()) {
+		p, bodies := mkProg()
+		cur = p
+		return Config{AtEnd: func() error {
+			if p.seen {
+				return errors.New("observed transient x == 1")
+			}
+			return nil
+		}}, bodies
+	}
+	res, n := ExploreDFS(Config{}, 1000, mk)
+	if res == nil {
+		t.Fatalf("DFS missed the bug after %d schedules", n)
+	}
+	if !strings.Contains(res.Err.Error(), "transient") {
+		t.Fatalf("wrong failure: %v", res.Err)
+	}
+	// The printed trace reproduces the failure deterministically.
+	p, bodies := mkProg()
+	rep := Replay(Config{}, res.Trace, bodies...)
+	if rep.Failed() {
+		t.Fatalf("replay of failing trace errored early: %v", rep.Err)
+	}
+	if !p.seen {
+		t.Fatalf("replay of %v did not reproduce the bug", res.Trace)
+	}
+	_ = cur
+}
+
+// TestPCTFindsInterleavingBug: the same transient-state bug falls to seeded
+// PCT within a small corpus.
+func TestPCTFindsInterleavingBug(t *testing.T) {
+	mk := func() (Config, []func()) {
+		x := 0
+		seen := false
+		return Config{
+				ChangePoints: 2,
+				Horizon:      6, // ~the real schedule length: demotions must land inside it
+				AtEnd: func() error {
+					if seen {
+						return errors.New("observed transient state")
+					}
+					return nil
+				},
+			}, []func(){
+				func() { x = 1; Point("test/mid"); x = 0 },
+				func() { Point("test/look"); seen = seen || x == 1 },
+			}
+	}
+	res, n := ExplorePCT(Config{Seed: 1}, 64, mk)
+	if res == nil {
+		t.Fatalf("PCT missed the bug in %d runs", n)
+	}
+	if res.Seed == 0 {
+		t.Fatal("failing result lost its seed")
+	}
+}
+
+// TestWaitSitePreference: worker 0 spins on a flag at a registered wait
+// site; first-enabled scheduling would otherwise run it forever. The
+// wait-site discipline must yield to worker 1, which sets the flag.
+func TestWaitSitePreference(t *testing.T) {
+	flag := false
+	res := Run(Config{Strategy: StrategyFirst, MaxSteps: 200},
+		func() {
+			for !flag {
+				failpoint.Eval(failpoint.FencePrivWait)
+			}
+		},
+		func() {
+			Point("test/pre")
+			flag = true
+		},
+	)
+	if res.Failed() {
+		t.Fatalf("wait-site discipline failed to break the spin: %v", res.Err)
+	}
+}
+
+// TestAllPollingRoundRobin: two pollers waiting on each other's progress
+// both run (oldest-run first) instead of one monopolizing the schedule.
+func TestAllPollingRoundRobin(t *testing.T) {
+	a, b := 0, 0
+	res := Run(Config{Strategy: StrategyFirst, MaxSteps: 500},
+		func() {
+			for a < 3 {
+				failpoint.Eval(failpoint.FenceValWait)
+				if b >= a {
+					a++
+				}
+			}
+		},
+		func() {
+			for b < 3 {
+				failpoint.Eval(failpoint.FenceValWait)
+				if a > b {
+					b++
+				}
+			}
+		},
+	)
+	if res.Failed() {
+		t.Fatalf("round-robin failed: %v (a=%d b=%d)", res.Err, a, b)
+	}
+}
+
+// TestLivelockDetection: a worker that can never leave its wait loop trips
+// the MaxSteps bound with a diagnostic naming the parked site.
+func TestLivelockDetection(t *testing.T) {
+	res := Run(Config{MaxSteps: 50},
+		func() {
+			for {
+				failpoint.Eval(failpoint.FencePrivWait)
+			}
+		},
+	)
+	if !res.Failed() || !strings.Contains(res.Err.Error(), "livelock") {
+		t.Fatalf("err = %v, want livelock diagnostic", res.Err)
+	}
+	if !strings.Contains(res.Err.Error(), failpoint.FencePrivWait) {
+		t.Fatalf("diagnostic %v does not name the parked site", res.Err)
+	}
+}
+
+// TestWorkerPanicReported: a worker panic (not schedStop) fails the run with
+// the panic value, and the other worker is unwound cleanly.
+func TestWorkerPanicReported(t *testing.T) {
+	res := Run(Config{},
+		func() { Point("test/a"); panic("boom") },
+		func() { Point("test/b"); Point("test/c") },
+	)
+	if !res.Failed() || !strings.Contains(res.Err.Error(), "boom") {
+		t.Fatalf("err = %v, want worker panic", res.Err)
+	}
+}
+
+// TestOnStepOracleConsistency: OnStep runs with every worker suspended, so
+// an invariant touched by two workers is never observed mid-update.
+func TestOnStepOracleConsistency(t *testing.T) {
+	var x, y int // invariant outside yield windows: x == y
+	body := func() {
+		for i := 0; i < 5; i++ {
+			x++
+			y++ // no yield between the two halves: OnStep never sees x != y
+			Point("test/step")
+		}
+	}
+	steps := 0
+	res := Run(Config{
+		Seed: 3,
+		OnStep: func() error {
+			steps++
+			if x != y {
+				return fmt.Errorf("oracle observed torn state x=%d y=%d", x, y)
+			}
+			return nil
+		},
+	}, body, body)
+	if res.Failed() {
+		t.Fatal(res.Err)
+	}
+	if steps == 0 {
+		t.Fatal("OnStep never ran")
+	}
+}
+
+// TestOnStepFailureAborts: an oracle error fails the run at that step and
+// every worker unwinds (Run returns rather than deadlocking).
+func TestOnStepFailureAborts(t *testing.T) {
+	x := 0
+	res := Run(Config{
+		OnStep: func() error {
+			if x >= 2 {
+				return errors.New("x reached 2")
+			}
+			return nil
+		},
+	},
+		func() {
+			for i := 0; i < 10; i++ {
+				x++
+				Point("test/inc")
+			}
+		},
+		func() { Point("test/other") },
+	)
+	if !res.Failed() || !strings.Contains(res.Err.Error(), "x reached 2") {
+		t.Fatalf("err = %v, want oracle failure", res.Err)
+	}
+	if !strings.Contains(res.Err.Error(), "oracle failed at step") {
+		t.Fatalf("err = %v, want step attribution", res.Err)
+	}
+}
+
+// TestStepTimeout: a worker blocked in native code with no yield point trips
+// StepTimeout instead of hanging the run forever.
+func TestStepTimeout(t *testing.T) {
+	release := make(chan struct{})
+	res := Run(Config{StepTimeout: 50 * time.Millisecond},
+		func() { <-release },
+	)
+	close(release) // let the leaked worker finish after the verdict
+	if !res.Failed() || !strings.Contains(res.Err.Error(), "yield point") {
+		t.Fatalf("err = %v, want step-timeout diagnostic", res.Err)
+	}
+}
+
+// TestPointPassthrough: with no exploration armed, Point is a disabled
+// failpoint evaluation — a no-op.
+func TestPointPassthrough(t *testing.T) {
+	Point("test/unarmed") // must not block or panic
+}
+
+// TestUnregisteredGoroutinePassthrough: failpoint evaluations from
+// goroutines outside the program (helpers spawned by a worker, monitors) do
+// not park — they pass straight through the global hook.
+func TestUnregisteredGoroutinePassthrough(t *testing.T) {
+	res := Run(Config{},
+		func() {
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for i := 0; i < 10; i++ {
+					failpoint.Eval("test/helper")
+				}
+			}()
+			<-done
+			Point("test/after")
+		},
+	)
+	if res.Failed() {
+		t.Fatal(res.Err)
+	}
+}
+
+func TestTraceStringRoundTrip(t *testing.T) {
+	for _, tr := range []Trace{nil, {0}, {0, 1, 1, 0, 2}} {
+		got, err := ParseTrace(tr.String())
+		if err != nil {
+			t.Fatalf("%v: %v", tr, err)
+		}
+		if !reflect.DeepEqual(got, tr) && !(len(got) == 0 && len(tr) == 0) {
+			t.Fatalf("round trip %v -> %q -> %v", tr, tr.String(), got)
+		}
+	}
+	for _, bad := range []string{"a", "1.x", "-1", "1..2"} {
+		if _, err := ParseTrace(bad); err == nil {
+			t.Errorf("ParseTrace(%q) accepted", bad)
+		}
+	}
+}
+
+// TestDFSAltSentinel pins the branch encoding: ^i decodes back to i and is
+// negative for every worker index.
+func TestDFSAltSentinel(t *testing.T) {
+	for i := 0; i < 5; i++ {
+		after, ok := altSentinel(^i)
+		if !ok || after != i {
+			t.Fatalf("altSentinel(^%d) = %d,%v", i, after, ok)
+		}
+		if _, ok := altSentinel(i); ok {
+			t.Fatalf("altSentinel(%d) claimed sentinel", i)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package sched
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Trace is a recorded decision sequence: the worker index granted at each
+// scheduling step. Its string form — dot-separated indexes, e.g.
+// "0.1.1.0.2" — is what a failing exploration prints and what the
+// -sched.replay flag accepts.
+type Trace []int
+
+// String encodes the trace in the replay flag's format.
+func (t Trace) String() string {
+	var b strings.Builder
+	for i, w := range t {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		b.WriteString(strconv.Itoa(w))
+	}
+	return b.String()
+}
+
+// ParseTrace decodes the String form. An empty string is an empty trace.
+func ParseTrace(s string) (Trace, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ".")
+	t := make(Trace, len(parts))
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sched: bad trace element %q in %q", p, s)
+		}
+		t[i] = n
+	}
+	return t, nil
+}

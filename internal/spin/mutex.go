@@ -1,6 +1,10 @@
 package spin
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"privstm/internal/failpoint"
+)
 
 // Mutex is a test-and-test-and-set spin lock with backoff — the "simple
 // spin lock" the paper uses to protect the central transaction list. The
@@ -17,6 +21,10 @@ func (m *Mutex) Lock() {
 		if m.state.Load() == 0 && m.state.CompareAndSwap(0, 1) {
 			return
 		}
+		// Yield point on the contended path only: lets the schedule
+		// explorer suspend a waiter instead of letting it spin against a
+		// suspended holder (the uncontended acquire stays hook-free).
+		failpoint.Eval(failpoint.SpinMutexWait)
 		b.Wait()
 	}
 }

@@ -18,12 +18,19 @@ import (
 type Backoff struct {
 	attempts int
 
-	// sleepCap, when nonzero, bounds individual sleeps in the sleep phase
-	// (SetSleepCap). Fence watchdogs lower it once a stall is detected so
-	// the wait loop keeps polling at diagnostic frequency instead of
-	// parking for the full default cap between checks.
+	// sleepCap encodes the sleep-phase policy: 0 is the default 1024µs
+	// cap, a positive value bounds individual sleeps to it (SetSleepCap —
+	// fence watchdogs lower it once a stall is detected so the wait loop
+	// keeps polling at diagnostic frequency), and a negative value means
+	// sleeping is disabled entirely (DisableSleep — the sleep phase
+	// degrades to cooperative yielding). The three meanings have distinct
+	// constructors so "no sleeping" and "default schedule" cannot be
+	// conflated through a 0 argument.
 	sleepCap time.Duration
 }
+
+// sleepDisabled is the sleepCap sentinel installed by DisableSleep.
+const sleepDisabled time.Duration = -1
 
 const (
 	busySpins  = 8    // iterations of pure spinning before yielding
@@ -67,7 +74,11 @@ func (b *Backoff) Wait() {
 	case b.attempts < busySpins+yieldSpins:
 		runtime.Gosched()
 	default:
-		time.Sleep(b.sleep())
+		if b.sleepCap < 0 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(b.sleep())
+		}
 	}
 	b.attempts++
 }
@@ -86,11 +97,30 @@ func (b *Backoff) sleep() time.Duration {
 	return d
 }
 
-// SetSleepCap bounds individual sleep-phase waits to d (0 restores the
-// default 1024µs cap). Reset does not clear it.
-func (b *Backoff) SetSleepCap(d time.Duration) { b.sleepCap = d }
+// SetSleepCap bounds individual sleep-phase waits to d. d must be positive:
+// to restore the default 1024µs cap call ResetSleepCap, and to forbid
+// sleeping entirely call DisableSleep — a non-positive d is treated as
+// ResetSleepCap so legacy SetSleepCap(0) callers keep the behavior they had,
+// but new code should say which of the two it means. Reset does not clear
+// the cap.
+func (b *Backoff) SetSleepCap(d time.Duration) {
+	if d <= 0 {
+		d = 0
+	}
+	b.sleepCap = d
+}
 
-// SleepCap returns the configured sleep-phase bound (0 = default).
+// ResetSleepCap restores the default sleep schedule (the 1024µs cap),
+// undoing any earlier SetSleepCap or DisableSleep.
+func (b *Backoff) ResetSleepCap() { b.sleepCap = 0 }
+
+// DisableSleep forbids timed sleeps: the sleep phase degrades to
+// cooperative yielding (runtime.Gosched), so the backoff never parks the
+// goroutine in the kernel. Undone by ResetSleepCap or SetSleepCap.
+func (b *Backoff) DisableSleep() { b.sleepCap = sleepDisabled }
+
+// SleepCap returns the configured sleep-phase bound: 0 = default cap,
+// positive = explicit cap, negative = sleeping disabled (DisableSleep).
 func (b *Backoff) SleepCap() time.Duration { return b.sleepCap }
 
 // Reset clears the backoff so the next Wait starts from the cheap phase.

@@ -86,6 +86,55 @@ func TestSleepCapClampsSleepPhase(t *testing.T) {
 	}
 }
 
+func TestDisableSleepNeverSleeps(t *testing.T) {
+	var b Backoff
+	b.DisableSleep()
+	if got := b.SleepCap(); got >= 0 {
+		t.Fatalf("SleepCap after DisableSleep = %v, want negative sentinel", got)
+	}
+	b.Skip(busySpins + yieldSpins + 20) // deep into the sleep phase
+	// 200 sleep-phase waits at the default schedule would park for ~200ms;
+	// with sleeping disabled they are all Gosched and finish near-instantly.
+	start := time.Now()
+	for i := 0; i < 200; i++ {
+		b.Wait()
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("sleep-disabled waits took %v — Wait still sleeps", d)
+	}
+	// Reset keeps the policy (like SetSleepCap); ResetSleepCap undoes it.
+	b.Reset()
+	if b.SleepCap() >= 0 {
+		t.Fatal("Reset cleared DisableSleep")
+	}
+	b.ResetSleepCap()
+	if b.SleepCap() != 0 {
+		t.Fatal("ResetSleepCap did not restore the default schedule")
+	}
+}
+
+func TestResetSleepCapRestoresDefault(t *testing.T) {
+	var b Backoff
+	b.SetSleepCap(64 * time.Microsecond)
+	b.ResetSleepCap()
+	b.Skip(busySpins + yieldSpins + 20)
+	if d := b.sleep(); d != maxSleepUS*time.Microsecond {
+		t.Fatalf("after ResetSleepCap, sleep = %v, want default max", d)
+	}
+	// Legacy ambiguity pinned: a non-positive SetSleepCap argument means
+	// "default schedule", never "no sleeping".
+	b.DisableSleep()
+	b.SetSleepCap(0)
+	if b.SleepCap() != 0 {
+		t.Fatalf("SetSleepCap(0) left cap %v, want default 0", b.SleepCap())
+	}
+	b.DisableSleep()
+	b.SetSleepCap(-time.Microsecond)
+	if b.SleepCap() != 0 {
+		t.Fatalf("SetSleepCap(-1µs) left cap %v, want default 0", b.SleepCap())
+	}
+}
+
 func TestUntil(t *testing.T) {
 	var flag atomic.Bool
 	go func() {

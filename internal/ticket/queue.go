@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"privstm/internal/failpoint"
 )
 
 // QueueLock is a CLH-style queue lock with split acquisition, the
@@ -45,6 +47,7 @@ func (l *QueueLock) Enqueue() *QNode {
 // sleeps so an oversubscribed scheduler can run the predecessor.
 func (l *QueueLock) Wait(n *QNode) {
 	for i := 0; !n.pred.done.Load(); i++ {
+		failpoint.Eval(failpoint.OrderWait)
 		switch {
 		case i < 64:
 			spinHot()

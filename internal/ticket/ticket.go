@@ -14,6 +14,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"privstm/internal/failpoint"
 )
 
 // Lock is a ticket lock. The zero value is ready to use.
@@ -43,6 +45,7 @@ func (l *Lock) Wait(t uint64) {
 		if s == t {
 			return
 		}
+		failpoint.Eval(failpoint.OrderWait)
 		if d := t - s; d > 1 {
 			us := time.Duration(d) * 2 * time.Microsecond
 			if us > 200*time.Microsecond {

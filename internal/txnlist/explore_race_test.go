@@ -1,0 +1,40 @@
+//go:build privstm_watermark_race
+
+package txnlist
+
+import (
+	"strings"
+	"testing"
+
+	"privstm/internal/sched"
+)
+
+// TestWatermarkRaceRediscovered: with the PR-2 watermark fix reverted
+// (this build tag substitutes slots_race.go's optimistic cache
+// publication), the schedule explorer must rediscover the historical
+// EnterAt-vs-recompute race from scratch — exhaustive DFS over the same
+// program whose full schedule space passes clean on the production write
+// path (TestWatermarkExplorationCorpus). The failing trace must then
+// reproduce the violation deterministically under Replay; it is logged so
+// the interleaving can be replayed by hand.
+//
+// Run via `make explore` (the rest of the txnlist tests assume the sound
+// write path and are not built for this tag combination's stress claims):
+//
+//	go test -tags privstm_watermark_race -run TestWatermarkRaceRediscovered ./internal/txnlist
+func TestWatermarkRaceRediscovered(t *testing.T) {
+	res, n := sched.ExploreDFS(sched.Config{}, 500, watermarkExploreProgram)
+	if res == nil {
+		t.Fatalf("explorer missed the historical watermark race in %d schedules", n)
+	}
+	if !strings.Contains(res.Err.Error(), "watermark") {
+		t.Fatalf("found a different failure: %v", res.Err)
+	}
+	t.Logf("rediscovered in %d schedules: %v\n  trace: %v", n, res.Err, res.Trace)
+
+	cfg, bodies := watermarkExploreProgram()
+	rep := sched.Replay(cfg, res.Trace, bodies...)
+	if rep.Err == nil || !strings.Contains(rep.Err.Error(), "watermark") {
+		t.Fatalf("replay of the failing trace did not reproduce: %v", rep.Err)
+	}
+}

@@ -1,0 +1,30 @@
+//go:build !privstm_watermark_race
+
+package txnlist
+
+import (
+	"testing"
+
+	"privstm/internal/sched"
+)
+
+// TestWatermarkExplorationCorpus exhaustively enumerates the
+// EnterAt-vs-recompute schedule space on the production (locked) cache
+// write path: no interleaving may publish a watermark above a live begin.
+// This is the corpus half of the rediscovery pair — build with
+// -tags privstm_watermark_race for the half that must FAIL
+// (TestWatermarkRaceRediscovered in explore_race_test.go).
+func TestWatermarkExplorationCorpus(t *testing.T) {
+	const max = 500
+	res, n := sched.ExploreDFS(sched.Config{}, max, watermarkExploreProgram)
+	if res != nil {
+		t.Fatalf("schedule violation on the locked write path (trace %v): %v", res.Trace, res.Err)
+	}
+	if n == 0 {
+		t.Fatal("DFS explored nothing")
+	}
+	if n >= max {
+		t.Fatalf("schedule space not exhausted in %d schedules; the corpus claim needs full enumeration", max)
+	}
+	t.Logf("enumerated all %d schedules clean", n)
+}

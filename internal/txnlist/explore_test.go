@@ -1,0 +1,37 @@
+package txnlist
+
+import (
+	"privstm/internal/clock"
+	"privstm/internal/sched"
+)
+
+// watermarkExploreProgram is the schedule-exploration micro-program for the
+// EnterAt-vs-recompute watermark race (the PR-2 fix; package comment in
+// slots.go, CORRECTNESS.md "Slot tracker watermark"):
+//
+//   - setup: slot 0 is live with a fresh, high begin timestamp and the
+//     cache is empty, so the first oldest query must scan;
+//   - worker "recompute" runs OldestBegin — fast-path miss, scan, yield at
+//     SlotsScanPublish, publish;
+//   - worker "joiner" runs EnterAt with a timestamp *below* slot 0's —
+//     slot store, yield at SlotsEnterAtLower, cache lowering.
+//
+// Under the production locked write path no interleaving of the two yield
+// points can publish a watermark above the joiner's begin. Under
+// -tags privstm_watermark_race (the reverted, optimistic publication) the
+// schedule [recompute scans; joiner stores its slot and finds the cache
+// still empty, so its lowering loop returns without writing; recompute
+// publishes the pre-join minimum] leaves a *valid* cache — holder slot 0
+// still matches — above the live joiner's begin, which CheckWatermark
+// reports. The two build-tagged tests next to this file assert both
+// directions over the same exhaustively enumerated schedule space.
+func watermarkExploreProgram() (sched.Config, []func()) {
+	s := NewSlots(4)
+	var c clock.Clock
+	c.AdvanceTo(10)
+	s.Enter(0, &c) // live at begin 10; Enter never seeds the cache
+	recompute := func() { s.OldestBegin() }
+	joiner := func() { s.EnterAt(1, 3) } // late joiner, older timestamp
+	check := func() error { return s.CheckWatermark() }
+	return sched.Config{OnStep: check, AtEnd: check}, []func(){recompute, joiner}
+}

@@ -19,10 +19,13 @@
 // CORRECTNESS.md "Slot tracker watermark":
 //
 // The cache word packs (holder slot + 1, begin timestamp). Invariant: at
-// every instant, either the cache's timestamp is ≤ the begin timestamp of
-// every live registered transaction, or the cached holder's slot no longer
-// matches the cached timestamp — in which case every reader falls back to
-// the scan. All cache *writes* — EnterAt's lowering and the slow path's
+// every instant with no EnterAt in flight, either the cache's timestamp is
+// ≤ the begin timestamp of every live registered transaction, or the
+// cached holder's slot no longer matches the cached timestamp — in which
+// case every reader falls back to the scan. (Mid-EnterAt — slot stored,
+// lowering pending — the cache may transiently exceed the joiner's begin;
+// that is fine because EnterAt's contract binds only queries that start
+// after it returns.) All cache *writes* — EnterAt's lowering and the slow path's
 // recompute publish — are serialized by a writer lock, and a joiner's slot
 // is stored before it takes the lock. So a recompute's scan and publish
 // can never interleave with a registration it must not miss: an EnterAt
@@ -90,6 +93,12 @@ type Slots struct {
 	// publication is not enough. Fast-path readers never touch it.
 	mu spin.Mutex
 	_  [15]uint32
+	// entering counts in-flight EnterAt registrations (slot stored, cache
+	// lowering not yet complete). Only CheckWatermark consults it: inside
+	// that window the cache may legitimately sit above the joiner's begin —
+	// EnterAt's contract covers queries that start after it returns — so
+	// the oracle must not flag the transient.
+	entering atomic.Int64
 
 	slots []slot
 }
@@ -137,34 +146,6 @@ func (s *Slots) Enter(id int, c *clock.Clock) uint64 {
 	return ts
 }
 
-// EnterAt registers slot id under a previously assigned timestamp ts, which
-// may be older than every cached or live begin. It does not return until
-// the cache can no longer report a value above ts, so fences and conflict
-// scans that start after EnterAt returns always account for the joiner.
-func (s *Slots) EnterAt(id int, ts uint64) {
-	s.raiseHi(id)
-	s.slots[id].v.Store(ts<<1 | 1)
-	s.mu.Lock()
-	// Holding the writer lock means no recompute is mid-scan: any scan
-	// that publishes after we release will see our slot (stored above).
-	// Three cases for the value we find:
-	//   - empty: leave it empty — readers scan, and scans see our slot.
-	//     (Installing our own timestamp would be unsound: an older
-	//     fresh-Enter transaction may be live with the cache never yet
-	//     computed, and a valid-looking cache above its begin would lift
-	//     the watermark past it.)
-	//   - at or below ts: already covers us; leave it.
-	//   - above ts: lower it to our slot. Lowering can only delay fences,
-	//     never release one early, so it is safe even if the old value was
-	//     stale.
-	if c := s.cache.Load(); c != 0 {
-		if _, cts := unpackCache(c); cts > ts&slotTSMask {
-			s.cache.Store(packCache(id, ts))
-		}
-	}
-	s.mu.Unlock()
-}
-
 // Leave deregisters slot id: one atomic store. If id was the cached holder
 // the cache is left stale; the next oldest query notices the slot mismatch
 // and recomputes (the "lazy recompute on holder exit" of the design).
@@ -182,24 +163,13 @@ func (s *Slots) OldestBegin() (uint64, bool) { return s.oldest(-1) }
 // scan runs.
 func (s *Slots) OldestOtherBegin(id int) (uint64, bool) { return s.oldest(id) }
 
-func (s *Slots) oldest(skip int) (uint64, bool) {
-	if ts, ok, hit := s.cached(skip); hit {
-		return ts, ok
-	}
-	s.mu.Lock()
-	// While we waited for the lock another recompute may have re-armed
-	// the cache; retry the fast path before paying for a scan.
-	if ts, ok, hit := s.cached(skip); hit {
-		s.mu.Unlock()
-		return ts, ok
-	}
-	// Slow path, under the writer lock so no EnterAt can register a low
-	// timestamp between our scan and our publish: scan every entered
-	// slot, tracking both the global minimum (to reinstall the cache) and
-	// the minimum excluding skip (the result).
+// scanSlots walks every entered slot, returning the global minimum (for
+// reinstalling the cache) and the minimum excluding skip (the query
+// result). Shared by the locked recompute (slots_safe.go) and the
+// historical unlocked one (slots_race.go).
+func (s *Slots) scanSlots(skip int) (minTS uint64, minID int, oTS uint64, oAny bool) {
 	n := int(s.hi.Load())
-	minTS, minID := uint64(0), -1
-	oTS, oAny := uint64(0), false
+	minID = -1
 	for i := 0; i < n; i++ {
 		v := s.slots[i].v.Load()
 		if v&1 == 0 {
@@ -213,13 +183,48 @@ func (s *Slots) oldest(skip int) (uint64, bool) {
 			oTS, oAny = ts, true
 		}
 	}
-	var nc uint64
-	if minID >= 0 {
-		nc = packCache(minID, minTS)
+	return minTS, minID, oTS, oAny
+}
+
+// CheckWatermark verifies the watermark-cache soundness invariant (package
+// comment; CORRECTNESS.md "Slot tracker watermark"): whenever the cache is
+// *valid* — its holder's slot still matches the cached timestamp — the
+// cached timestamp is a lower bound on every live registration. The check
+// is skipped while any EnterAt is in flight: between a joiner's slot store
+// and its cache lowering the cache may transiently exceed the joiner's
+// begin even under the locked write path (a recompute that finished before
+// the joiner started is a plain sequential execution), and the invariant
+// only binds queries that start after EnterAt returns. The schedule
+// explorer calls it between steps, while every worker is suspended, so the
+// loads form a consistent snapshot; a concurrent caller would only ever
+// see a transient mismatch in the unsound direction and never a false pass
+// turned failure.
+func (s *Slots) CheckWatermark() error {
+	if s.entering.Load() != 0 {
+		return nil // a registration is mid-flight: transient by design
 	}
-	s.cache.Store(nc)
-	s.mu.Unlock()
-	return oTS, oAny
+	c := s.cache.Load()
+	if c == 0 {
+		return nil
+	}
+	h, cts := unpackCache(c)
+	if h < 0 || h >= len(s.slots) {
+		return fmt.Errorf("txnlist: watermark holder %d out of range", h)
+	}
+	if v := s.slots[h].v.Load(); v&1 == 0 || (v>>1)&slotTSMask != cts {
+		return nil // stale cache: every reader falls back to the scan
+	}
+	n := int(s.hi.Load())
+	for i := 0; i < n; i++ {
+		v := s.slots[i].v.Load()
+		if v&1 == 0 {
+			continue
+		}
+		if ts := (v >> 1) & slotTSMask; ts < cts {
+			return fmt.Errorf("txnlist: watermark %d (holder %d) above live slot %d begin %d", cts, h, i, ts)
+		}
+	}
+	return nil
 }
 
 // cached attempts the lock-free fast path: use the cached watermark when

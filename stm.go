@@ -27,6 +27,7 @@ package stm
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"privstm/internal/core"
 	"privstm/internal/heap"
@@ -366,8 +367,10 @@ type Thread struct {
 	t *core.Thread
 	// tx is the reusable transaction handle passed to Atomic bodies.
 	tx Tx
-	// trace, when non-nil, records events (see EnableTrace).
-	trace *traceRing
+	// trace, when non-nil, records events (see EnableTrace). Atomic so
+	// EnableTrace/DisableTrace/Trace may run concurrently with an
+	// in-flight Atomic on the owning goroutine.
+	trace atomic.Pointer[traceRing]
 }
 
 // NewThread registers a new worker thread.
@@ -402,20 +405,24 @@ func (th *Thread) Stats() *stats.Counters { return &th.t.Stats }
 // panic raised by a doomed transaction (inconsistent reads) is converted
 // into a retry, sandboxing user code against torn state.
 func (th *Thread) Atomic(body func(tx *Tx)) error {
-	if th.trace == nil {
+	if th.trace.Load() == nil {
 		return core.Run(th.s.engine, th.t, func() { body(&th.tx) })
 	}
 	attempt := Word(0)
 	err := core.Run(th.s.engine, th.t, func() {
 		attempt++
-		th.trace.add(TraceEvent{Kind: TraceAttempt, Val: attempt})
+		if tr := th.trace.Load(); tr != nil {
+			tr.add(TraceEvent{Kind: TraceAttempt, Val: attempt})
+		}
 		body(&th.tx)
 	})
 	kind := TraceCommit
 	if err != nil {
 		kind = TraceCancel
 	}
-	th.trace.add(TraceEvent{Kind: kind})
+	if tr := th.trace.Load(); tr != nil {
+		tr.add(TraceEvent{Kind: kind})
+	}
 	return err
 }
 
@@ -427,8 +434,8 @@ type Tx struct {
 // Load performs a transactional read of a.
 func (tx *Tx) Load(a Addr) Word {
 	w := tx.th.s.engine.Read(tx.th.t, a)
-	if tx.th.trace != nil {
-		tx.th.trace.add(TraceEvent{Kind: TraceRead, Addr: a, Val: w})
+	if tr := tx.th.trace.Load(); tr != nil {
+		tr.add(TraceEvent{Kind: TraceRead, Addr: a, Val: w})
 	}
 	return w
 }
@@ -436,8 +443,8 @@ func (tx *Tx) Load(a Addr) Word {
 // Store performs a transactional write of w to a.
 func (tx *Tx) Store(a Addr, w Word) {
 	tx.th.s.engine.Write(tx.th.t, a, w)
-	if tx.th.trace != nil {
-		tx.th.trace.add(TraceEvent{Kind: TraceWrite, Addr: a, Val: w})
+	if tr := tx.th.trace.Load(); tr != nil {
+		tr.add(TraceEvent{Kind: TraceWrite, Addr: a, Val: w})
 	}
 }
 

@@ -1,6 +1,9 @@
 package stm
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // TraceKind classifies a traced event.
 type TraceKind uint8
@@ -59,50 +62,104 @@ func (e TraceEvent) String() string {
 }
 
 // traceRing is a bounded ring of events; old events are overwritten.
+//
+// The ring tolerates its one writer (the owning goroutine, possibly
+// mid-Atomic) racing with snapshot readers and with EnableTrace/
+// DisableTrace swapping the Thread's ring pointer: all state is accessed
+// atomically, and every slot carries a sequence word written 0 before and
+// index+1 after the payload, so a reader that catches a slot mid-rewrite
+// sees a sequence mismatch and drops that (oldest) event instead of
+// returning a torn one.
 type traceRing struct {
-	buf     []TraceEvent
-	next    int
-	wrapped bool
+	// pos counts events ever added; the next event's global index.
+	pos   atomic.Uint64
+	slots []traceSlot
 }
 
+// traceSlot is one ring entry with torn-read detection.
+type traceSlot struct {
+	// seq is 1 + the global index of the occupying event, or 0 while the
+	// payload below is being (re)written.
+	seq  atomic.Uint64
+	kind atomic.Uint32
+	addr atomic.Uint64
+	val  atomic.Uint64
+}
+
+func newTraceRing(capacity int) *traceRing {
+	return &traceRing{slots: make([]traceSlot, capacity)}
+}
+
+// add appends e. Only the ring's owning goroutine calls add (the Thread
+// single-goroutine contract), so there is exactly one writer; the
+// publication order — seq to 0, payload, seq to index+1, pos — is what lets
+// concurrent snapshots discard in-flight slots.
 func (r *traceRing) add(e TraceEvent) {
-	r.buf[r.next] = e
-	r.next++
-	if r.next == len(r.buf) {
-		r.next = 0
-		r.wrapped = true
-	}
+	i := r.pos.Load()
+	s := &r.slots[i%uint64(len(r.slots))]
+	s.seq.Store(0)
+	s.kind.Store(uint32(e.Kind))
+	s.addr.Store(uint64(e.Addr))
+	s.val.Store(uint64(e.Val))
+	s.seq.Store(i + 1)
+	r.pos.Store(i + 1)
 }
 
-// snapshot returns events oldest-first.
+// snapshot returns the recorded events oldest-first. It may race with add:
+// an event whose slot is concurrently rewritten fails its sequence check —
+// before or after its payload is read — and is dropped. Only events at the
+// overwrite frontier (the oldest retained) can be lost this way; a writer
+// restores a given sequence value never (indexes are globally unique), so a
+// passed double check proves the payload was stable in between.
 func (r *traceRing) snapshot() []TraceEvent {
-	if !r.wrapped {
-		return append([]TraceEvent(nil), r.buf[:r.next]...)
+	hi := r.pos.Load()
+	lo := uint64(0)
+	if n := uint64(len(r.slots)); hi > n {
+		lo = hi - n
 	}
-	out := make([]TraceEvent, 0, len(r.buf))
-	out = append(out, r.buf[r.next:]...)
-	return append(out, r.buf[:r.next]...)
+	out := make([]TraceEvent, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		s := &r.slots[i%uint64(len(r.slots))]
+		if s.seq.Load() != i+1 {
+			continue // recycled or mid-write
+		}
+		e := TraceEvent{
+			Kind: TraceKind(s.kind.Load()),
+			Addr: Addr(s.addr.Load()),
+			Val:  Word(s.val.Load()),
+		}
+		if s.seq.Load() != i+1 {
+			continue // overwritten while the payload was being read
+		}
+		out = append(out, e)
+	}
+	return out
 }
 
 // EnableTrace starts recording this thread's transactional events into a
 // ring of the given capacity (minimum 16). Tracing costs a few nanoseconds
 // per operation; it is intended for debugging, not production benchmarks.
-// Calling it again resets the ring.
+// Calling it again resets the ring. Safe to call while the thread is inside
+// Atomic on another goroutine: the ring is swapped atomically, and an
+// in-flight attempt keeps appending to whichever ring it loads per event.
 func (th *Thread) EnableTrace(capacity int) {
 	if capacity < 16 {
 		capacity = 16
 	}
-	th.trace = &traceRing{buf: make([]TraceEvent, capacity)}
+	th.trace.Store(newTraceRing(capacity))
 }
 
-// DisableTrace stops recording and discards the ring.
-func (th *Thread) DisableTrace() { th.trace = nil }
+// DisableTrace stops recording and discards the ring. Like EnableTrace it
+// may race with an in-flight Atomic.
+func (th *Thread) DisableTrace() { th.trace.Store(nil) }
 
-// Trace returns the recorded events, oldest first. It must be called
-// between transactions (a Thread is single-goroutine by contract).
+// Trace returns the recorded events, oldest first. It may be called from
+// any goroutine, including concurrently with the thread's own Atomic;
+// events being overwritten at the snapshot instant are dropped rather than
+// returned torn.
 func (th *Thread) Trace() []TraceEvent {
-	if th.trace == nil {
-		return nil
+	if r := th.trace.Load(); r != nil {
+		return r.snapshot()
 	}
-	return th.trace.snapshot()
+	return nil
 }

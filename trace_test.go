@@ -97,6 +97,75 @@ func TestTraceCancelAndWrap(t *testing.T) {
 	}
 }
 
+// TestTraceConcurrentToggleAndSnapshot is the regression test for the
+// trace-ring race: EnableTrace/DisableTrace/Trace from a monitor goroutine
+// while the owning goroutine is mid-Atomic used to swap th.trace and read
+// the ring's cursor unsynchronized. Run under -race; also checks no torn
+// event escapes (every snapshot entry must be one of the values actually
+// written).
+func TestTraceConcurrentToggleAndSnapshot(t *testing.T) {
+	s := newSTM(t, TL2)
+	th := s.MustNewThread()
+	a := s.MustAlloc(1)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 400; i++ {
+			_ = th.Atomic(func(tx *Tx) {
+				tx.Store(a, Word(i))
+				_ = tx.Load(a)
+			})
+		}
+	}()
+	// Monitor: toggle and snapshot continuously while transactions run.
+	for i := 0; ; i++ {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		switch i % 3 {
+		case 0:
+			th.EnableTrace(32)
+		case 1:
+			for _, e := range th.Trace() {
+				switch e.Kind {
+				case TraceAttempt, TraceRead, TraceWrite, TraceCommit, TraceCancel:
+				default:
+					t.Errorf("torn event escaped snapshot: %+v", e)
+				}
+				if (e.Kind == TraceRead || e.Kind == TraceWrite) && e.Addr != a {
+					t.Errorf("torn event escaped snapshot: %+v", e)
+				}
+			}
+		case 2:
+			th.DisableTrace()
+		}
+	}
+}
+
+// TestTraceSnapshotDropsTornSlot pins the seq-guard directly: a slot whose
+// payload is mid-rewrite (seq = 0) is dropped, and the rest of the ring
+// still comes back.
+func TestTraceSnapshotDropsTornSlot(t *testing.T) {
+	r := newTraceRing(16)
+	for i := 0; i < 4; i++ {
+		r.add(TraceEvent{Kind: TraceWrite, Addr: Addr(i), Val: Word(i)})
+	}
+	// Simulate a writer caught between "seq = 0" and the payload stores.
+	r.slots[1].seq.Store(0)
+	ev := r.snapshot()
+	if len(ev) != 3 {
+		t.Fatalf("snapshot kept %d events, want 3 (torn slot dropped): %v", len(ev), ev)
+	}
+	for _, e := range ev {
+		if e.Addr == 1 {
+			t.Fatalf("torn slot returned: %v", ev)
+		}
+	}
+}
+
 func TestTraceKindStrings(t *testing.T) {
 	if TraceRead.String() != "read" || TraceKind(99).String() == "" {
 		t.Error("kind strings wrong")
