@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-faults explore bench bench-json bench-smoke bench-readpath bench-readpath-smoke figures privtest stress cover clean lint
+.PHONY: all build test race test-faults explore bench bench-json bench-smoke bench-readpath bench-readpath-smoke figures privtest stress cover clean lint lint-json
 
 all: build test lint
 
@@ -14,10 +14,21 @@ test:
 	$(GO) test ./...
 
 # STM-specific static checks (see internal/analysis and CORRECTNESS.md
-# "Static checks"): atomic access discipline, metadata accessor discipline,
-# transaction-body purity, lock-copy freedom.
+# "Static checks" / §12): atomic access discipline, metadata accessor
+# discipline, transaction-body purity, lock-copy freedom, privatization
+# safety (privaccess), wait-loop yield discipline (yieldsite). Runs the
+# build-tag matrix: the default file set carries the committed baseline
+# and its shrink-only ratchet; the watermark-race set re-lints the
+# historical variant the loader used to skip (ratchet off there — a
+# default-set baseline entry would read as stale under other tags).
 lint:
-	$(GO) run ./cmd/stmlint ./...
+	$(GO) run ./cmd/stmlint -baseline stmlint.baseline ./...
+	$(GO) run ./cmd/stmlint -tags privstm_watermark_race -ratchet=false ./...
+
+# Machine-readable findings for the CI artifact (default tag set).
+lint-json:
+	$(GO) run ./cmd/stmlint -json -baseline stmlint.baseline ./... > stmlint.json || true
+	@test -s stmlint.json
 
 race:
 	$(GO) test -race ./...

@@ -12,7 +12,8 @@
 // precisely uninstrumented accesses slipping past the protocol — so this
 // package machine-checks the discipline instead of trusting comments.
 //
-// Four analyzers are provided (see Analyzers):
+// Six analyzers are provided (see Analyzers). Four are intra-package AST
+// checks:
 //
 //	mixedatomic        — a struct field accessed via sync/atomic anywhere
 //	                     must be accessed atomically everywhere
@@ -24,6 +25,17 @@
 //	                     or perform os/net I/O (irrevocability hazards)
 //	copylock           — values containing spin mutexes, orecs or atomics
 //	                     must not be copied
+//
+// Two are interprocedural, built on the module-wide call graph
+// (callgraph.go) and the forward dataflow engine (dataflow.go):
+//
+//	privaccess         — uninstrumented Direct* access must never be
+//	                     reachable from a transaction body, and addresses
+//	                     loaded transactionally may only be accessed
+//	                     directly after a privatizing write (+ fence)
+//	yieldsite          — poll loops in runtime packages must contain a
+//	                     sched-visible yield point, so the schedule
+//	                     explorer keeps full wait-site coverage
 //
 // A finding can be suppressed with a comment on the same line or the line
 // immediately above:
@@ -85,6 +97,8 @@ func Analyzers() []*Analyzer {
 		AccessorDiscipline(),
 		TxnPurity(),
 		CopyLock(),
+		PrivAccess(),
+		YieldSite(),
 	}
 }
 

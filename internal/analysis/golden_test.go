@@ -64,11 +64,42 @@ func TestAccessorDisciplineGolden(t *testing.T) {
 }
 
 func TestTxnPurityGolden(t *testing.T) {
-	checkGolden(t, "txnpurity", runFixture(t, TxnPurity(), "txnpurity"))
+	// The /... pattern matters: the cross-package fixture's helper package
+	// must be loaded for the call graph to descend into it.
+	checkGolden(t, "txnpurity", runFixture(t, TxnPurity(), "txnpurity/..."))
 }
 
 func TestCopyLockGolden(t *testing.T) {
 	checkGolden(t, "copylock", runFixture(t, CopyLock(), "copylock/..."))
+}
+
+func TestPrivAccessGolden(t *testing.T) {
+	checkGolden(t, "privaccess", runFixture(t, PrivAccess(), "privaccess/..."))
+}
+
+func TestYieldSiteGolden(t *testing.T) {
+	checkGolden(t, "yieldsite", runFixture(t, YieldSite(), "yieldsite/..."))
+}
+
+// TestYieldSiteRediscoversCMWait is the rediscovery control: the retryloop
+// fixture copies core.Run's retry loop as it stood before PR 5 added the
+// core/retry/cm-wait yield, and the analyzer must flag exactly that loop
+// (RunBad) while leaving the fixed shape (RunGood) clean. The position is
+// pinned so the test fails loudly if the analyzer drifts.
+func TestYieldSiteRediscoversCMWait(t *testing.T) {
+	got := runFixture(t, YieldSite(), "yieldsite/retryloop")
+	const want = "yieldsite/retryloop/retry.go:35"
+	found := false
+	for _, line := range got {
+		if strings.HasPrefix(line, want) {
+			found = true
+		} else {
+			t.Errorf("unexpected finding (RunGood must stay clean): %s", line)
+		}
+	}
+	if !found {
+		t.Errorf("analyzer no longer catches the historical cm-wait omission at %s; findings: %v", want, got)
+	}
 }
 
 // TestFixturesTripTheLinter is the acceptance check that the violation
@@ -81,8 +112,10 @@ func TestFixturesTripTheLinter(t *testing.T) {
 	}{
 		{MixedAtomic(), []string{"mixedatomic"}},
 		{AccessorDiscipline(), []string{"accessor/..."}},
-		{TxnPurity(), []string{"txnpurity"}},
+		{TxnPurity(), []string{"txnpurity/..."}},
 		{CopyLock(), []string{"copylock/..."}},
+		{PrivAccess(), []string{"privaccess/..."}},
+		{YieldSite(), []string{"yieldsite/..."}},
 	} {
 		if got := runFixture(t, tc.analyzer, tc.patterns...); len(got) == 0 {
 			t.Errorf("%s: no findings on its violation fixture", tc.analyzer.Name)
@@ -90,17 +123,20 @@ func TestFixturesTripTheLinter(t *testing.T) {
 	}
 }
 
-// TestRepoIsClean runs the full default suite over the real module — the
-// same invocation `make lint` uses — and requires zero findings, so a
-// regression in the runtime's access discipline fails `go test ./...` too.
+// TestRepoIsClean runs the full six-analyzer suite over the real module —
+// the same invocations `make lint` uses — and requires zero findings on
+// both halves of the build-tag matrix, so a regression in the runtime's
+// access or wait discipline fails `go test ./...` too.
 func TestRepoIsClean(t *testing.T) {
-	prog, err := Load(filepath.Join("..", ".."), "./...")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if diags := prog.Run(Analyzers()); len(diags) != 0 {
-		for _, d := range diags {
-			t.Errorf("%s", d.Format(prog.ModRoot))
+	for _, tags := range [][]string{nil, {"privstm_watermark_race"}} {
+		prog, err := LoadTags(filepath.Join("..", ".."), tags, "./...")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diags := prog.Run(Analyzers()); len(diags) != 0 {
+			for _, d := range diags {
+				t.Errorf("tags=%v: %s", tags, d.Format(prog.ModRoot))
+			}
 		}
 	}
 }
@@ -117,7 +153,7 @@ func TestAllowlist(t *testing.T) {
 // TestRuleNamesAreStable pins the rule identifiers that ignore comments
 // and CI reference.
 func TestRuleNamesAreStable(t *testing.T) {
-	want := []string{"mixedatomic", "accessordiscipline", "txnpurity", "copylock"}
+	want := []string{"mixedatomic", "accessordiscipline", "txnpurity", "copylock", "privaccess", "yieldsite"}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))

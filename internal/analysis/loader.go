@@ -46,13 +46,35 @@ type Program struct {
 	// ModRoot and ModPath describe the enclosing module.
 	ModRoot string
 	ModPath string
+
+	// Tags are the custom build tags the file set was selected under
+	// (empty for the default build configuration).
+	Tags []string
+
+	// cg memoizes the module call graph (built lazily by CallGraph).
+	cg *CallGraph
 }
 
 // Load locates the module containing dir, resolves the patterns against
 // it, and parses and type-checks every matched package (test files are
 // skipped). Patterns follow the go tool's shape: "./..." walks the whole
 // module, "dir/..." walks a subtree, anything else names one directory.
+// The default build configuration selects files (custom build tags false).
 func Load(dir string, patterns ...string) (*Program, error) {
+	return LoadTags(dir, nil, patterns...)
+}
+
+// LoadTags is Load under an explicit custom-tag set: a file constrained by
+// //go:build is included iff its constraint holds with every tag in tags
+// true (plus the usual GOOS/GOARCH/compiler/release tags). This closes the
+// loader's historical blind spot: tag-gated variants like the schedule
+// explorer's slots_race.go (-tags privstm_watermark_race) were silently
+// invisible to every analyzer, so the lint matrix could not cover the
+// exact file whose bug class it exists to catch. Note one program loads
+// ONE consistent file set — analyzing both variants of a tag pair means
+// two LoadTags calls, which is what cmd/stmlint's -tags flag and the
+// Makefile's lint matrix do.
+func LoadTags(dir string, tags []string, patterns ...string) (*Program, error) {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, err
@@ -61,10 +83,17 @@ func Load(dir string, patterns ...string) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
+	tagSet := make(map[string]bool, len(tags))
+	for _, t := range tags {
+		if t = strings.TrimSpace(t); t != "" {
+			tagSet[t] = true
+		}
+	}
 	l := &loader{
 		fset:       token.NewFileSet(),
 		modRoot:    modRoot,
 		modPath:    modPath,
+		tags:       tagSet,
 		pkgs:       make(map[string]*Package),
 		inProgress: make(map[string]bool),
 		stdCache:   make(map[string]*types.Package),
@@ -75,7 +104,7 @@ func Load(dir string, patterns ...string) (*Program, error) {
 	var dirs []string
 	seen := make(map[string]bool)
 	for _, pat := range patterns {
-		ds, err := resolvePattern(abs, pat)
+		ds, err := resolvePattern(abs, pat, tagSet)
 		if err != nil {
 			return nil, err
 		}
@@ -90,7 +119,12 @@ func Load(dir string, patterns ...string) (*Program, error) {
 		return nil, fmt.Errorf("stmlint: no packages match %v", patterns)
 	}
 	sort.Strings(dirs)
-	prog := &Program{Fset: l.fset, ModRoot: modRoot, ModPath: modPath}
+	sortedTags := make([]string, 0, len(tagSet))
+	for t := range tagSet {
+		sortedTags = append(sortedTags, t)
+	}
+	sort.Strings(sortedTags)
+	prog := &Program{Fset: l.fset, ModRoot: modRoot, ModPath: modPath, Tags: sortedTags}
 	for _, d := range dirs {
 		ip, err := l.importPathFor(d)
 		if err != nil {
@@ -130,7 +164,7 @@ func findModule(dir string) (root, path string, err error) {
 }
 
 // resolvePattern expands one pattern into package directories.
-func resolvePattern(base, pat string) ([]string, error) {
+func resolvePattern(base, pat string, tags map[string]bool) ([]string, error) {
 	recursive := false
 	if pat == "all" {
 		pat, recursive = ".", true
@@ -150,7 +184,7 @@ func resolvePattern(base, pat string) ([]string, error) {
 		return nil, fmt.Errorf("stmlint: pattern %q: not a directory: %s", pat, dir)
 	}
 	if !recursive {
-		if len(goSources(dir)) == 0 {
+		if len(goSources(dir, tags)) == 0 {
 			return nil, fmt.Errorf("stmlint: no Go files in %s", dir)
 		}
 		return []string{dir}, nil
@@ -168,7 +202,7 @@ func resolvePattern(base, pat string) ([]string, error) {
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
 			return filepath.SkipDir
 		}
-		if len(goSources(p)) > 0 {
+		if len(goSources(p, tags)) > 0 {
 			out = append(out, p)
 		}
 		return nil
@@ -176,8 +210,9 @@ func resolvePattern(base, pat string) ([]string, error) {
 	return out, err
 }
 
-// goSources lists the non-test .go files of dir, sorted.
-func goSources(dir string) []string {
+// goSources lists the non-test .go files of dir whose build constraints
+// hold under the given custom-tag set, sorted.
+func goSources(dir string, tags map[string]bool) []string {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil
@@ -191,7 +226,7 @@ func goSources(dir string) []string {
 			continue
 		}
 		path := filepath.Join(dir, name)
-		if !buildTagsSatisfied(path) {
+		if !buildTagsSatisfied(path, tags) {
 			continue
 		}
 		out = append(out, path)
@@ -201,12 +236,13 @@ func goSources(dir string) []string {
 }
 
 // buildTagsSatisfied reports whether the file's //go:build constraint (if
-// any) holds under the default build configuration — GOOS/GOARCH/compiler
-// and release tags true, custom tags false. stmlint analyzes the same file
-// set as a plain `go build ./...`; files excluded by a custom tag (e.g. the
-// schedule explorer's privstm_watermark_race bug-revert variant) would
-// otherwise collide with their default-build counterparts at type-check.
-func buildTagsSatisfied(path string) bool {
+// any) holds with the custom tags in tags true and every other custom tag
+// false (GOOS/GOARCH/compiler and release tags are always true). With an
+// empty tag set this selects the same file set as a plain `go build ./...`;
+// with a tag enabled the complementary variant (e.g. slots_safe.go's
+// !privstm_watermark_race) drops out so the program still type-checks with
+// exactly one definition of each symbol.
+func buildTagsSatisfied(path string, tags map[string]bool) bool {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return true // let the parser report the real problem
@@ -218,7 +254,9 @@ func buildTagsSatisfied(path string) bool {
 			if err != nil {
 				return true
 			}
-			return expr.Eval(defaultBuildTag)
+			return expr.Eval(func(tag string) bool {
+				return tags[tag] || defaultBuildTag(tag)
+			})
 		}
 		if trimmed == "" || strings.HasPrefix(trimmed, "//") {
 			continue
@@ -244,6 +282,7 @@ func defaultBuildTag(tag string) bool {
 type loader struct {
 	fset             *token.FileSet
 	modRoot, modPath string
+	tags             map[string]bool
 
 	pkgs       map[string]*Package
 	inProgress map[string]bool
@@ -324,7 +363,7 @@ func (l *loader) loadModulePkg(importPath string) (*Package, error) {
 	defer delete(l.inProgress, importPath)
 
 	dir := l.dirFor(importPath)
-	srcs := goSources(dir)
+	srcs := goSources(dir, l.tags)
 	if len(srcs) == 0 {
 		return nil, fmt.Errorf("stmlint: no Go files in %s", dir)
 	}

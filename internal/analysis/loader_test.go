@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadedFiles returns the base names of the files the loader selected for
+// the given custom tag set.
+func loadedFiles(t *testing.T, tags []string, patterns ...string) map[string]bool {
+	t.Helper()
+	prog, err := LoadTags(filepath.Join("..", ".."), tags, patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]bool)
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			out[filepath.Base(prog.Fset.Position(f.Pos()).Filename)] = true
+		}
+	}
+	return out
+}
+
+// TestLoadTagsCoversRaceFile is the regression test for the loader's
+// build-tag blind spot: files behind //go:build constraints used to be
+// dropped from analysis entirely, so the historical watermark-race variant
+// (slots_race.go) was never linted. Each tag set must select exactly one
+// of the two variants — the same file set the compiler would build.
+func TestLoadTagsCoversRaceFile(t *testing.T) {
+	def := loadedFiles(t, nil, "./internal/txnlist")
+	if !def["slots_safe.go"] {
+		t.Errorf("default tag set: slots_safe.go not loaded")
+	}
+	if def["slots_race.go"] {
+		t.Errorf("default tag set: slots_race.go loaded despite its constraint")
+	}
+
+	race := loadedFiles(t, []string{"privstm_watermark_race"}, "./internal/txnlist")
+	if !race["slots_race.go"] {
+		t.Errorf("race tag set: slots_race.go still invisible to analysis")
+	}
+	if race["slots_safe.go"] {
+		t.Errorf("race tag set: slots_safe.go loaded alongside its replacement")
+	}
+}
+
+// TestLoadTagsRecordsTags pins the Program.Tags bookkeeping the CLI's
+// JSON output reports.
+func TestLoadTagsRecordsTags(t *testing.T) {
+	prog, err := LoadTags(filepath.Join("..", ".."), []string{"privstm_watermark_race"}, "./internal/txnlist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(prog.Tags, ","); got != "privstm_watermark_race" {
+		t.Errorf("Program.Tags = %q, want %q", got, "privstm_watermark_race")
+	}
+}

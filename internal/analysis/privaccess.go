@@ -1,0 +1,335 @@
+// privaccess.go is the static shadow of the privatization-safety
+// criterion of Khyzha/Gotsman/Attiya ("Safe Privatization in TM",
+// PAPERS.md): an uninstrumented (direct) access is observationally safe
+// only on data that is private to the accessor — never published, or
+// privatized by a committed transaction whose privatization fence has
+// drained every conflicting reader. Violations are precisely
+// transactional-to-direct escapes, which is a flow property this analyzer
+// checks in two parts:
+//
+//  1. Reachability (interprocedural, via the module call graph): a
+//     transaction body must never reach STM.DirectLoad/DirectStore — not
+//     directly and not through a wrapper in any package. A direct access
+//     inside a transaction bypasses orec conflict detection entirely, so
+//     neither the fence nor validation can order it.
+//
+//  2. Escape flow (intraprocedural, via the dataflow engine): an address
+//     obtained by a transactional load (tx.Load/tx.LoadAddr) that escapes
+//     the atomic body may feed a direct access only if the capturing
+//     transaction also performed a transactional write — the recognized
+//     privatize idiom (examples/privatization, the bench structures'
+//     unlink-then-free): the write is what detaches the data, and the
+//     commit's fence is what makes the detachment safe. A read-only
+//     transaction privatizes nothing, so direct access to what it
+//     observed races with concurrent writers.
+//
+// Soundness limits (path-insensitive, type-based; CORRECTNESS.md §12):
+// the "privatizing write" test is syntactic presence of a tx.Store in the
+// same body — the analyzer does not prove the write actually detaches the
+// escaping address; addresses laundered through heap-resident structures,
+// channels, or across function boundaries lose their taint; and calls
+// through function values resolve to nothing. The rule is a tripwire for
+// the common shapes, not a verifier. Suppress deliberate exceptions with
+// //stmlint:ignore privaccess <reason> — the reason is the proof
+// obligation.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PrivAccess returns the privaccess analyzer.
+func PrivAccess() *Analyzer {
+	return &Analyzer{
+		Name: "privaccess",
+		Doc:  "uninstrumented Direct* access must stay outside transactions, and transactionally-loaded addresses may be accessed directly only after a privatizing write",
+		Run:  runPrivAccess,
+	}
+}
+
+// isDirectAccessor reports whether fn is an uninstrumented-access entry
+// point: a module method named DirectLoad or DirectStore (stm.STM's pair,
+// and any fixture or future stand-in following the naming contract).
+func (p *Program) isDirectAccessor(fn *types.Func) bool {
+	if fn == nil || !p.declaredInModule(fn) {
+		return false
+	}
+	if fn.Name() != "DirectLoad" && fn.Name() != "DirectStore" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// isTxMethod reports whether fn is a method of a transaction handle (a
+// module type named Tx) with one of the given names.
+func (p *Program) isTxMethod(fn *types.Func, names ...string) bool {
+	if fn == nil || !p.declaredInModule(fn) {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	n := namedOf(sig.Recv().Type())
+	if n == nil || n.Obj().Name() != "Tx" {
+		return false
+	}
+	for _, name := range names {
+		if fn.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+func runPrivAccess(p *Program) []Diagnostic {
+	mayDirect := p.CallGraph().Reaches(p.isDirectAccessor)
+
+	var diags []Diagnostic
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				diags = append(diags, p.checkDeclPrivAccess(pkg, fd, mayDirect)...)
+			}
+		}
+	}
+	// Nested atomic literals make the outer body walk revisit the inner
+	// one; drop exact duplicates rather than complicating the traversal.
+	seen := make(map[string]bool)
+	out := diags[:0]
+	for _, d := range diags {
+		key := d.String()
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// txEscape records one variable that left an atomic body carrying a
+// transactionally-loaded address.
+type txEscape struct {
+	obj types.Object
+	pos token.Pos // the escaping assignment
+	// privatized: every literal that tainted obj also performed a
+	// transactional write (the privatize idiom).
+	privatized bool
+}
+
+// checkDeclPrivAccess analyzes one function declaration: reachability of
+// Direct* from the atomic bodies it contains (rule 1) and escape flow from
+// those bodies into the rest of the declaration (rule 2).
+func (p *Program) checkDeclPrivAccess(pkg *Package, fd *ast.FuncDecl, mayDirect map[*types.Func]Edge) []Diagnostic {
+	info := pkg.Info
+	var diags []Diagnostic
+
+	// escapes accumulates rule-2 state across every atomic literal in the
+	// declaration; an object tainted by any literal without a privatizing
+	// write stays unprivatized.
+	escapes := make(map[types.Object]*txEscape)
+
+	ast.Inspect(fd, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isAtomicBlockCall(p, info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			lit, ok := unparen(arg).(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			diags = append(diags, p.checkBodyReachesDirect(pkg, lit.Body, mayDirect)...)
+			p.collectTxEscapes(pkg, lit, escapes)
+		}
+		return true
+	})
+
+	seed := make(map[types.Object]Taint)
+	live := make(map[types.Object]*txEscape)
+	for obj, esc := range escapes {
+		if !esc.privatized {
+			live[obj] = esc
+			seed[obj] = TaintEscaped
+		}
+	}
+	if len(live) == 0 {
+		return diags
+	}
+
+	// Rule 2 sink scan: propagate the escaped taint through the whole
+	// declaration and flag direct accesses fed by it. Sinks inside
+	// function literals are skipped — atomic bodies are rule 1's business,
+	// and other closures run at times the flow cannot order.
+	flow := RunFlow(fd.Body, info, seed, nil)
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := CalleeOf(info, call)
+		if fn == nil {
+			return true
+		}
+		_, wraps := mayDirect[fn]
+		if !p.isDirectAccessor(fn) && !wraps {
+			return true
+		}
+		for _, a := range call.Args {
+			if flow.ExprTaint(a)&TaintEscaped == 0 {
+				continue
+			}
+			src := firstTaintSource(live)
+			what := funcDisplayName(fn)
+			if wraps {
+				what = what + " (which reaches a Direct* access)"
+			}
+			diags = append(diags, Diagnostic{
+				Pos:  p.Fset.Position(call.Pos()),
+				Rule: "privaccess",
+				Message: fmt.Sprintf(
+					"%s receives an address loaded transactionally (escaped via %q at %s) whose transaction performed no privatizing write; only data detached by a committed transaction may be accessed uninstrumented",
+					what, src.obj.Name(), p.relTo(src.pos)),
+			})
+			break
+		}
+		return true
+	})
+	return diags
+}
+
+// checkBodyReachesDirect flags references inside an atomic body that are,
+// or transitively reach, a Direct* accessor (rule 1). References rather
+// than calls: taking the method value (store := s.DirectStore) arms the
+// same hazard.
+func (p *Program) checkBodyReachesDirect(pkg *Package, body ast.Node, mayDirect map[*types.Func]Edge) []Diagnostic {
+	info := pkg.Info
+	cg := p.CallGraph()
+	var diags []Diagnostic
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[id].(*types.Func)
+		if !ok {
+			return true
+		}
+		if p.isDirectAccessor(fn) {
+			diags = append(diags, Diagnostic{
+				Pos:  p.Fset.Position(id.Pos()),
+				Rule: "privaccess",
+				Message: fmt.Sprintf(
+					"transaction body uses uninstrumented %s; direct access inside a transaction bypasses orec conflict detection and breaks privatization safety",
+					funcDisplayName(fn)),
+			})
+			return true
+		}
+		if first, ok := mayDirect[fn]; ok {
+			diags = append(diags, Diagnostic{
+				Pos:  p.Fset.Position(id.Pos()),
+				Rule: "privaccess",
+				Message: fmt.Sprintf(
+					"transaction body calls %s, which reaches an uninstrumented access (%s); direct access inside a transaction bypasses orec conflict detection",
+					funcDisplayName(fn),
+					cg.PathString(first, mayDirect, p.isDirectAccessor)),
+			})
+		}
+		return true
+	})
+	return diags
+}
+
+// collectTxEscapes runs the taint flow inside one atomic literal and
+// records assignments of tx-loaded addresses to variables declared outside
+// the literal.
+func (p *Program) collectTxEscapes(pkg *Package, lit *ast.FuncLit, escapes map[types.Object]*txEscape) {
+	info := pkg.Info
+	gen := func(call *ast.CallExpr) Taint {
+		if p.isTxMethod(CalleeOf(info, call), "Load", "LoadAddr") {
+			return TaintTxAddr
+		}
+		return 0
+	}
+	flow := RunFlow(lit.Body, info, nil, gen)
+
+	privatized := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if p.isTxMethod(CalleeOf(info, call), "Store", "StoreAddr") {
+				privatized = true
+			}
+		}
+		return true
+	})
+
+	record := func(target ast.Expr, taint Taint, pos token.Pos) {
+		if taint&TaintTxAddr == 0 {
+			return
+		}
+		id, ok := unparen(target).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return
+		}
+		// Declared inside the literal → not an escape.
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return
+		}
+		esc, ok := escapes[obj]
+		if !ok {
+			escapes[obj] = &txEscape{obj: obj, pos: pos, privatized: privatized}
+			return
+		}
+		// Tainted by several literals: unprivatized wins (conservative).
+		esc.privatized = esc.privatized && privatized
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if n, ok := n.(*ast.AssignStmt); ok {
+			if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+				t := flow.ExprTaint(n.Rhs[0])
+				for _, l := range n.Lhs {
+					record(l, t, n.Pos())
+				}
+				return true
+			}
+			for i, l := range n.Lhs {
+				if i < len(n.Rhs) {
+					record(l, flow.ExprTaint(n.Rhs[i]), n.Pos())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// firstTaintSource picks a deterministic representative escape for the
+// diagnostic message (the one at the earliest position).
+func firstTaintSource(live map[types.Object]*txEscape) *txEscape {
+	var best *txEscape
+	for _, esc := range live {
+		if best == nil || esc.pos < best.pos ||
+			(esc.pos == best.pos && esc.obj.Name() < best.obj.Name()) {
+			best = esc
+		}
+	}
+	return best
+}

@@ -1,0 +1,47 @@
+// Package stmlib holds the privaccess fixture's in-module stand-ins for
+// the stm API surface the analyzer recognizes by name and shape: a type
+// with the uninstrumented DirectLoad/DirectStore pair, a transaction
+// handle named Tx with Load/LoadAddr/Store/StoreAddr, and a Thread whose
+// Atomic method marks transaction bodies. It lives in its own package so
+// both the fixture and its cross-package wrapper can import it without a
+// cycle.
+package stmlib
+
+// Addr is the stand-in for stm.Addr.
+type Addr uintptr
+
+// Nil is the null address.
+const Nil Addr = 0
+
+// STM is the stand-in for stm.STM carrying the uninstrumented access pair.
+type STM struct{ mem map[Addr]uint64 }
+
+// DirectLoad reads a word without instrumentation.
+func (s *STM) DirectLoad(a Addr) uint64 { return s.mem[a] }
+
+// DirectStore writes a word without instrumentation.
+func (s *STM) DirectStore(a Addr, v uint64) { s.mem[a] = v }
+
+// Tx is the stand-in transaction handle.
+type Tx struct{ s *STM }
+
+// Load reads a word transactionally.
+func (tx *Tx) Load(a Addr) uint64 { return tx.s.mem[a] }
+
+// LoadAddr reads an address word transactionally.
+func (tx *Tx) LoadAddr(a Addr) Addr { return Addr(tx.s.mem[a]) }
+
+// Store writes a word transactionally.
+func (tx *Tx) Store(a Addr, v uint64) { tx.s.mem[a] = v }
+
+// StoreAddr writes an address word transactionally.
+func (tx *Tx) StoreAddr(a Addr, v Addr) { tx.s.mem[a] = uint64(v) }
+
+// Thread is the stand-in for stm.Thread.
+type Thread struct{ s *STM }
+
+// Atomic pretends to run body as one transaction.
+func (t *Thread) Atomic(body func(tx *Tx)) error {
+	body(&Tx{s: t.s})
+	return nil
+}

@@ -1,0 +1,13 @@
+// Package wrap hides an uninstrumented access behind a cross-package
+// helper — exactly the escape an intra-package analysis cannot see and
+// the call graph exists to close.
+package wrap
+
+import "privstm/internal/analysis/testdata/src/privaccess/stmlib"
+
+// Free performs a direct store on behalf of its caller. Legal from plain
+// code operating on privatized data; a privatization-safety violation when
+// reached from inside a transaction.
+func Free(s *stmlib.STM, a stmlib.Addr) {
+	s.DirectStore(a, 0)
+}

@@ -1,0 +1,15 @@
+// fixture_cross.go exercises the interprocedural closure: the irrevocable
+// effect sits in another package, reached through the module call graph.
+package txnpurity
+
+import "privstm/internal/analysis/testdata/src/txnpurity/helpers"
+
+// CrossBodies hides the sleep one package away.
+func CrossBodies(t *Thread) {
+	_ = t.Atomic(func() {
+		helpers.Sleepy() // want flagged: transitive cross-package sleep
+	})
+	_ = t.Atomic(func() { // clean: pure cross-package call
+		word = uint64(helpers.Pure())
+	})
+}

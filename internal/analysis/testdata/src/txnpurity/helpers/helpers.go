@@ -1,0 +1,13 @@
+// Package helpers hides an irrevocable effect behind a package boundary —
+// the escape the same-package-only closure missed before the call graph.
+package helpers
+
+import "time"
+
+// Sleepy blocks; fine from plain code, a replayed stall inside a body.
+func Sleepy() {
+	time.Sleep(time.Millisecond)
+}
+
+// Pure is fine from anywhere.
+func Pure() int { return 42 }

@@ -1,0 +1,98 @@
+// Package core is a stmlint test fixture for the yieldsite rule (the
+// package is named core so it falls inside the analyzer's default runtime
+// scope): poll loops with and without sched-visible yields, progress
+// loops, and bounded scans.
+package core
+
+import (
+	"sync/atomic"
+
+	fp "privstm/internal/analysis/testdata/src/yieldsite/failpoint"
+	"privstm/internal/analysis/testdata/src/yieldsite/spin"
+)
+
+var (
+	done atomic.Bool
+	turn atomic.Uint64
+)
+
+// PollNoYield spins on a flag it never writes — the starvation shape.
+func PollNoYield() {
+	for !done.Load() { // want flagged: poll without yield
+	}
+}
+
+// InfinitePollNoYield is the same poll written as an infinite loop.
+func InfinitePollNoYield() {
+	for { // want flagged: infinite poll without yield
+		if done.Load() {
+			return
+		}
+	}
+}
+
+// PollWithFailpoint is clean: the explorer owns the seam.
+func PollWithFailpoint() {
+	for !done.Load() {
+		fp.Eval("fixture/poll")
+	}
+}
+
+// PollWithBackoff is clean: spin.Backoff.Wait is a recognized yield.
+func PollWithBackoff() {
+	var b spin.Backoff
+	for !done.Load() {
+		b.Wait()
+	}
+}
+
+// CASLoop is clean: it writes the state it reads, so its wait is bounded
+// by rivals' progress — a progress loop, not a poll loop.
+func CASLoop() uint64 {
+	for {
+		cur := turn.Load()
+		if turn.CompareAndSwap(cur, cur+1) {
+			return cur
+		}
+	}
+}
+
+// BoundedScan is clean: the atomic read sits under an ordered comparison —
+// it is the scan's extent, not a condition being waited out.
+func BoundedScan() uint64 {
+	var sum uint64
+	for i := uint64(0); i < turn.Load(); i++ {
+		sum += i
+	}
+	return sum
+}
+
+// readFlag hides the atomic read one call deep.
+func readFlag() bool { return done.Load() }
+
+// TransitiveReadNoYield launders the poll through a helper; the call-graph
+// read closure still sees it.
+func TransitiveReadNoYield() {
+	for { // want flagged: transitive poll without yield
+		if readFlag() {
+			return
+		}
+	}
+}
+
+// yieldingHelper reaches a yield point transitively.
+func yieldingHelper() { fp.Eval("fixture/helper") }
+
+// TransitiveYield is clean: the yield arrives through the helper.
+func TransitiveYield() {
+	for !done.Load() {
+		yieldingHelper()
+	}
+}
+
+// Suppressed demonstrates the escape hatch with its mandatory reason.
+func Suppressed() {
+	//stmlint:ignore yieldsite fixture: demonstrating suppression
+	for !done.Load() {
+	}
+}

@@ -1,0 +1,7 @@
+// Package failpoint is the yieldsite fixture's stand-in for the real
+// failpoint seam: the analyzer recognizes Eval by package name and
+// function name, exactly as the schedule explorer hooks it.
+package failpoint
+
+// Eval marks a sched-visible yield point.
+func Eval(name string) { _ = name }

@@ -1,0 +1,56 @@
+// Package core (the retryloop fixture) is the rediscovery control for the
+// yieldsite analyzer — the repo's watermark-race tradition applied to the
+// PR 5 starvation bug: RunBad mirrors core.Run's retry loop as it stood
+// before the core/retry/cm-wait yield was added, and the analyzer must
+// keep flagging it; RunGood is the post-fix shape and must stay clean. If
+// the analyzer ever stops catching the historical omission, the test
+// pinned to RunBad's loop fails.
+package core
+
+import (
+	"sync/atomic"
+
+	fp "privstm/internal/analysis/testdata/src/yieldsite/failpoint"
+)
+
+// engine stands in for core.Engine: begin and commit read shared clock
+// state, so the retry loop's re-reads are transitive atomic loads — the
+// same way the real Run loop polls the world.
+type engine struct{ epoch atomic.Uint64 }
+
+func (e *engine) begin() uint64   { return e.epoch.Load() }
+func (e *engine) tryCommit() bool { return e.epoch.Load()&1 == 0 }
+
+// cmPolicy stands in for the contention-manager interface; a module method
+// named Wait is a recognized yield.
+type cmPolicy struct{}
+
+// Wait parks the loser until its rival finishes.
+func (cmPolicy) Wait() {}
+
+// RunBad is the pre-PR 5 retry loop: the abort path goes straight back to
+// begin with no sched-visible yield, so a parked rival can starve and the
+// schedule explorer cannot interleave the retry.
+func RunBad(e *engine, body func()) {
+	for { // the historical core/retry/cm-wait omission
+		e.begin()
+		body()
+		if e.tryCommit() {
+			return
+		}
+	}
+}
+
+// RunGood is the post-PR 5 shape: failpoint seam plus CM wait on the abort
+// path.
+func RunGood(e *engine, cm cmPolicy, body func()) {
+	for {
+		e.begin()
+		body()
+		if e.tryCommit() {
+			return
+		}
+		fp.Eval("core/retry/cm-wait")
+		cm.Wait()
+	}
+}

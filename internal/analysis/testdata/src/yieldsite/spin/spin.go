@@ -1,0 +1,10 @@
+// Package spin is the yieldsite fixture's stand-in for the backoff
+// package: Wait is recognized as a yield primitive by package and method
+// name.
+package spin
+
+// Backoff mimics the real backoff's shape.
+type Backoff struct{ attempts int }
+
+// Wait performs one backoff step.
+func (b *Backoff) Wait() { b.attempts++ }

@@ -19,8 +19,12 @@ import (
 // entry), channel operations and mutex acquisitions can deadlock against a
 // doomed attempt that will never commit, and os/net I/O is replayed once
 // per retry. The rule checks every function literal passed to
-// stm.Atomic/core.Run, plus (transitively) the same-package functions it
-// calls.
+// stm.Atomic/core.Run, plus (transitively, via the module call graph) the
+// module functions it calls in any package — except the runtime packages
+// themselves (txnOpaquePkgs): calls into the STM runtime (tx.Load and
+// everything under it, down to spin.Backoff.Wait) are the instrumented
+// operations the rule exists to protect, not violations, so the runtime is
+// an opaque leaf.
 func TxnPurity() *Analyzer {
 	return &Analyzer{
 		Name: "txnpurity",
@@ -36,24 +40,35 @@ type impurity struct {
 }
 
 type purityChecker struct {
-	p   *Program
-	pkg *Package
+	p *Program
 	// summaries memoizes per-function impurity lists for the transitive
-	// same-package closure; inProgress breaks recursion cycles.
+	// module-wide closure; inProgress breaks recursion cycles.
 	summaries  map[*types.Func][]impurity
 	inProgress map[*types.Func]bool
-	funcDecls  map[*types.Func]*ast.FuncDecl
+}
+
+// txnOpaquePkgs names the module packages the transitive purity closure
+// does not descend into: the runtime itself (defaultYieldScope — its wait
+// loops sleep and park by design, under the fence/CM protocols the rule
+// protects) plus the tooling seams (fault injection, the schedule
+// explorer, statistics, the serial token, the deterministic RNG).
+var txnOpaquePkgs = map[string]bool{
+	"failpoint": true, "sched": true, "stats": true,
+	"rng": true, "serial": true, "priv": true,
+}
+
+func (pc *purityChecker) opaquePkg(name string) bool {
+	return txnOpaquePkgs[name] || defaultYieldScope[name]
 }
 
 func runTxnPurity(p *Program) []Diagnostic {
 	var diags []Diagnostic
+	pc := &purityChecker{
+		p:          p,
+		summaries:  make(map[*types.Func][]impurity),
+		inProgress: make(map[*types.Func]bool),
+	}
 	for _, pkg := range p.Pkgs {
-		pc := &purityChecker{
-			p:          p,
-			pkg:        pkg,
-			summaries:  make(map[*types.Func][]impurity),
-			inProgress: make(map[*types.Func]bool),
-		}
 		for _, f := range pkg.Files {
 			ast.Inspect(f, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)
@@ -65,7 +80,7 @@ func runTxnPurity(p *Program) []Diagnostic {
 					if !ok {
 						continue
 					}
-					for _, imp := range pc.checkBody(lit.Body) {
+					for _, imp := range pc.checkBody(pkg, lit.Body) {
 						diags = append(diags, Diagnostic{
 							Pos:     p.Fset.Position(imp.pos),
 							Rule:    "txnpurity",
@@ -115,12 +130,12 @@ func isAtomicBlockCall(p *Program, info *types.Info, call *ast.CallExpr) bool {
 	}
 }
 
-// checkBody scans one body for impurities, following calls to functions
-// declared in the same package (their findings are reported at the call
-// site, with the callee named).
-func (pc *purityChecker) checkBody(body ast.Node) []impurity {
+// checkBody scans one body (declared in pkg) for impurities, following
+// calls to module functions outside the opaque runtime (their findings are
+// reported at the call site, with the callee named).
+func (pc *purityChecker) checkBody(pkg *Package, body ast.Node) []impurity {
 	var out []impurity
-	info := pc.pkg.Info
+	info := pkg.Info
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.SendStmt:
@@ -140,7 +155,7 @@ func (pc *purityChecker) checkBody(body ast.Node) []impurity {
 				}
 			}
 		case *ast.CallExpr:
-			out = append(out, pc.checkCall(n)...)
+			out = append(out, pc.checkCall(pkg, n)...)
 		}
 		return true
 	})
@@ -148,8 +163,8 @@ func (pc *purityChecker) checkBody(body ast.Node) []impurity {
 }
 
 // checkCall classifies one call inside a transaction body.
-func (pc *purityChecker) checkCall(call *ast.CallExpr) []impurity {
-	info := pc.pkg.Info
+func (pc *purityChecker) checkCall(pkg *Package, call *ast.CallExpr) []impurity {
+	info := pkg.Info
 	var id *ast.Ident
 	switch fun := unparen(call.Fun).(type) {
 	case *ast.SelectorExpr:
@@ -178,12 +193,19 @@ func (pc *purityChecker) checkCall(call *ast.CallExpr) []impurity {
 		if what := impureCallee(obj); what != "" {
 			return []impurity{{call.Pos(), what}}
 		}
-		// Transitive closure over same-package callees only: calls into
-		// the STM runtime itself (tx.Load etc.) are the instrumented
-		// operations the rule exists to protect, not violations.
-		if obj.Pkg() == pc.pkg.Types {
+		// Transitive closure over module callees in any non-opaque
+		// package: calls into the STM runtime itself (tx.Load and
+		// everything beneath it) are the instrumented operations the rule
+		// exists to protect, not violations, so runtime packages stay
+		// opaque leaves.
+		samePkg := obj.Pkg() == pkg.Types
+		if samePkg || (pc.p.declaredInModule(obj) && !pc.opaquePkg(obj.Pkg().Name())) {
 			if inner := pc.summarize(obj); len(inner) > 0 {
-				return []impurity{{call.Pos(), fmt.Sprintf("calls %s, which %s", obj.Name(), inner[0].what)}}
+				name := obj.Name()
+				if !samePkg {
+					name = funcDisplayName(obj)
+				}
+				return []impurity{{call.Pos(), fmt.Sprintf("calls %s, which %s", name, inner[0].what)}}
 			}
 		}
 	}
@@ -220,8 +242,9 @@ func impureCallee(fn *types.Func) string {
 	return ""
 }
 
-// summarize computes (memoized) the impurities of a same-package function
-// or method with a known body.
+// summarize computes (memoized) the impurities of a module function or
+// method with a known body, located through the call graph's declaration
+// index regardless of package.
 func (pc *purityChecker) summarize(fn *types.Func) []impurity {
 	if s, ok := pc.summaries[fn]; ok {
 		return s
@@ -229,31 +252,14 @@ func (pc *purityChecker) summarize(fn *types.Func) []impurity {
 	if pc.inProgress[fn] {
 		return nil
 	}
-	decl := pc.declOf(fn)
-	if decl == nil || decl.Body == nil {
+	fi := pc.p.CallGraph().Decl(fn)
+	if fi == nil || fi.Decl.Body == nil {
 		pc.summaries[fn] = nil
 		return nil
 	}
 	pc.inProgress[fn] = true
-	s := pc.checkBody(decl.Body)
+	s := pc.checkBody(fi.Pkg, fi.Decl.Body)
 	delete(pc.inProgress, fn)
 	pc.summaries[fn] = s
 	return s
-}
-
-// declOf finds the FuncDecl defining fn within the checker's package.
-func (pc *purityChecker) declOf(fn *types.Func) *ast.FuncDecl {
-	if pc.funcDecls == nil {
-		pc.funcDecls = make(map[*types.Func]*ast.FuncDecl)
-		for _, f := range pc.pkg.Files {
-			for _, d := range f.Decls {
-				if fd, ok := d.(*ast.FuncDecl); ok {
-					if obj, ok := pc.pkg.Info.Defs[fd.Name].(*types.Func); ok {
-						pc.funcDecls[obj] = fd
-					}
-				}
-			}
-		}
-	}
-	return pc.funcDecls[fn]
 }

@@ -267,6 +267,7 @@ func (t *Thread) PollValidate() {
 // extension attempt instead of an unconditional abort.
 func (t *Thread) ReadHeapConsistent(a heap.Addr) heap.Word {
 	o := t.RT.Orecs.For(a)
+	//stmlint:ignore yieldsite obstruction-free double-check: the loop repeats only when a rival changed the orec (then we abort or extend) — it retries on interference, not on stillness, so it cannot spin while the world is idle
 	for {
 		v1 := o.Owner().Load()
 		if orec.IsOwned(v1) {

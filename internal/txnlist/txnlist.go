@@ -127,6 +127,7 @@ func (l *List) Remove(n *Node) {
 // lock: it reads the head node's timestamp and double-checks that the head
 // pointer did not change in the interim (paper §II-C).
 func (l *List) OldestBegin() (ts uint64, ok bool) {
+	//stmlint:ignore yieldsite obstruction-free double-check: repeats only if a rival moved the head between the two reads; terminates as soon as the world holds still, so the starvation direction is inverted
 	for {
 		h := l.head.Load()
 		if h == nil {
@@ -143,6 +144,7 @@ func (l *List) OldestBegin() (ts uint64, ok bool) {
 // the lookup is itself the head of the list, the next node in the list is
 // inspected" (§II-C).
 func (l *List) OldestOtherBegin(self *Node) (ts uint64, ok bool) {
+	//stmlint:ignore yieldsite obstruction-free double-check, same argument as OldestBegin
 	for {
 		h := l.head.Load()
 		if h == nil {
