@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-faults explore bench bench-json bench-smoke bench-readpath bench-readpath-smoke figures privtest stress cover clean lint lint-json
+.PHONY: all build test race test-faults test-faults-gv5 explore bench bench-json bench-smoke bench-readpath bench-readpath-smoke bench-clock figures privtest stress cover clean lint lint-json
 
 all: build test lint
 
@@ -39,6 +39,11 @@ race:
 test-faults:
 	$(GO) test -race -count=3 -run 'Fault|Failpoint|Stall|Watchdog|Serial|CM|Karma' ./...
 
+# The same fault suite under the deferred GV5 clock (the -stm.clock flag
+# lives in the root package only; undo-log engines stay pinned to GV1).
+test-faults-gv5:
+	$(GO) test -race -count=2 -run 'Fault|Failpoint|Stall|Watchdog|Serial|CM|Karma' -stm.clock gv5 .
+
 # Schedule-exploration corpus (CORRECTNESS.md §11): the fixed-seed PCT and
 # bounded-DFS corpus over every engine family (serializability and
 # privatization-safety oracles; failures print a replayable trace), the
@@ -61,9 +66,23 @@ bench-json:
 	$(GO) run ./cmd/stmbench -fig 3e,3g,t1 -reps 3 -json BENCH_commitpath.json
 
 # Single-iteration pass over the hot-path benchmarks; catches bit-rot
-# without paying for a real measurement run (used by CI).
+# without paying for a real measurement run (used by CI). The clock-mode
+# matrix drives a quick figure pass under each version-clock scheme and the
+# Ord commit batcher so none of those paths rot between measurement runs.
 bench-smoke:
 	$(GO) test -bench . -benchtime 1x ./internal/bench ./internal/txnlist ./internal/sched
+	$(GO) run ./cmd/stmbench -fig 3b -threads 1,2 -txns 500 -algos TL2,Ord,Val,pvrHybrid -clock gv5
+	$(GO) run ./cmd/stmbench -fig 3b -threads 1,2 -txns 500 -algos TL2,Ord,Val,pvrHybrid -clock local
+	$(GO) run ./cmd/stmbench -fig 3b -threads 1,2 -txns 500 -algos Ord -clock gv5 -orderbatch 8
+
+# Clock-scalability baseline: the paired A/B sweep (every deferred-clock
+# variant interleaved with a same-seed GV1 run of the same engine) on the
+# write-heavy hashtable. Candidates land in BENCH_clock.json (with the
+# median-of-pairs deltas embedded), the GV1 sides in
+# BENCH_clock_baseline.json.
+bench-clock:
+	$(GO) run ./cmd/stmbench -clocksweep -threads 1,2,4 -pairs 5 -dur 150ms \
+		-json BENCH_clock.json -basejson BENCH_clock_baseline.json
 
 # Read-path baseline for regression checks: the figures most sensitive to
 # MakeVisible cost (read-mostly hashtable 3a and long-traversal multi-list

@@ -46,6 +46,12 @@ func main() {
 		cmName   = flag.String("cm", "backoff", "contention manager: backoff, karma, or serialize")
 		layout   = flag.String("oreclayout", "aos", "orec-table memory layout: aos or soa")
 		nocache  = flag.Bool("nohintcache", false, "disable the thread-local orec hint cache (ablation)")
+		clockStr = flag.String("clock", "gv1", "version-clock scheme: gv1, gv5, or local")
+		obatch   = flag.Int("orderbatch", 0, "Ord flat-combining commit batch bound (0 = off)")
+		csweep   = flag.Bool("clocksweep", false, "run the paired clock-scalability sweep (fig clk); writes candidates to -json, gv1 baselines to -basejson")
+		pairs    = flag.Int("pairs", 3, "with -clocksweep: interleaved A/B pairs per cell")
+		aa       = flag.Bool("aa", false, "with -clocksweep: A/A noise control (candidate = baseline config)")
+		baseJSON = flag.String("basejson", "", "with -clocksweep: write the gv1 baseline cells to this JSON file")
 		maxAtt   = flag.Int("maxattempts", 0, "abort budget before serialized-irrevocable escalation (0 = default, negative disables)")
 		micro    = flag.Bool("micro", false, "also run the read-path microbenchmarks (embedded in -json output)")
 		tol      = flag.Float64("tolerance", 0, "with -compare: exit nonzero if the worst delta is below -tolerance percent (0 = report only)")
@@ -80,8 +86,8 @@ func main() {
 		}
 		return
 	}
-	if *figID == "" && !*micro {
-		fmt.Fprintln(os.Stderr, "stmbench: -fig is required (try -list, or -micro)")
+	if *figID == "" && !*micro && !*csweep {
+		fmt.Fprintln(os.Stderr, "stmbench: -fig is required (try -list, -micro, or -clocksweep)")
 		os.Exit(2)
 	}
 
@@ -107,6 +113,12 @@ func main() {
 	orecLayout, err := stm.ParseOrecLayout(*layout)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stmbench: bad -oreclayout %q (want aos or soa)\n", *layout)
+		os.Exit(2)
+	}
+
+	clockMode, err := stm.ParseClockMode(*clockStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stmbench: bad -clock %q (want gv1, gv5, or local)\n", *clockStr)
 		os.Exit(2)
 	}
 
@@ -174,15 +186,35 @@ func main() {
 		MaxAttempts:      *maxAtt,
 		OrecLayout:       orecLayout,
 		DisableHintCache: *nocache,
+		Clock:            clockMode,
+		OrderBatch:       *obatch,
 	}
 
-	fmt.Printf("# GOMAXPROCS=%d NumCPU=%d scale=1/%d tracker=%s extension=%s cm=%s maxattempts=%d oreclayout=%s hintcache=%s\n",
+	fmt.Printf("# GOMAXPROCS=%d NumCPU=%d scale=1/%d tracker=%s extension=%s cm=%s maxattempts=%d oreclayout=%s hintcache=%s clock=%s orderbatch=%d\n",
 		runtime.GOMAXPROCS(0), runtime.NumCPU(), *scale, *tracker, onOff(!*noextend), cmPolicy, *maxAtt,
-		orecLayout, onOff(!*nocache))
+		orecLayout, onOff(!*nocache), clockMode, *obatch)
 	if runtime.NumCPU() < 8 {
 		fmt.Printf("# note: %d CPUs — thread counts beyond that timeshare; expect curves to flatten there\n", runtime.NumCPU())
 	}
 	fmt.Println()
+
+	if *csweep {
+		base, cand, err := bench.RunClockSweep(os.Stdout, hc, nil, *pairs, *aa)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stmbench:", err)
+			os.Exit(1)
+		}
+		label := fmt.Sprintf("clocksweep pairs=%d aa=%v scale=1/%d", *pairs, *aa, *scale)
+		if *jsonPath != "" {
+			bench.SortMeasurements(cand)
+			writeJSONTo(*jsonPath, label+" (candidates)", cand)
+		}
+		if *baseJSON != "" {
+			bench.SortMeasurements(base)
+			writeJSONTo(*baseJSON, label+" (gv1 baselines)", base)
+		}
+		return
+	}
 
 	var mixOverride *bench.Mix
 	if *mix != "" {
@@ -263,8 +295,8 @@ func main() {
 			os.Exit(1)
 		}
 		bench.SortMeasurements(allMs)
-		label := fmt.Sprintf("tracker=%s extension=%s scale=1/%d cm=%s oreclayout=%s hintcache=%s",
-			*tracker, onOff(!*noextend), *scale, cmPolicy, orecLayout, onOff(!*nocache))
+		label := fmt.Sprintf("tracker=%s extension=%s scale=1/%d cm=%s oreclayout=%s hintcache=%s clock=%s orderbatch=%d",
+			*tracker, onOff(!*noextend), *scale, cmPolicy, orecLayout, onOff(!*nocache), clockMode, *obatch)
 		werr := bench.WriteJSONReport(out, label, allMs, micros)
 		if cerr := out.Close(); werr == nil {
 			werr = cerr
@@ -282,4 +314,22 @@ func onOff(b bool) string {
 		return "on"
 	}
 	return "off"
+}
+
+// writeJSONTo writes measurements to path, exiting on error.
+func writeJSONTo(path, label string, ms []*bench.Measurement) {
+	out, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stmbench:", err)
+		os.Exit(1)
+	}
+	werr := bench.WriteJSON(out, label, ms)
+	if cerr := out.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fmt.Fprintln(os.Stderr, "stmbench:", werr)
+		os.Exit(1)
+	}
+	fmt.Printf("# wrote %d measurements to %s\n", len(ms), path)
 }

@@ -141,6 +141,27 @@ func TestRepoIsClean(t *testing.T) {
 	}
 }
 
+// TestAccessorDisciplineCoversThreadClock pins the analyzer's coverage of
+// the per-thread clock type added with the thread-local clock scheme: both
+// direct-word uses in BadThreadClock must be flagged, and the accessor-only
+// GoodThreadClock must stay clean.
+func TestAccessorDisciplineCoversThreadClock(t *testing.T) {
+	got := runFixture(t, AccessorDiscipline(), "accessor/...")
+	flagged := 0
+	for _, line := range got {
+		if !strings.Contains(line, "ThreadClock.LocalTS") {
+			continue
+		}
+		flagged++
+		if strings.Contains(line, "GoodThreadClock") {
+			t.Errorf("accessor-only use flagged: %s", line)
+		}
+	}
+	if flagged != 2 {
+		t.Errorf("flagged %d ThreadClock.LocalTS uses, want 2 (copy + address leak)", flagged)
+	}
+}
+
 // TestAllowlist verifies the accessordiscipline escape hatch: allowlisted
 // client packages may touch protected fields directly.
 func TestAllowlist(t *testing.T) {

@@ -51,3 +51,22 @@ func BadHandle(h *orec.Handle) uint64 {
 	v := *h.Vis  // want flagged: dereferencing without an atomic method call
 	return p.Load() + v.Load()
 }
+
+// GoodThreadClock drives the per-thread clock through its accessors and
+// atomic method calls — the only sanctioned ways to touch a clock word.
+func GoodThreadClock(l *clock.ThreadClock) uint64 {
+	l.AdvanceTo(l.Now() + 1) // clean: accessor methods
+	w := l.LocalTS.Load()    // clean: atomic method call on the field
+	l.LocalTS.Store(w)       // clean: same
+	return w
+}
+
+// BadThreadClock reaches into the per-thread clock word directly: merging
+// thread-local times must go through AdvanceTo (monotone) and diagnostics
+// must go through atomic loads, never copies or aliases of the word.
+func BadThreadClock(l *clock.ThreadClock, m *clock.ThreadClock) uint64 {
+	w := l.LocalTS  // want flagged: copying the atomic word, not calling through it
+	p := &m.LocalTS // want flagged: leaking the address sidesteps AdvanceTo
+	_ = p
+	return w.Load()
+}

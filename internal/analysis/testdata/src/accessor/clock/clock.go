@@ -12,3 +12,20 @@ type Clock struct {
 
 // Tick advances the clock.
 func (c *Clock) Tick() uint64 { return c.NowTS.Add(1) }
+
+// ThreadClock mirrors the per-thread clock of the thread-local scheme: one
+// exported atomic word, owner-advanced through AdvanceTo. Exported here so
+// the fixture's client can violate the discipline.
+type ThreadClock struct {
+	LocalTS atomic.Uint64
+}
+
+// Now returns the thread's current local time.
+func (l *ThreadClock) Now() uint64 { return l.LocalTS.Load() }
+
+// AdvanceTo raises the local clock to t (never backwards).
+func (l *ThreadClock) AdvanceTo(t uint64) {
+	if t > l.LocalTS.Load() {
+		l.LocalTS.Store(t)
+	}
+}

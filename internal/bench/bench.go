@@ -118,6 +118,10 @@ type RunConfig struct {
 	OrecLayout stm.OrecLayout
 	// DisableHintCache turns off the thread-local hint cache (ablations).
 	DisableHintCache bool
+	// Clock selects the version-clock scheme (gv1/gv5/local).
+	Clock stm.ClockMode
+	// OrderBatch enables the Ord flat-combining commit batcher (0 = off).
+	OrderBatch int
 }
 
 // Measurement is the outcome of one (workload, algorithm, threads, mix)
@@ -140,7 +144,15 @@ type Measurement struct {
 	// Layout is the orec-table layout label ("aos"/"soa"); empty means
 	// the default.
 	Layout string
-	Stats  stats.Counters
+	// Clock is the version-clock scheme label ("gv1"/"gv5"/"local").
+	Clock string
+	// OrderBatch is the Ord commit-batcher bound the cell ran with (0 = off).
+	OrderBatch int
+	// PairDeltas holds the per-pair throughput deltas (percent, this cell
+	// vs its paired baseline) when the cell was measured by RunPaired;
+	// WriteJSON reports their median.
+	PairDeltas []float64
+	Stats      stats.Counters
 }
 
 // Run builds the workload and drives it with rc.Threads workers.
@@ -162,6 +174,8 @@ func Run(spec Spec, rc RunConfig) (*Measurement, error) {
 		MaxAttempts:              rc.MaxAttempts,
 		OrecLayout:               rc.OrecLayout,
 		DisableHintCache:         rc.DisableHintCache,
+		Clock:                    rc.Clock,
+		OrderBatch:               rc.OrderBatch,
 	})
 	if err != nil {
 		return nil, err
@@ -209,12 +223,14 @@ func Run(spec Spec, rc RunConfig) (*Measurement, error) {
 	elapsed := time.Since(start)
 
 	m := &Measurement{
-		Workload:  spec.Name,
-		Algorithm: rc.Algorithm.String(),
-		Threads:   rc.Threads,
-		Mix:       rc.Mix,
-		Elapsed:   elapsed,
-		Layout:    rc.OrecLayout.String(),
+		Workload:   spec.Name,
+		Algorithm:  rc.Algorithm.String(),
+		Threads:    rc.Threads,
+		Mix:        rc.Mix,
+		Elapsed:    elapsed,
+		Layout:     rc.OrecLayout.String(),
+		Clock:      rc.Clock.String(),
+		OrderBatch: rc.OrderBatch,
 	}
 	for _, ctx := range ctxs {
 		m.Stats.Add(ctx.Th.Stats())

@@ -117,6 +117,10 @@ type HarnessConfig struct {
 	OrecLayout stm.OrecLayout
 	// DisableHintCache turns off the thread-local hint cache for every cell.
 	DisableHintCache bool
+	// Clock selects the version-clock scheme for every cell.
+	Clock stm.ClockMode
+	// OrderBatch enables the Ord flat-combining commit batcher (0 = off).
+	OrderBatch int
 }
 
 func (hc *HarnessConfig) fill() {
@@ -205,6 +209,7 @@ func runThroughput(w io.Writer, fig Figure, hc HarnessConfig) ([]*Measurement, e
 				Tracker: hc.Tracker, DisableExtension: hc.DisableExtension,
 				CM: hc.CM, MaxAttempts: hc.MaxAttempts,
 				OrecLayout: hc.OrecLayout, DisableHintCache: hc.DisableHintCache,
+				Clock: hc.Clock, OrderBatch: hc.OrderBatch,
 			}, hc.Reps)
 			if err != nil {
 				return nil, err
@@ -241,6 +246,7 @@ func runFenceStats(w io.Writer, fig Figure, hc HarnessConfig) ([]*Measurement, e
 					Tracker: hc.Tracker, DisableExtension: hc.DisableExtension,
 					CM: hc.CM, MaxAttempts: hc.MaxAttempts,
 					OrecLayout: hc.OrecLayout, DisableHintCache: hc.DisableHintCache,
+					Clock: hc.Clock, OrderBatch: hc.OrderBatch,
 				}, hc.Reps)
 				if err != nil {
 					return nil, err
@@ -299,6 +305,7 @@ func runOverhead(w io.Writer, hc HarnessConfig) ([]*Measurement, error) {
 				Tracker: hc.Tracker, DisableExtension: hc.DisableExtension,
 				CM: hc.CM, MaxAttempts: hc.MaxAttempts,
 				OrecLayout: hc.OrecLayout, DisableHintCache: hc.DisableHintCache,
+				Clock: hc.Clock, OrderBatch: hc.OrderBatch,
 			}, hc.Reps)
 			if err != nil {
 				return nil, err

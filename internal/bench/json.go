@@ -22,21 +22,35 @@ type jsonMeasurement struct {
 	// OrecLayout is the orec-table layout the cell ran under; empty and
 	// "aos" both mean the default array-of-structures layout (older
 	// baseline files predate the field).
-	OrecLayout string  `json:"orec_layout,omitempty"`
+	OrecLayout string `json:"orec_layout,omitempty"`
+	// Clock is the version-clock scheme; empty and "gv1" both mean the
+	// default CAS-per-commit global clock (older files predate the field).
+	Clock string `json:"clock,omitempty"`
+	// OrderBatch is the Ord flat-combining bound the cell ran with (0 = off).
+	OrderBatch int     `json:"order_batch,omitempty"`
 	Ops        uint64  `json:"ops"`
 	Seconds    float64 `json:"seconds"`
 	Throughput float64 `json:"ops_per_sec"`
 	// Stddev is the sample standard deviation of per-repetition
 	// throughput; zero when the cell ran fewer than two repetitions.
-	Stddev     float64 `json:"ops_per_sec_stddev,omitempty"`
-	Runs       int     `json:"runs,omitempty"`
-	Aborts     uint64  `json:"aborts"`
-	Commits    uint64  `json:"commits"`
-	Fenced     uint64  `json:"fenced"`
-	Validation uint64  `json:"validations"`
-	Extensions uint64  `json:"extensions"`
-	Serialized uint64  `json:"serialized"`
-	Stalls     uint64  `json:"fence_stalls"`
+	Stddev float64 `json:"ops_per_sec_stddev,omitempty"`
+	Runs   int     `json:"runs,omitempty"`
+	// PairedMedianPct is the median of the per-pair throughput deltas
+	// against the interleaved baseline run (RunPaired cells only).
+	PairedMedianPct float64 `json:"paired_median_delta_pct,omitempty"`
+	Pairs           int     `json:"pairs,omitempty"`
+	Aborts          uint64  `json:"aborts"`
+	Commits         uint64  `json:"commits"`
+	Fenced          uint64  `json:"fenced"`
+	Validation      uint64  `json:"validations"`
+	Extensions      uint64  `json:"extensions"`
+	Serialized      uint64  `json:"serialized"`
+	Stalls          uint64  `json:"fence_stalls"`
+	// ClockTicks counts commit-path global-clock RMWs: the quantity the
+	// deferred clock modes exist to eliminate (0 under gv5/local).
+	ClockTicks    uint64 `json:"clock_ticks,omitempty"`
+	ClockAdvances uint64 `json:"clock_advances,omitempty"`
+	Combined      uint64 `json:"combined,omitempty"`
 }
 
 // jsonMicro is the on-disk form of one read-path microbenchmark result.
@@ -64,6 +78,14 @@ func (jm *jsonMeasurement) cellKey() string {
 	k := fmt.Sprintf("%s|%s|%s|%d|%s", jm.Fig, jm.Workload, jm.Algorithm, jm.Threads, jm.Mix)
 	if jm.OrecLayout != "" && jm.OrecLayout != "aos" {
 		k += "|" + jm.OrecLayout
+	}
+	// The clock scheme and batcher bound participate the same way: only
+	// when non-default, so older baselines keep matching.
+	if jm.Clock != "" && jm.Clock != "gv1" {
+		k += "|" + jm.Clock
+	}
+	if jm.OrderBatch > 0 {
+		k += fmt.Sprintf("|b%d", jm.OrderBatch)
 	}
 	return k
 }
@@ -97,26 +119,40 @@ func WriteJSON(w io.Writer, label string, ms []*Measurement) error {
 func WriteJSONReport(w io.Writer, label string, ms []*Measurement, micro []MicroResult) error {
 	f := jsonFile{Label: label}
 	for _, m := range ms {
-		f.Cells = append(f.Cells, jsonMeasurement{
-			Fig:        m.Fig,
-			Workload:   m.Workload,
-			Algorithm:  m.Algorithm,
-			Threads:    m.Threads,
-			Mix:        m.Mix.String(),
-			OrecLayout: m.Layout,
-			Ops:        m.Ops,
-			Seconds:    m.Elapsed.Seconds(),
-			Throughput: m.Throughput,
-			Stddev:     stddev(m.RepThroughputs),
-			Runs:       len(m.RepThroughputs),
-			Aborts:     m.Stats.Aborts,
-			Commits:    m.Stats.Commits,
-			Fenced:     m.Stats.Fenced,
-			Validation: m.Stats.Validations,
-			Extensions: m.Stats.Extensions,
-			Serialized: m.Stats.Serialized,
-			Stalls:     m.Stats.FenceStalls,
-		})
+		clk := m.Clock
+		if clk == "gv1" {
+			clk = "" // default scheme: keep old files byte-comparable
+		}
+		jm := jsonMeasurement{
+			Fig:           m.Fig,
+			Workload:      m.Workload,
+			Algorithm:     m.Algorithm,
+			Threads:       m.Threads,
+			Mix:           m.Mix.String(),
+			OrecLayout:    m.Layout,
+			Clock:         clk,
+			OrderBatch:    m.OrderBatch,
+			Ops:           m.Ops,
+			Seconds:       m.Elapsed.Seconds(),
+			Throughput:    m.Throughput,
+			Stddev:        stddev(m.RepThroughputs),
+			Runs:          len(m.RepThroughputs),
+			Aborts:        m.Stats.Aborts,
+			Commits:       m.Stats.Commits,
+			Fenced:        m.Stats.Fenced,
+			Validation:    m.Stats.Validations,
+			Extensions:    m.Stats.Extensions,
+			Serialized:    m.Stats.Serialized,
+			Stalls:        m.Stats.FenceStalls,
+			ClockTicks:    m.Stats.ClockTicks,
+			ClockAdvances: m.Stats.ClockAdvances,
+			Combined:      m.Stats.Combined,
+		}
+		if len(m.PairDeltas) > 0 {
+			jm.PairedMedianPct = Median(m.PairDeltas)
+			jm.Pairs = len(m.PairDeltas)
+		}
+		f.Cells = append(f.Cells, jm)
 	}
 	for _, mr := range micro {
 		f.Micro = append(f.Micro, jsonMicro(mr))
@@ -199,6 +235,12 @@ func Compare(w io.Writer, oldPath, newPath string) (worstPct float64, err error)
 		layout := nc.Algorithm
 		if nc.OrecLayout != "" && nc.OrecLayout != "aos" {
 			layout += "/" + nc.OrecLayout
+		}
+		if nc.Clock != "" && nc.Clock != "gv1" {
+			layout += "@" + nc.Clock
+		}
+		if nc.OrderBatch > 0 {
+			layout += fmt.Sprintf("+b%d", nc.OrderBatch)
 		}
 		fmt.Fprintf(w, "%-4s %-22s %-14s %7d %9s  %12.0f %12.0f %+7.1f%%\n",
 			nc.Fig, nc.Workload, layout, nc.Threads, nc.Mix,

@@ -1,0 +1,86 @@
+package bench
+
+import "sort"
+
+// Paired A/B measurement. PR 4's measurement note stands: on this 1-CPU
+// host, back-to-back full runs drift by ±10–30%, so diffing two separate
+// -json files mostly measures scheduler weather. RunPaired interleaves the
+// two configurations (A,B,A,B,…) so each pair shares its slice of machine
+// conditions, then reports the median of the per-pair deltas — robust to a
+// single noisy pair in a way the mean of either side is not.
+
+// PairedResult is an interleaved A/B comparison of one cell.
+type PairedResult struct {
+	// A and B aggregate all pairs of each side (runCell-style merge).
+	A, B *Measurement
+	// Deltas are the per-pair throughput deltas in percent (B vs A).
+	// B.PairDeltas aliases this slice so WriteJSON reports the median.
+	Deltas []float64
+	// MedianPct is the median of Deltas.
+	MedianPct float64
+}
+
+// Median returns the median of xs (mean of the middle two for even length,
+// 0 for empty). xs is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// mergeInto folds m into agg (runCell's aggregation rule: ops and elapsed
+// add, counters sum, per-rep throughputs accumulate) and returns agg, which
+// may be nil on the first call.
+func mergeInto(agg, m *Measurement) *Measurement {
+	if agg == nil {
+		m.RepThroughputs = append(m.RepThroughputs, m.Throughput)
+		return m
+	}
+	agg.Ops += m.Ops
+	agg.Elapsed += m.Elapsed
+	agg.Stats.Add(&m.Stats)
+	agg.RepThroughputs = append(agg.RepThroughputs, m.Throughput)
+	if agg.Elapsed > 0 {
+		agg.Throughput = float64(agg.Ops) / agg.Elapsed.Seconds()
+	}
+	return agg
+}
+
+// RunPaired measures one cell under two configurations with interleaved
+// pairs: pairs× (one A run, then one B run). Both sides of a pair use the
+// same seed so they execute the same operation stream.
+func RunPaired(spec Spec, a, b RunConfig, pairs int) (*PairedResult, error) {
+	if pairs <= 0 {
+		pairs = 1
+	}
+	res := &PairedResult{}
+	for i := 0; i < pairs; i++ {
+		bump := uint64(i) * 7919
+		ra, rb := a, b
+		ra.Seed += bump
+		rb.Seed += bump
+		ma, err := Run(spec, ra)
+		if err != nil {
+			return nil, err
+		}
+		mb, err := Run(spec, rb)
+		if err != nil {
+			return nil, err
+		}
+		if ma.Throughput > 0 {
+			res.Deltas = append(res.Deltas, 100*(mb.Throughput-ma.Throughput)/ma.Throughput)
+		}
+		res.A = mergeInto(res.A, ma)
+		res.B = mergeInto(res.B, mb)
+	}
+	res.MedianPct = Median(res.Deltas)
+	res.B.PairDeltas = res.Deltas
+	return res, nil
+}

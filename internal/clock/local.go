@@ -1,0 +1,29 @@
+package clock
+
+import "sync/atomic"
+
+// ThreadClock is the per-thread clock word of Mode Local: the high-water
+// mark of the owning thread's own write timestamps. Exactly one thread
+// advances it (its owner, at commit time), so there is no contention by
+// construction; the word is still atomic so that diagnostic readers
+// (stats dumps, oracles) are race-free and so that every access goes
+// through an accessor the stmlint accessordiscipline rule can see.
+//
+// The zero value is a clock at time 0, ready to use.
+type ThreadClock struct {
+	now atomic.Uint64
+	// The descriptor embedding a ThreadClock pads around it; no padding
+	// here so the word can share the descriptor's existing layout.
+}
+
+// Now returns the owner's current local time.
+func (l *ThreadClock) Now() uint64 { return l.now.Load() }
+
+// AdvanceTo raises the local clock to at least t. Owner-only: a plain
+// load/store pair suffices because no other thread ever advances this
+// word.
+func (l *ThreadClock) AdvanceTo(t uint64) {
+	if l.now.Load() < t {
+		l.now.Store(t)
+	}
+}

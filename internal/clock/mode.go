@@ -1,0 +1,78 @@
+package clock
+
+import "fmt"
+
+// Mode selects the version-clock scheme (ROADMAP item #2; the paper's
+// §II-A assumes the GV1 scheme and never measures its cost).
+//
+// The three modes trade commit-time contention against validation work:
+//
+//   - GV1: every committing writer atomically increments the global clock
+//     and uses the result as its write timestamp. Timestamps are unique and
+//     totally ordered, so "wts == ValidTS+1" proves no intervening commit
+//     (the TL2 validation-skip optimization) — at the cost of one RMW on a
+//     single cache line per writer commit, the worst scaler at high thread
+//     counts.
+//
+//   - GV5: a committing writer uses Now()+1 as its write timestamp
+//     *without* advancing the clock (TL2's GV5 deferred scheme). Commits
+//     touch no shared clock state at all; readers that observe a write
+//     timestamp above the global clock raise it with AdvanceTo and
+//     revalidate (snapshot extension), and aborting transactions bump the
+//     clock so their retry begins past the commits that doomed them.
+//     Timestamps are no longer unique, so the validation-skip optimization
+//     is disabled (see CORRECTNESS.md "Clock soundness").
+//
+//   - Local: each thread carries a Local clock; a committing writer's
+//     timestamp is max(global, thread-local, ValidTS)+1 and the local
+//     clock is advanced to it. Per-thread timestamp streams are strictly
+//     increasing with no shared write on the commit path; staleness
+//     propagates exactly as under GV5 (reader-side AdvanceTo + extension).
+//
+// The undo-log PVR engines are pinned to GV1 (enforced in stm.New): they
+// never extend their snapshots, and the §II–III fence proofs assume every
+// writer commit advances a monotone global order.
+type Mode int
+
+// The clock schemes.
+const (
+	GV1 Mode = iota
+	GV5
+	Local
+)
+
+// Deferred reports whether writers commit without advancing the global
+// clock, i.e. whether duplicate write timestamps are possible and readers
+// must propagate observed future timestamps themselves.
+func (m Mode) Deferred() bool { return m != GV1 }
+
+// String returns the flag spelling of the mode.
+func (m Mode) String() string {
+	switch m {
+	case GV1:
+		return "gv1"
+	case GV5:
+		return "gv5"
+	case Local:
+		return "local"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode maps a flag spelling ("gv1", "gv5", "local") back to its Mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "gv1", "":
+		return GV1, nil
+	case "gv5":
+		return GV5, nil
+	case "local":
+		return Local, nil
+	default:
+		return 0, fmt.Errorf("clock: unknown mode %q (want gv1, gv5, or local)", s)
+	}
+}
+
+// Modes lists every clock scheme in flag order.
+var Modes = []Mode{GV1, GV5, Local}

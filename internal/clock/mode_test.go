@@ -1,0 +1,49 @@
+package clock
+
+import "testing"
+
+func TestModeStringsAndParse(t *testing.T) {
+	for _, m := range Modes {
+		got, err := ParseMode(m.String())
+		if err != nil {
+			t.Fatalf("ParseMode(%q): %v", m.String(), err)
+		}
+		if got != m {
+			t.Fatalf("ParseMode(%q) = %v, want %v", m.String(), got, m)
+		}
+	}
+	if m, err := ParseMode(""); err != nil || m != GV1 {
+		t.Fatalf("ParseMode(\"\") = %v, %v; want GV1", m, err)
+	}
+	if _, err := ParseMode("gv7"); err == nil {
+		t.Fatal("ParseMode(\"gv7\") accepted an unknown mode")
+	}
+}
+
+func TestModeDeferred(t *testing.T) {
+	if GV1.Deferred() {
+		t.Error("GV1 must not be deferred")
+	}
+	if !GV5.Deferred() || !Local.Deferred() {
+		t.Error("GV5 and Local must be deferred")
+	}
+}
+
+func TestThreadClock(t *testing.T) {
+	var l ThreadClock
+	if l.Now() != 0 {
+		t.Fatalf("zero ThreadClock Now = %d", l.Now())
+	}
+	l.AdvanceTo(7)
+	if l.Now() != 7 {
+		t.Fatalf("Now = %d after AdvanceTo(7)", l.Now())
+	}
+	l.AdvanceTo(3) // never backwards
+	if l.Now() != 7 {
+		t.Fatalf("Now = %d after backwards AdvanceTo", l.Now())
+	}
+	l.AdvanceTo(8)
+	if l.Now() != 8 {
+		t.Fatalf("Now = %d after AdvanceTo(8)", l.Now())
+	}
+}

@@ -20,7 +20,16 @@ func (t *Thread) AcquireOrec(o *orec.Orec) bool {
 		}
 		wts := orec.WTS(v)
 		if wts > t.ValidTS {
-			return false
+			// Publish a deferred-mode future timestamp, then try to extend
+			// over the rival commit (redo engines acquire at commit time,
+			// where an extension is still sound: ValidateReads skips orecs
+			// we already own). If the snapshot cannot move, abort — the
+			// published timestamp guarantees the retry begins past it.
+			t.NoteFutureWTS(wts)
+			if !t.TryExtend() {
+				return false
+			}
+			continue // bound raised; re-examine the orec
 		}
 		if o.Owner().CompareAndSwap(v, orec.PackOwned(t.ID)) {
 			t.Acq.Add(o, wts)

@@ -1,0 +1,114 @@
+package core
+
+import "privstm/internal/clock"
+
+// This file is the clock subsystem's integration point with the engines:
+// every commit-path and poll-path decision that depends on Options.Clock
+// funnels through the helpers below, so the engines themselves stay
+// mode-oblivious. The soundness arguments live in CORRECTNESS.md §13.
+
+// ClockMode re-exports the version-clock scheme selector (Options.Clock).
+type ClockMode = clock.Mode
+
+// The version-clock schemes.
+const (
+	ClockGV1   = clock.GV1
+	ClockGV5   = clock.GV5
+	ClockLocal = clock.Local
+)
+
+// ParseClockMode maps a flag spelling ("gv1", "gv5", "local") back to its
+// ClockMode.
+func ParseClockMode(s string) (ClockMode, error) { return clock.ParseMode(s) }
+
+// CommitTS returns the write timestamp for a committing writer that has
+// already acquired its entire write set. The acquire-before-sample order is
+// what keeps the deferred modes sound: a writer committing at wts = V owns
+// every orec it will release from before the global clock could have
+// reached V, so a reader whose snapshot covers V either sees the ownership
+// (and defers) or sees the fully committed state — extension-based
+// validation cannot admit a torn prefix (CORRECTNESS.md §13).
+func (t *Thread) CommitTS() uint64 {
+	rt := t.RT
+	switch rt.ClockMode {
+	case clock.GV5:
+		// Deferred: no shared RMW at all. Duplicate timestamps across
+		// threads are possible and fine; SkipCommitValidation is disabled
+		// in this mode, and readers propagate observed future timestamps
+		// themselves (NoteFutureWTS).
+		return rt.Clock.Now() + 1
+	case clock.Local:
+		// Thread-local merge: strictly above every global time this thread
+		// has observed and every timestamp it has issued, with no shared
+		// write on the commit path.
+		wts := rt.Clock.Now()
+		if l := t.Clk.Now(); l > wts {
+			wts = l
+		}
+		wts++
+		t.Clk.AdvanceTo(wts)
+		return wts
+	default:
+		t.Stats.ClockTicks++
+		return rt.Clock.Tick()
+	}
+}
+
+// NoteFutureWTS propagates an observed future write timestamp into the
+// global clock under the deferred modes. Writers there commit above the
+// clock without advancing it, so the reader (or failed acquirer) that
+// trips over such a timestamp is the one that publishes it — after which
+// its own extension attempt, and every other thread's begin snapshot and
+// incremental poll, can cover the commit. A no-op under GV1, where the
+// committer already advanced the clock.
+func (t *Thread) NoteFutureWTS(wts uint64) {
+	rt := t.RT
+	if rt.ClockMode == clock.GV1 || wts <= rt.Clock.Now() {
+		return
+	}
+	rt.Clock.AdvanceTo(wts)
+	t.Stats.ClockAdvances++
+}
+
+// SkipCommitValidation reports whether a commit at wts may skip its final
+// read-set validation. Only GV1's unique, totally ordered timestamps
+// support the classic TL2 inference (wts == ValidTS+1 ⇒ the tick we just
+// performed is the only one since our snapshot was validated): under the
+// deferred modes a rival can commit at the very same timestamp, which is
+// exactly when the test would wrongly pass — so those modes always
+// validate.
+func (t *Thread) SkipCommitValidation(wts uint64) bool {
+	return t.RT.ClockMode == clock.GV1 && wts == t.ValidTS+1
+}
+
+// abortClockBump is GV5's deferred clock advance: commits never move the
+// clock, so the abort path does. The retry then begins at a time covering
+// the commit(s) that doomed this attempt instead of re-sampling an unmoved
+// clock, and other threads' incremental polls observe the movement. Clock
+// traffic becomes proportional to the abort rate — paid exactly when
+// synchronization is already failing, never on the commit fast path.
+func (t *Thread) abortClockBump() {
+	if t.RT.ClockMode == clock.GV5 {
+		t.RT.Clock.Tick()
+	}
+}
+
+// CommitSignal returns a value whose movement means "some writer commit
+// may have completed since you last sampled". Under GV1 that is the global
+// clock itself. Under the deferred modes writer commits do not move the
+// clock, which would blind the doomed-transaction polling of the §IV
+// engines — the protection that catches a reader acting on state a
+// privatizer is already mutating nontransactionally. The ordering locks'
+// served counters move on every ordered commit (Ord, OrdQueue, pvrHybrid),
+// so the composite restores the trigger at GV1's cadence. Of the remaining
+// engines, Val forces reader revalidation through its validation fence
+// (which advances the clock at entry under deferred modes), TL2 never
+// promised privatization safety, and the undo-log PVR engines are pinned
+// to GV1 by stm.New.
+func (rt *Runtime) CommitSignal() uint64 {
+	sig := rt.Clock.Now()
+	if rt.ClockMode != clock.GV1 {
+		sig += rt.Order.ServedCount() + rt.OrderQ.ServedCount()
+	}
+	return sig
+}

@@ -62,6 +62,12 @@ func (t *Thread) ReaderConflictScan(adaptGrace bool) (threshold uint64, conflict
 // than a silent hang.
 func (t *Thread) PrivatizationFence(threshold uint64) {
 	t.Stats.Fenced++
+	// Under the deferred clock modes the threshold can sit above the global
+	// clock (a commit-capped threshold is a deferred wts). Publish it before
+	// waiting: otherwise a steady stream of readers beginning at the stale
+	// global time could hold the fence open forever, since no new begin
+	// could ever exceed the threshold.
+	t.NoteFutureWTS(threshold)
 	failpoint.Eval(failpoint.FenceEnter)
 	defer failpoint.Eval(failpoint.FenceExit)
 	var b spin.Backoff
@@ -95,6 +101,13 @@ func (t *Thread) PrivatizationFence(threshold uint64) {
 // restart counts as progress.
 func (t *Thread) ValidationFence(wts uint64) {
 	t.Stats.Fenced++
+	// Deferred clock modes: raise the global clock to the commit time
+	// before waiting. Concurrent readers' incremental polls fire on the
+	// movement and publish validations at ≥ wts (or die trying), which is
+	// the very condition this fence waits for — without the advance their
+	// polls would never trigger and the fence would spin until each
+	// reader's transaction ended.
+	t.NoteFutureWTS(wts)
 	failpoint.Eval(failpoint.FenceEnter)
 	defer failpoint.Eval(failpoint.FenceExit)
 	var b spin.Backoff

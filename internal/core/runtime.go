@@ -51,6 +51,18 @@ type Options struct {
 	MaxGrace        uint64 // cap for adaptive grace periods (0 ⇒ DefaultMaxGrace)
 	HybridThreshold int    // read-set size that flips pvrHybrid visible (0 ⇒ 16)
 
+	// Clock selects the version-clock scheme: ClockGV1 (default) CASes the
+	// global clock once per writer commit; ClockGV5 defers (commits take
+	// Now()+1 without advancing; readers propagate, aborts bump);
+	// ClockLocal merges a per-thread clock at commit time. See
+	// internal/clock and CORRECTNESS.md §13.
+	Clock ClockMode
+	// OrderBatch enables the Ord engine's flat-combining commit batcher:
+	// the committer currently served by the ticket lock performs up to
+	// OrderBatch successors' write-backs under one ticket hold. 0 disables
+	// combining; only Ord's ticket variant consults it.
+	OrderBatch int
+
 	// Tracker selects the incomplete-transaction tracker. The default,
 	// TrackerSlot, is the O(1) cached-watermark slot array; TrackerList
 	// restores the paper's §II-C spin-locked central list (ablations);
@@ -139,6 +151,12 @@ type Runtime struct {
 	Order  ticket.Lock   // strict-ordering ticket lock (§IV)
 	OrderQ *ticket.QueueLock
 
+	// ClockMode is the configured version-clock scheme (clockpath.go).
+	ClockMode ClockMode
+	// Combine is Ord's flat-combining commit batcher, non-nil when
+	// Options.OrderBatch > 0.
+	Combine *ticket.Combiner
+
 	MaxGrace         uint64
 	HybridThreshold  int
 	CapFenceAtCommit bool
@@ -174,6 +192,7 @@ func NewRuntime(opts Options) (*Runtime, error) {
 		Heap:             heap.New(opts.HeapWords),
 		Orecs:            orec.NewTableLayout(opts.OrecCount, opts.BlockWords, opts.OrecLayout),
 		OrderQ:           ticket.NewQueueLock(),
+		ClockMode:        opts.Clock,
 		MaxGrace:         opts.MaxGrace,
 		HybridThreshold:  opts.HybridThreshold,
 		CapFenceAtCommit: opts.CapFenceAtCommit,
@@ -197,6 +216,9 @@ func NewRuntime(opts Options) (*Runtime, error) {
 	// Every tracker kind carries the schedule explorer's yield points
 	// (tracker.go); disabled cost is a nil-check per Enter/EnterAt/Leave.
 	rt.Active = yieldTracker{inner: rt.Active}
+	if opts.OrderBatch > 0 {
+		rt.Combine = ticket.NewCombiner(opts.MaxThreads, opts.OrderBatch)
+	}
 	// Start time at 1 so that a zeroed vis word (rts = 0) can never read
 	// as a hint covering a live transaction: every begin timestamp is ≥ 1.
 	rt.Clock.Tick()

@@ -3,6 +3,7 @@ package core
 import (
 	"sync/atomic"
 
+	"privstm/internal/clock"
 	"privstm/internal/heap"
 	"privstm/internal/logs"
 	"privstm/internal/orec"
@@ -41,6 +42,11 @@ type Thread struct {
 	Redo  logs.Redo
 	Acq   logs.Acquired
 
+	// Clk is the thread-local clock of ClockLocal mode: the high-water
+	// mark of this thread's own write timestamps, merged with the global
+	// clock at commit time (CommitTS). Unused in the other modes.
+	Clk clock.ThreadClock
+
 	Stats stats.Counters
 
 	// Wrote is set on the first transactional write.
@@ -48,9 +54,15 @@ type Thread struct {
 	// Visible is set while the transaction's reads are partially visible
 	// (it is on the central list).
 	Visible bool
-	// LastClockSeen is the clock value as of the last incremental
-	// validation (redo-log engines' doomed-transaction polling).
+	// LastClockSeen is the commit signal (CommitSignal: the clock under
+	// GV1, clock + ordered-commit counts under the deferred modes) as of
+	// the last incremental validation (redo-log engines' doomed-
+	// transaction polling).
 	LastClockSeen uint64
+	// BeginSignal is the commit signal sampled at transaction begin; the
+	// hybrid's mode-switch rule compares against it to ask "has any writer
+	// committed since I began?" (under GV1 it equals BeginTS).
+	BeginSignal uint64
 	// Attempts counts consecutive aborts of the current Run, for
 	// contention-management backoff.
 	Attempts int
@@ -134,11 +146,20 @@ func (t *Thread) ResetTxnState() {
 
 // StartSnapshot records ts as the transaction's begin time and initializes
 // the validity interval to the degenerate [ts, ts]. Engines call it from
-// Begin after sampling the clock (or entering the tracker).
+// Begin after sampling the clock (or entering the tracker). ts must be a
+// *global*-clock sample even in ClockLocal mode: seeding the validity bound
+// from the thread-local clock would let validation accept a later rival's
+// same-or-lower-timestamped writes (CORRECTNESS.md §13).
 func (t *Thread) StartSnapshot(ts uint64) {
 	t.BeginTS = ts
 	t.ValidTS = ts
 	t.LastClockSeen = ts
+	t.BeginSignal = ts
+	if t.RT.ClockMode != clock.GV1 {
+		sig := t.RT.CommitSignal()
+		t.LastClockSeen = sig
+		t.BeginSignal = sig
+	}
 }
 
 // ReaderMayBeLive reports whether the transaction that published a read at
@@ -212,12 +233,15 @@ func (t *Thread) TryExtend() bool {
 	if c == t.ValidTS {
 		return false
 	}
+	// Sample the commit signal before validating, like the clock: a commit
+	// the validation could have missed then still re-fires the next poll.
+	sig := t.RT.CommitSignal()
 	t.Stats.Validations++
 	if !t.ValidateReads() {
 		return false
 	}
 	t.ValidTS = c
-	t.LastClockSeen = c
+	t.LastClockSeen = sig
 	t.Stats.Extensions++
 	// Flush the hint cache across the extension. Coverage decisions key
 	// off BeginTS, which extension does not move, so this is purely
@@ -242,16 +266,24 @@ func (t *Thread) TryExtend() bool {
 // transaction whose read set is untouched stops aborting on (and stops
 // revalidating for) commits that do not conflict with it.
 func (t *Thread) PollValidate() {
+	// The trigger is the commit signal, not the bare clock: under the
+	// deferred clock modes writer commits move the ordering locks' served
+	// counters but not the clock, and the doomed-transaction protection
+	// must keep firing at GV1's cadence (clockpath.go).
 	c := t.RT.Clock.Now()
-	if c == t.LastClockSeen {
+	sig := c
+	if t.RT.ClockMode != clock.GV1 {
+		sig = t.RT.CommitSignal()
+	}
+	if sig == t.LastClockSeen {
 		return
 	}
 	t.Stats.Validations++
 	if !t.ValidateReads() {
 		t.ConflictAbort()
 	}
-	t.LastClockSeen = c
-	if t.ExtendOK && !t.RT.NoExtension {
+	t.LastClockSeen = sig
+	if t.ExtendOK && !t.RT.NoExtension && c > t.ValidTS {
 		t.ValidTS = c
 		t.Stats.Extensions++
 		t.visCache.Reset() // conservative, as in TryExtend
@@ -280,6 +312,10 @@ func (t *Thread) ReadHeapConsistent(a heap.Addr) heap.Word {
 		}
 		wts := orec.WTS(v1)
 		if wts > t.ValidTS {
+			// Deferred modes: publish the future timestamp first, so the
+			// extension below can reach it — and so that, if we abort
+			// instead, the retry's begin snapshot covers the commit.
+			t.NoteFutureWTS(wts)
 			if !t.TryExtend() {
 				t.ConflictAbort()
 			}

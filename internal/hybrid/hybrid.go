@@ -74,7 +74,10 @@ func (e *Engine) Write(t *core.Thread, a heap.Addr, w heap.Word) {
 // crossed the threshold and another writer has committed since we began
 // (the clock has moved past our begin time).
 func (e *Engine) maybeGoVisible(t *core.Thread) {
-	if t.Reads.Len() <= e.rt.HybridThreshold || e.rt.Clock.Now() <= t.BeginTS {
+	// "Another writer has committed since we began" is judged on the
+	// commit signal, not the bare clock, so the rule keeps firing under
+	// the deferred clock modes (core.CommitSignal).
+	if t.Reads.Len() <= e.rt.HybridThreshold || e.rt.CommitSignal() <= t.BeginSignal {
 		return
 	}
 	e.rt.Active.EnterAt(t, t.BeginTS)
@@ -120,7 +123,7 @@ func (e *Engine) Commit(t *core.Thread) bool {
 		e.cleanupAbort(t)
 		return false
 	}
-	wts := rt.Clock.Tick()
+	wts := t.CommitTS()
 	t.Redo.WriteBack(rt.Heap)
 	if !rt.Order.Served(ticket) {
 		t.Stats.OrderWaits++

@@ -99,7 +99,24 @@ func (e *Engine) Commit(t *core.Thread) bool {
 		t.PublishInactive()
 		return false
 	}
-	wts := rt.Clock.Tick()
+	wts := t.CommitTS()
+	if c := rt.Combine; c != nil {
+		// Flat-combining path (Config.OrderBatch): publish the validated
+		// commit and either have the current leader perform it, or — once
+		// served — lead and drain a batch of successors ourselves.
+		res := c.Commit(&rt.Order, rt.Heap, t.ID, ticket, wts, &t.Redo, &t.Acq)
+		if res.Waited {
+			t.Stats.OrderWaits++
+		}
+		if res.ByLeader {
+			t.Stats.Combined++
+		} else if res.Followers > 0 {
+			t.Stats.CombineLeads++
+		}
+		t.PublishInactive()
+		t.Stats.WriterCommits++
+		return true
+	}
 	t.Redo.WriteBack(rt.Heap)
 	if !rt.Order.Served(ticket) {
 		t.Stats.OrderWaits++
@@ -122,7 +139,7 @@ func (e *Engine) commitQueue(t *core.Thread) bool {
 		t.PublishInactive()
 		return false
 	}
-	wts := rt.Clock.Tick()
+	wts := t.CommitTS()
 	t.Redo.WriteBack(rt.Heap)
 	t.Stats.OrderWaits++
 	rt.OrderQ.Wait(n)

@@ -152,8 +152,8 @@ func (e *Engine) Commit(t *core.Thread) bool {
 		t.Stats.ReadOnlyCommits++
 		return true
 	}
-	wts := rt.Clock.Tick()
-	if wts != t.ValidTS+1 && !t.ValidateReads() {
+	wts := t.CommitTS()
+	if !t.SkipCommitValidation(wts) && !t.ValidateReads() {
 		e.rollback(t)
 		return false
 	}

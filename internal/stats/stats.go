@@ -32,6 +32,10 @@ type Counters struct {
 	ModeSwitches    uint64 // hybrid/writer-only transitions to visible mode
 	Serialized      uint64 // commits via the serialized-irrevocable fallback
 	FenceStalls     uint64 // stall-watchdog firings inside fences
+	ClockTicks      uint64 // commit-path global-clock RMWs (0 under the deferred clock modes)
+	ClockAdvances   uint64 // deferred-mode future-timestamp publications (reader/fence AdvanceTo)
+	Combined        uint64 // commits whose write-back a flat-combining leader performed
+	CombineLeads    uint64 // combining leads that served ≥1 follower commit
 	Ops             uint64 // benchmark-level operations completed
 }
 
@@ -56,6 +60,10 @@ func (c *Counters) Add(o *Counters) {
 	c.ModeSwitches += o.ModeSwitches
 	c.Serialized += o.Serialized
 	c.FenceStalls += o.FenceStalls
+	c.ClockTicks += o.ClockTicks
+	c.ClockAdvances += o.ClockAdvances
+	c.Combined += o.Combined
+	c.CombineLeads += o.CombineLeads
 	c.Ops += o.Ops
 }
 

@@ -1,0 +1,152 @@
+package ticket
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"privstm/internal/failpoint"
+	"privstm/internal/heap"
+	"privstm/internal/logs"
+)
+
+// Request states. A slot's request cycles idle → pending (owner publishes
+// its validated commit) → claimed (owner or a leader wins the CAS) → done
+// (leader performed the work) → idle, or straight claimed → idle when the
+// owner serves itself.
+const (
+	combineIdle uint32 = iota
+	combinePending
+	combineClaimed
+	combineDone
+)
+
+// combineReq is one thread's published commit work: a validated writer's
+// frozen redo and ownership logs, its commit timestamp, and its ticket.
+// The payload fields are written only by the slot's owner while the state
+// is idle, and published by the idle→pending transition; a reader that has
+// observed pending (or won the claiming CAS) therefore sees them complete.
+type combineReq struct {
+	ticket uint64
+	wts    uint64
+	redo   *logs.Redo
+	acq    *logs.Acquired
+	state  atomic.Uint32
+}
+
+// combineSlot pads one request to its own cache lines so per-thread
+// publications never false-share.
+type combineSlot struct {
+	req combineReq
+	_   [11]uint64
+}
+
+// Combiner is the flat-combining commit batcher of the Ord engine
+// (core.Options.OrderBatch). The ticket lock already serializes write-back
+// and release order; instead of handing the lock through N wakeups, the
+// committer currently being served drains the published requests of its
+// immediate successors — validated writers holding *consecutive* tickets —
+// performs their write-backs and releases under its own ticket hold, and
+// advances the serving counter once past the whole batch.
+//
+// Two properties carry the §IV in-order-cleanup argument over unchanged
+// (CORRECTNESS.md §13):
+//
+//   - Service happens in ticket order over a consecutive run of tickets
+//     only. An aborting ticket holder publishes no request, so the drain
+//     stops at the gap and the aborter passes the ticket through the
+//     ordinary Wait/Done path. Only *who executes* a commit's write-back
+//     changes, never its position in the serving sequence.
+//
+//   - Each request is executed exactly once: it is claimed by a CAS
+//     (pending → claimed) by either its owner (once served, to lead) or
+//     the current leader (to serve it), never both — while a leader holds
+//     the lock, no follower's ticket is being served, so no follower can
+//     win its own claim.
+type Combiner struct {
+	batch int
+	slots []combineSlot
+}
+
+// NewCombiner sizes the combiner for maxThreads per-thread request slots
+// and a drain bound of batch successors per lead.
+func NewCombiner(maxThreads, batch int) *Combiner {
+	return &Combiner{batch: batch, slots: make([]combineSlot, maxThreads)}
+}
+
+// CombineResult reports how one combined commit completed.
+type CombineResult struct {
+	// ByLeader is set when another thread's leader performed this commit's
+	// write-back and release.
+	ByLeader bool
+	// Followers counts the successor commits this thread served as leader.
+	Followers int
+	// Waited is set when the commit spun at all before completing.
+	Waited bool
+}
+
+// Commit completes an ordered commit through the combiner. The caller has
+// validated its read set and holds ticket tk on l; redo and acq are its
+// frozen write and ownership logs (untouched by the caller until Commit
+// returns) and wts its commit timestamp. On return the write-back has been
+// performed and every owned orec released at wts — by this thread or by a
+// leader — and the serving counter has advanced past tk.
+func (c *Combiner) Commit(l *Lock, h *heap.Heap, tid, tk, wts uint64, redo *logs.Redo, acq *logs.Acquired) CombineResult {
+	req := &c.slots[tid].req
+	req.ticket, req.wts, req.redo, req.acq = tk, wts, redo, acq
+	req.state.Store(combinePending) // publish the payload
+	var res CombineResult
+	for i := 0; ; i++ {
+		if req.state.Load() == combineDone {
+			req.state.Store(combineIdle)
+			res.ByLeader = true
+			return res
+		}
+		if l.Served(tk) && req.state.CompareAndSwap(combinePending, combineClaimed) {
+			break // head of the line and unclaimed: lead
+		}
+		// Either not our turn yet, or a leader claimed us between the two
+		// checks (its done store will land); keep polling.
+		res.Waited = true
+		failpoint.Eval(failpoint.CombineWait)
+		if i < 64 {
+			spinHot()
+		} else {
+			runtime.Gosched()
+		}
+	}
+	// Leader: perform our own commit, then drain consecutive successors in
+	// ticket order up to the batch bound.
+	redo.WriteBack(h)
+	acq.ReleaseAll(wts)
+	req.state.Store(combineIdle)
+	last := tk
+	for res.Followers < c.batch {
+		f := c.claim(last + 1)
+		if f == nil {
+			break // gap (aborter, straggler, or nobody): stop the batch
+		}
+		f.redo.WriteBack(h)
+		f.acq.ReleaseAll(f.wts)
+		f.state.Store(combineDone)
+		last++
+		res.Followers++
+	}
+	l.Done(last)
+	return res
+}
+
+// claim finds and claims the pending request holding ticket tk, if some
+// thread has published one. Pending payloads are frozen while we lead —
+// the owner of a pending request is spinning in Commit, and it cannot win
+// its self-claim because its ticket is not being served — so the
+// state-then-ticket read order is safe.
+func (c *Combiner) claim(tk uint64) *combineReq {
+	for i := range c.slots {
+		r := &c.slots[i].req
+		if r.state.Load() == combinePending && r.ticket == tk &&
+			r.state.CompareAndSwap(combinePending, combineClaimed) {
+			return r
+		}
+	}
+	return nil
+}

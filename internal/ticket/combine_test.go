@@ -1,0 +1,154 @@
+package ticket
+
+import (
+	"sync"
+	"testing"
+
+	"privstm/internal/heap"
+	"privstm/internal/logs"
+)
+
+// combineCommit drives one commit through a Combiner the way the Ord
+// engine does: take a ticket, buffer the writes, publish, complete.
+func combineCommit(c *Combiner, l *Lock, h *heap.Heap, tid uint64, writes map[heap.Addr]heap.Word, wts uint64) CombineResult {
+	var redo logs.Redo
+	var acq logs.Acquired
+	tk := l.Take()
+	for a, w := range writes {
+		redo.Put(a, w)
+	}
+	return c.Commit(l, h, tid, tk, wts, &redo, &acq)
+}
+
+func TestCombinerSelfServe(t *testing.T) {
+	h := heap.New(16)
+	var l Lock
+	c := NewCombiner(4, 8)
+	res := combineCommit(c, &l, h, 0, map[heap.Addr]heap.Word{1: 11, 2: 22}, 5)
+	if res.ByLeader {
+		t.Error("sole committer cannot be served by a leader")
+	}
+	if res.Followers != 0 {
+		t.Errorf("Followers = %d, want 0", res.Followers)
+	}
+	if h.Load(1) != 11 || h.Load(2) != 22 {
+		t.Errorf("heap = %d,%d; want 11,22", h.Load(1), h.Load(2))
+	}
+	if got := l.ServedCount(); got != 1 {
+		t.Errorf("ServedCount = %d, want 1", got)
+	}
+	// The slot must be reusable.
+	res = combineCommit(c, &l, h, 0, map[heap.Addr]heap.Word{3: 33}, 6)
+	if res.ByLeader || h.Load(3) != 33 || l.ServedCount() != 2 {
+		t.Errorf("second commit: res=%+v heap[3]=%d served=%d", res, h.Load(3), l.ServedCount())
+	}
+}
+
+func TestCombinerConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 300
+	)
+	h := heap.New(workers * rounds)
+	var l Lock
+	c := NewCombiner(workers, 4)
+	results := make([]CombineResult, workers*rounds)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				a := heap.Addr(w*rounds + r)
+				res := combineCommit(c, &l, h, uint64(w),
+					map[heap.Addr]heap.Word{a: heap.Word(a) + 1}, uint64(r)+1)
+				results[w*rounds+r] = res
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := l.ServedCount(); got != workers*rounds {
+		t.Fatalf("ServedCount = %d, want %d", got, workers*rounds)
+	}
+	for i := 0; i < workers*rounds; i++ {
+		if got := h.Load(heap.Addr(i)); got != heap.Word(i)+1 {
+			t.Fatalf("heap[%d] = %d: write-back lost", i, got)
+		}
+	}
+	// Every follower service corresponds to exactly one ByLeader result.
+	var followers, byLeader int
+	for _, r := range results {
+		followers += r.Followers
+		if r.ByLeader {
+			byLeader++
+		}
+	}
+	if followers != byLeader {
+		t.Errorf("sum(Followers) = %d but %d commits report ByLeader", followers, byLeader)
+	}
+}
+
+func TestCombinerBatchBound(t *testing.T) {
+	// With batch = 1 a leader may serve at most one follower per hold.
+	const workers = 6
+	h := heap.New(workers)
+	var l Lock
+	c := NewCombiner(workers, 1)
+	var wg sync.WaitGroup
+	results := make([]CombineResult, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = combineCommit(c, &l, h, uint64(w),
+				map[heap.Addr]heap.Word{heap.Addr(w): heap.Word(w) + 1}, 1)
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if results[w].Followers > 1 {
+			t.Errorf("worker %d served %d followers with batch=1", w, results[w].Followers)
+		}
+		if h.Load(heap.Addr(w)) != heap.Word(w)+1 {
+			t.Errorf("heap[%d] lost", w)
+		}
+	}
+	if l.ServedCount() != workers {
+		t.Errorf("ServedCount = %d, want %d", l.ServedCount(), workers)
+	}
+}
+
+func TestCombinerGapPreservesOrder(t *testing.T) {
+	// An aborting ticket holder publishes no request: it passes its ticket
+	// through the ordinary Wait/Done path, and the next combiner user
+	// completes only after the gap is closed.
+	h := heap.New(8)
+	var l Lock
+	c := NewCombiner(2, 8)
+	aborter := l.Take() // ticket 0: will abort, no request published
+	done := make(chan CombineResult, 1)
+	go func() {
+		var redo logs.Redo
+		var acq logs.Acquired
+		tk := l.Take() // ticket 1
+		redo.Put(3, 42)
+		done <- c.Commit(&l, h, 1, tk, 9, &redo, &acq)
+	}()
+	select {
+	case <-done:
+		t.Fatal("ticket 1 committed before ticket 0 was passed on")
+	default:
+	}
+	l.Wait(aborter)
+	l.Done(aborter) // the abort path's hand-off
+	res := <-done
+	if res.ByLeader {
+		t.Error("nobody could have led for ticket 1")
+	}
+	if h.Load(3) != 42 {
+		t.Errorf("heap[3] = %d, want 42", h.Load(3))
+	}
+	if l.ServedCount() != 2 {
+		t.Errorf("ServedCount = %d, want 2", l.ServedCount())
+	}
+}

@@ -74,8 +74,8 @@ func (e *Engine) Commit(t *core.Thread) bool {
 		return false
 	}
 	failpoint.Eval(failpoint.AcquiredBeforeWriteback)
-	wts := rt.Clock.Tick()
-	if wts != t.ValidTS+1 && !t.ValidateReads() {
+	wts := t.CommitTS()
+	if !t.SkipCommitValidation(wts) && !t.ValidateReads() {
 		t.Acq.RestoreAll()
 		t.PublishInactive()
 		return false

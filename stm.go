@@ -173,6 +173,24 @@ type Config struct {
 	// false-sharing with concurrent readers' visibility-hint stores (at
 	// 4x the metadata footprint).
 	OrecLayout OrecLayout
+	// Clock selects the version-clock scheme. ClockGV1 (default) CASes the
+	// global clock once per writer commit — the classic TL2 rule, with
+	// unique totally ordered timestamps. ClockGV5 defers: commits stamp
+	// Now()+1 without touching the clock, readers that trip over a future
+	// timestamp publish it (AdvanceTo) and extend, and aborts bump the
+	// clock — zero commit-path contention. ClockLocal gives each thread a
+	// local clock merged with the global at commit time. The undo-log PVR
+	// algorithms (PVRBase/CAS/Store/WriterOnly) require ClockGV1 — they
+	// never extend their snapshots and the privatization-fence proofs
+	// assume a monotone global commit order — which New enforces (see
+	// CORRECTNESS.md §13).
+	Clock ClockMode
+	// OrderBatch enables the Ord algorithm's flat-combining commit
+	// batcher: the committer currently served by the ticket lock performs
+	// up to OrderBatch successors' write-backs and releases under one
+	// ticket hold instead of handing the lock through N wakeups. 0
+	// disables; only Ord's ticket variant consults it.
+	OrderBatch int
 	// DisableHintCache turns off the thread-local orec hint cache on the
 	// partially-visible-read engines: every re-read then re-runs the full
 	// §II-E visibility protocol instead of skipping after the first
@@ -243,6 +261,23 @@ const (
 	GraceHybrid      = core.GraceHybrid
 )
 
+// ClockMode re-exports the version-clock scheme selector.
+type ClockMode = core.ClockMode
+
+// The version-clock schemes (Config.Clock).
+const (
+	ClockGV1   = core.ClockGV1
+	ClockGV5   = core.ClockGV5
+	ClockLocal = core.ClockLocal
+)
+
+// ClockModes lists every clock scheme in flag order.
+var ClockModes = []ClockMode{ClockGV1, ClockGV5, ClockLocal}
+
+// ParseClockMode maps a flag spelling ("gv1", "gv5", "local") back to its
+// ClockMode.
+func ParseClockMode(s string) (ClockMode, error) { return core.ParseClockMode(s) }
+
 // OrecLayout re-exports the orec-table memory layout selector.
 type OrecLayout = core.OrecLayout
 
@@ -266,6 +301,14 @@ type STM struct {
 
 // New creates an STM instance.
 func New(cfg Config) (*STM, error) {
+	if cfg.Clock != ClockGV1 {
+		switch cfg.Algorithm {
+		case PVRBase, PVRCAS, PVRStore, PVRWriterOnly:
+			return nil, fmt.Errorf(
+				"stm: algorithm %v requires ClockGV1: the undo-log engines never extend their snapshots, and the privatization-fence proofs assume every writer commit advances the global clock (CORRECTNESS.md §13)",
+				cfg.Algorithm)
+		}
+	}
 	rt, err := core.NewRuntime(core.Options{
 		HeapWords:        cfg.HeapWords,
 		OrecCount:        cfg.OrecCount,
@@ -273,6 +316,8 @@ func New(cfg Config) (*STM, error) {
 		MaxThreads:       cfg.MaxThreads,
 		MaxGrace:         cfg.MaxGrace,
 		HybridThreshold:  cfg.HybridThreshold,
+		Clock:            cfg.Clock,
+		OrderBatch:       cfg.OrderBatch,
 		Tracker:          cfg.Tracker,
 		ScanTracker:      cfg.ScanTracker,
 		DisableExtension: cfg.DisableSnapshotExtension,
