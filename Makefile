@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-faults test-faults-gv5 explore bench bench-json bench-smoke bench-readpath bench-readpath-smoke bench-clock figures privtest stress cover clean lint lint-json
+.PHONY: all build test race test-faults test-faults-gv5 explore explore-reclaim bench bench-json bench-smoke bench-readpath bench-readpath-smoke bench-clock bench-reclaim figures privtest stress cover clean lint lint-json
 
 all: build test lint
 
@@ -24,6 +24,7 @@ test:
 lint:
 	$(GO) run ./cmd/stmlint -baseline stmlint.baseline ./...
 	$(GO) run ./cmd/stmlint -tags privstm_watermark_race -ratchet=false ./...
+	$(GO) run ./cmd/stmlint -tags privstm_reclaim_race -ratchet=false ./...
 
 # Machine-readable findings for the CI artifact (default tag set).
 lint-json:
@@ -55,6 +56,14 @@ explore:
 	$(GO) test -count=1 -run 'TestExplore|TestSched|TestWatermark|TestPCT|TestDFS' . ./internal/sched ./internal/txnlist
 	$(GO) test -count=1 -tags privstm_watermark_race -run TestWatermarkRaceRediscovered -v ./internal/txnlist
 
+# Reclamation rediscovery pair (CORRECTNESS.md §14): the retire→collect→
+# reuse program enumerated exhaustively on the production epoch check, then
+# with the check compiled out (-tags privstm_reclaim_race) the explorer
+# must FIND the use-after-reclaim and log a replayable trace.
+explore-reclaim:
+	$(GO) test -count=1 -run TestReclaimExplorationCorpus -v ./internal/reclaim
+	$(GO) test -count=1 -tags privstm_reclaim_race -run TestReclaimRaceCaught -v ./internal/reclaim
+
 # One testing.B benchmark per paper figure, plus the ablations.
 bench:
 	$(GO) test -bench . -benchmem ./...
@@ -83,6 +92,15 @@ bench-smoke:
 bench-clock:
 	$(GO) run ./cmd/stmbench -clocksweep -threads 1,2,4 -pairs 5 -dur 150ms \
 		-json BENCH_clock.json -basejson BENCH_clock_baseline.json
+
+# Reclamation-overhead baseline: the paired A/B sweep (epoch reclaimer
+# interleaved with a same-seed legacy-pool run of the same engine) on the
+# high-free-rate write-heavy hashtable. Reclaim cells land in
+# BENCH_reclaim.json (median-of-pairs deltas embedded), pool sides in
+# BENCH_reclaim_baseline.json.
+bench-reclaim:
+	$(GO) run ./cmd/stmbench -reclaimsweep -threads 1,2,4 -pairs 5 -dur 150ms \
+		-json BENCH_reclaim.json -basejson BENCH_reclaim_baseline.json
 
 # Read-path baseline for regression checks: the figures most sensitive to
 # MakeVisible cost (read-mostly hashtable 3a and long-traversal multi-list

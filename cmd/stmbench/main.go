@@ -49,6 +49,9 @@ func main() {
 		clockStr = flag.String("clock", "gv1", "version-clock scheme: gv1, gv5, or local")
 		obatch   = flag.Int("orderbatch", 0, "Ord flat-combining commit batch bound (0 = off)")
 		csweep   = flag.Bool("clocksweep", false, "run the paired clock-scalability sweep (fig clk); writes candidates to -json, gv1 baselines to -basejson")
+		rsweep   = flag.Bool("reclaimsweep", false, "run the paired reclamation-overhead sweep (fig rcl); writes reclaim cells to -json, pool baselines to -basejson")
+		noRecl   = flag.Bool("noreclaim", false, "recycle nodes through the legacy per-thread pool instead of the epoch reclaimer")
+		noSandbx = flag.Bool("nosandbox", false, "disable validate-before-dangerous-use sandbox checkpoints (ablation)")
 		pairs    = flag.Int("pairs", 3, "with -clocksweep: interleaved A/B pairs per cell")
 		aa       = flag.Bool("aa", false, "with -clocksweep: A/A noise control (candidate = baseline config)")
 		baseJSON = flag.String("basejson", "", "with -clocksweep: write the gv1 baseline cells to this JSON file")
@@ -86,8 +89,8 @@ func main() {
 		}
 		return
 	}
-	if *figID == "" && !*micro && !*csweep {
-		fmt.Fprintln(os.Stderr, "stmbench: -fig is required (try -list, -micro, or -clocksweep)")
+	if *figID == "" && !*micro && !*csweep && !*rsweep {
+		fmt.Fprintln(os.Stderr, "stmbench: -fig is required (try -list, -micro, -clocksweep, or -reclaimsweep)")
 		os.Exit(2)
 	}
 
@@ -188,15 +191,49 @@ func main() {
 		DisableHintCache: *nocache,
 		Clock:            clockMode,
 		OrderBatch:       *obatch,
+		DisableSandbox:   *noSandbx,
+	}
+	if *noRecl {
+		hc.Free = bench.FreePool
 	}
 
-	fmt.Printf("# GOMAXPROCS=%d NumCPU=%d scale=1/%d tracker=%s extension=%s cm=%s maxattempts=%d oreclayout=%s hintcache=%s clock=%s orderbatch=%d\n",
+	fmt.Printf("# GOMAXPROCS=%d NumCPU=%d scale=1/%d tracker=%s extension=%s cm=%s maxattempts=%d oreclayout=%s hintcache=%s clock=%s orderbatch=%d reclaim=%s sandbox=%s\n",
 		runtime.GOMAXPROCS(0), runtime.NumCPU(), *scale, *tracker, onOff(!*noextend), cmPolicy, *maxAtt,
-		orecLayout, onOff(!*nocache), clockMode, *obatch)
+		orecLayout, onOff(!*nocache), clockMode, *obatch, onOff(!*noRecl), onOff(!*noSandbx))
 	if runtime.NumCPU() < 8 {
 		fmt.Printf("# note: %d CPUs — thread counts beyond that timeshare; expect curves to flatten there\n", runtime.NumCPU())
 	}
 	fmt.Println()
+
+	var curveFilter []stm.Algorithm
+	if *algos != "" {
+		for _, name := range strings.Split(*algos, ",") {
+			a, err := stm.ParseAlgorithm(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "stmbench:", err)
+				os.Exit(2)
+			}
+			curveFilter = append(curveFilter, a)
+		}
+	}
+
+	if *rsweep {
+		base, cand, err := bench.RunReclaimSweep(os.Stdout, hc, curveFilter, *pairs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stmbench:", err)
+			os.Exit(1)
+		}
+		label := fmt.Sprintf("reclaimsweep pairs=%d scale=1/%d", *pairs, *scale)
+		if *jsonPath != "" {
+			bench.SortMeasurements(cand)
+			writeJSONTo(*jsonPath, label+" (epoch reclaim)", cand)
+		}
+		if *baseJSON != "" {
+			bench.SortMeasurements(base)
+			writeJSONTo(*baseJSON, label+" (pool baselines)", base)
+		}
+		return
+	}
 
 	if *csweep {
 		base, cand, err := bench.RunClockSweep(os.Stdout, hc, nil, *pairs, *aa)
@@ -225,18 +262,6 @@ func main() {
 			os.Exit(2)
 		}
 		mixOverride = &bench.Mix{InsertPct: ins, DeletePct: del}
-	}
-
-	var curveFilter []stm.Algorithm
-	if *algos != "" {
-		for _, name := range strings.Split(*algos, ",") {
-			a, err := stm.ParseAlgorithm(strings.TrimSpace(name))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "stmbench:", err)
-				os.Exit(2)
-			}
-			curveFilter = append(curveFilter, a)
-		}
 	}
 
 	var figs []bench.Figure

@@ -448,3 +448,335 @@ func TestFaultWatchdogSilentOnHealthyRun(t *testing.T) {
 		})
 	}
 }
+
+// TestFaultParkedReaderBlocksReclaim is the deterministic version of the
+// use-after-reclaim schedule the explorer hunts for: a reader captures a
+// node's address and then parks mid-transaction (a doomed reader in the §I
+// sense), a writer unlinks the node, commits, and retires it. The epoch
+// reclaimer must hold the extent in limbo — no collection pass may free it,
+// and no allocation may re-serve its address — for as long as the parked
+// reader remains on the incomplete-transaction tracker. The moment the
+// reader leaves, a drain frees the extent and the very next allocation
+// reuses it.
+func TestFaultParkedReaderBlocksReclaim(t *testing.T) {
+	t.Cleanup(failpoint.Reset)
+	// PVRStore: transactions sit on the central list (the reclaimer's
+	// epoch source), and the commit fence engages only when the
+	// reader-conflict scan finds an actual read of a written orec — so a
+	// writer touching words the parked reader never read commits without
+	// fencing, and the epoch check alone stands between the doomed reader
+	// and reuse.
+	s, err := New(Config{Algorithm: PVRStore, HeapWords: 1 << 12, OrecCount: 1 << 8,
+		Clock: faultClockFor(t, PVRStore)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nodeWords = 2
+	head := s.MustAlloc(1)
+	x := s.MustAlloc(1)
+	node := s.MustAlloc(nodeWords)
+	s.AtomicStore(node, 77)
+	s.AtomicStore(head, Word(node))
+
+	reader := s.MustNewThread()
+	writer := s.MustNewThread()
+
+	// The reader parks at a test-local failpoint right after loading the
+	// node's address — frozen with a begin timestamp older than any retire
+	// stamp the writer can produce.
+	st := failpoint.NewStall()
+	failpoint.Set("test/reader-parked", st.Hook())
+
+	var got Addr
+	var readerErr error
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		readerErr = reader.Atomic(func(tx *Tx) {
+			got = tx.LoadAddr(head)
+			failpoint.Eval("test/reader-parked")
+		})
+	}()
+	st.WaitArrival()
+
+	// The unlinking commit: it writes a link word the reader has not read
+	// (no conflict, no fence), ticks the clock past the reader's begin,
+	// and hands the node to the reclaimer.
+	if err := writer.Atomic(func(tx *Tx) { tx.Store(x, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	writer.Retire(node, nodeWords)
+	writer.FlushReclaim()
+
+	if freed := s.DrainReclaim(); freed != 0 {
+		t.Fatalf("drain freed %d extents with the doomed reader still parked, want 0", freed)
+	}
+	if rs := s.ReclaimStats(); rs.Limbo != 1 || rs.Freed != 0 {
+		t.Fatalf("reclaim stats %+v, want the node quarantined (Limbo=1 Freed=0)", rs)
+	}
+	if a := s.MustAlloc(nodeWords); a == node {
+		t.Fatalf("allocation re-served %d while the parked reader still holds its address", a)
+	}
+
+	st.Release()
+	select {
+	case <-readerDone:
+	case <-time.After(faultWait):
+		t.Fatal("reader never finished after release")
+	}
+	if readerErr != nil {
+		t.Fatal(readerErr)
+	}
+	if got != node {
+		t.Fatalf("reader captured %d, want the node address %d", got, node)
+	}
+
+	// The reader has left the tracker: the same drain now frees the node,
+	// and the next same-size allocation reuses it.
+	if freed := s.DrainReclaim(); freed != 1 {
+		t.Fatalf("drain freed %d after the reader left, want 1", freed)
+	}
+	if a := s.MustAlloc(nodeWords); a != node {
+		t.Fatalf("post-drain alloc = %d, want the recycled node %d", a, node)
+	}
+}
+
+// TestFaultRetireDuringRollback attacks the delayed-cleanup window of §I
+// from the reclaimer's side: a writer is forced to abort and then stalled
+// mid-undo-rollback — aborted, but still on the central list with its
+// begin timestamp published. An extent retired during that window carries a
+// younger stamp, so collection must keep it quarantined until the victim's
+// cleanup completes and its retry commits.
+func TestFaultRetireDuringRollback(t *testing.T) {
+	t.Cleanup(failpoint.Reset)
+	s, err := New(Config{Algorithm: PVRStore, HeapWords: 1 << 12, OrecCount: 1 << 8,
+		Clock: faultClockFor(t, PVRStore)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nodeWords = 2
+	n1 := s.MustAlloc(1)
+	n2 := s.MustAlloc(1)
+	x := s.MustAlloc(1)
+	node := s.MustAlloc(nodeWords)
+
+	victim := s.MustNewThread()
+	helper := s.MustNewThread()
+
+	// First store records its undo entry; the forced abort fires on the
+	// second store's post-acquire evaluation, so the rollback has a
+	// pre-image to restore and the mid-undo stall point is reached.
+	var evals atomic.Int64
+	failpoint.Set(failpoint.AcquiredBeforeWriteback, func(name string) {
+		if evals.Add(1) == 2 {
+			panic(failpoint.Abort{Point: name})
+		}
+	})
+	st := failpoint.NewStall()
+	failpoint.Set(failpoint.UndoMidRollback, st.Hook())
+
+	var victimErr error
+	victimDone := make(chan struct{})
+	go func() {
+		defer close(victimDone)
+		// Stores only: the helper's commit below must not fence on this
+		// transaction (PVRStore fences wait on readers, and there are none),
+		// so the reclaimer's epoch check is the only thing protecting the
+		// retired extent from the stalled victim.
+		victimErr = victim.Atomic(func(tx *Tx) {
+			tx.Store(n1, 51)
+			tx.Store(n2, 52)
+		})
+	}()
+	st.WaitArrival()
+
+	// The victim is frozen mid-rollback: orecs held, begin timestamp still
+	// published. Tick the clock past it and retire.
+	if err := helper.Atomic(func(tx *Tx) { tx.Store(x, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	helper.Retire(node, nodeWords)
+	helper.FlushReclaim()
+
+	if freed := s.DrainReclaim(); freed != 0 {
+		t.Fatalf("drain freed %d extents while the aborted victim's cleanup was pending, want 0", freed)
+	}
+	if rs := s.ReclaimStats(); rs.Limbo != 1 {
+		t.Fatalf("reclaim stats %+v, want Limbo=1", rs)
+	}
+	if a := s.MustAlloc(nodeWords); a == node {
+		t.Fatalf("allocation re-served %d during the victim's rollback window", a)
+	}
+
+	st.Release()
+	select {
+	case <-victimDone:
+	case <-time.After(faultWait):
+		t.Fatal("victim never finished after the rollback stall was released")
+	}
+	if victimErr != nil {
+		t.Fatal(victimErr)
+	}
+	// The retry (second attempt) committed.
+	if got := s.AtomicLoad(n1); got != 51 {
+		t.Errorf("n1 = %d, want 51", got)
+	}
+	if got := s.AtomicLoad(n2); got != 52 {
+		t.Errorf("n2 = %d, want 52", got)
+	}
+
+	if freed := s.DrainReclaim(); freed != 1 {
+		t.Fatalf("drain freed %d after the victim completed, want 1", freed)
+	}
+	if a := s.MustAlloc(nodeWords); a != node {
+		t.Fatalf("post-drain alloc = %d, want the recycled extent %d", a, node)
+	}
+}
+
+// TestFaultCollectDuringFence interleaves a collection pass with a writer
+// blocked in its privatization fence: the old reader the fence is draining
+// is the same incomplete transaction that pins the reclamation watermark,
+// so a retire+collect issued while the fence waits must leave the extent
+// quarantined. When the reader resumes, fence and epoch release together —
+// and the extent frees.
+func TestFaultCollectDuringFence(t *testing.T) {
+	t.Cleanup(failpoint.Reset)
+	s, err := New(Config{Algorithm: PVRStore, HeapWords: 1 << 12, OrecCount: 1 << 8,
+		Clock: faultClockFor(t, PVRStore)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nodeWords = 2
+	x := s.MustAlloc(1)
+	node := s.MustAlloc(nodeWords)
+
+	reader := s.MustNewThread()
+	writer := s.MustNewThread()
+	third := s.MustNewThread()
+
+	// Signals the writer's first poll inside the privatization fence.
+	fenceIn := make(chan struct{})
+	var fenceOnce sync.Once
+	failpoint.Set(failpoint.FencePrivWait, func(string) {
+		fenceOnce.Do(func() { close(fenceIn) })
+	})
+
+	readerIn := make(chan struct{})
+	resume := make(chan struct{})
+	var once sync.Once
+	var readerErr error
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		readerErr = reader.Atomic(func(tx *Tx) {
+			_ = tx.Load(x)
+			once.Do(func() {
+				close(readerIn)
+				<-resume
+			})
+		})
+	}()
+	<-readerIn
+
+	var writerErr error
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		writerErr = writer.Atomic(func(tx *Tx) { tx.Store(x, 1) })
+	}()
+	select {
+	case <-fenceIn:
+	case <-time.After(faultWait):
+		t.Fatal("writer never reached its privatization fence")
+	}
+
+	// The writer is past its commit point (clock ticked) and parked in the
+	// fence; the parked reader holds both the fence and the watermark.
+	third.Retire(node, nodeWords)
+	third.FlushReclaim()
+	if freed := s.DrainReclaim(); freed != 0 {
+		t.Fatalf("drain freed %d extents while the fence was still draining the reader, want 0", freed)
+	}
+	rs := s.ReclaimStats()
+	if rs.Limbo != 1 {
+		t.Fatalf("reclaim stats %+v, want Limbo=1", rs)
+	}
+	if rs.Collects == 0 {
+		t.Fatal("no collection pass ran during the fence window")
+	}
+	select {
+	case <-writerDone:
+		t.Fatal("writer passed the privatization fence while the reader was parked")
+	default:
+	}
+
+	close(resume)
+	for _, ch := range []chan struct{}{readerDone, writerDone} {
+		select {
+		case <-ch:
+		case <-time.After(faultWait):
+			t.Fatal("worker did not finish after the reader resumed")
+		}
+	}
+	if readerErr != nil || writerErr != nil {
+		t.Fatalf("reader err %v, writer err %v", readerErr, writerErr)
+	}
+	if freed := s.DrainReclaim(); freed != 1 {
+		t.Fatalf("drain freed %d after fence and reader completed, want 1", freed)
+	}
+	if a := s.MustAlloc(nodeWords); a != node {
+		t.Fatalf("post-drain alloc = %d, want the recycled extent %d", a, node)
+	}
+}
+
+// TestSandboxDisabledAllocates0 pins the Config.DisableSandboxChecks
+// bargain (referenced from core.Thread.ValidateBeforeUse): with checks off,
+// a transaction crossing both sandbox checkpoints — LoadPriv's
+// validate+bounds check and Div's zero-divisor gate — allocates nothing and
+// records no validations; with checks on, the same body is counted.
+func TestSandboxDisabledAllocates0(t *testing.T) {
+	build := func(disable bool) (*STM, *Thread, func(*Tx)) {
+		s, err := New(Config{Algorithm: PVRStore, HeapWords: 1 << 12, OrecCount: 1 << 8,
+			DisableSandboxChecks: disable, Clock: faultClockFor(t, PVRStore)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptr := s.MustAlloc(1)
+		data := s.MustAlloc(1)
+		s.AtomicStore(data, 21)
+		s.AtomicStore(ptr, Word(data))
+		th := s.MustNewThread()
+		body := func(tx *Tx) {
+			d := tx.LoadAddr(ptr)
+			if v := tx.Div(tx.LoadPriv(d), 3); v != 7 {
+				t.Errorf("sandboxed compute = %d, want 7", v)
+			}
+		}
+		return s, th, body
+	}
+
+	s, th, body := build(true)
+	if err := th.Atomic(body); err != nil { // warm up logs
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := th.Atomic(body); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("disabled-sandbox transaction allocates %.1f per txn, want 0", n)
+	}
+	if got := s.Stats().SandboxValidations; got != 0 {
+		t.Errorf("SandboxValidations = %d with checks disabled, want 0", got)
+	}
+
+	// Control: the same body under an enabled sandbox counts its LoadPriv
+	// checkpoint, proving the counter (and the checks) are actually wired.
+	s2, th2, body2 := build(false)
+	if err := th2.Atomic(body2); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Stats().SandboxValidations; got == 0 {
+		t.Error("SandboxValidations stayed 0 with checks enabled")
+	}
+}

@@ -125,10 +125,11 @@ func TestFixturesTripTheLinter(t *testing.T) {
 
 // TestRepoIsClean runs the full six-analyzer suite over the real module —
 // the same invocations `make lint` uses — and requires zero findings on
-// both halves of the build-tag matrix, so a regression in the runtime's
-// access or wait discipline fails `go test ./...` too.
+// every cell of the build-tag matrix (default, the watermark-race revert,
+// and the reclaim-race epoch bypass), so a regression in the runtime's
+// access, wait, or reclamation discipline fails `go test ./...` too.
 func TestRepoIsClean(t *testing.T) {
-	for _, tags := range [][]string{nil, {"privstm_watermark_race"}} {
+	for _, tags := range [][]string{nil, {"privstm_watermark_race"}, {"privstm_reclaim_race"}} {
 		prog, err := LoadTags(filepath.Join("..", ".."), tags, "./...")
 		if err != nil {
 			t.Fatal(err)

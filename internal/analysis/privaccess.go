@@ -23,6 +23,15 @@
 //     transaction privatizes nothing, so direct access to what it
 //     observed races with concurrent writers.
 //
+//  3. Retire flow (intraprocedural, position-ordered): an address handed
+//     to a Retire method belongs to the epoch-based reclaimer
+//     (internal/reclaim, CORRECTNESS.md §14) — once its epoch passes the
+//     extent may be poisoned or reused by another thread — so a later
+//     uninstrumented access through that address is a use-after-free in
+//     waiting. Privatization made the access legal (rule 2's idiom);
+//     retirement ends the license. Reassigning the variable kills the
+//     taint: it names a different extent from then on.
+//
 // Soundness limits (path-insensitive, type-based; CORRECTNESS.md §12):
 // the "privatizing write" test is syntactic presence of a tx.Store in the
 // same body — the analyzer does not prove the write actually detaches the
@@ -45,7 +54,7 @@ import (
 func PrivAccess() *Analyzer {
 	return &Analyzer{
 		Name: "privaccess",
-		Doc:  "uninstrumented Direct* access must stay outside transactions, and transactionally-loaded addresses may be accessed directly only after a privatizing write",
+		Doc:  "uninstrumented Direct* access must stay outside transactions, transactionally-loaded addresses may be accessed directly only after a privatizing write, and never after being retired to the reclaimer",
 		Run:  runPrivAccess,
 	}
 }
@@ -62,6 +71,30 @@ func (p *Program) isDirectAccessor(fn *types.Func) bool {
 	}
 	sig, ok := fn.Type().(*types.Signature)
 	return ok && sig.Recv() != nil
+}
+
+// isRetireMethod reports whether fn is a reclamation entry point: a module
+// method named Retire (stm.Thread, core.Thread, reclaim.Local and
+// reclaim.Reclaimer — and any fixture or future stand-in following the
+// naming contract). Which argument carries the extent is decided by type,
+// not position: Reclaimer.Retire takes a shard index first.
+func (p *Program) isRetireMethod(fn *types.Func) bool {
+	if fn == nil || !p.declaredInModule(fn) || fn.Name() != "Retire" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// isAddrType reports whether t names the transactional-address type (a
+// module named type called Addr, through aliases — stm.Addr = heap.Addr —
+// and one pointer).
+func isAddrType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n := namedOf(types.Unalias(t))
+	return n != nil && n.Obj().Name() == "Addr"
 }
 
 // isTxMethod reports whether fn is a method of a transaction handle (a
@@ -98,6 +131,7 @@ func runPrivAccess(p *Program) []Diagnostic {
 					continue
 				}
 				diags = append(diags, p.checkDeclPrivAccess(pkg, fd, mayDirect)...)
+				diags = append(diags, p.checkRetireFlow(pkg, fd, mayDirect)...)
 			}
 		}
 	}
@@ -249,6 +283,96 @@ func (p *Program) checkBodyReachesDirect(pkg *Package, body ast.Node, mayDirect 
 		return true
 	})
 	return diags
+}
+
+// checkRetireFlow is rule 3: a position-ordered scan of one declaration
+// flagging uninstrumented access through an address that was already handed
+// to a Retire method. A Retire call taints its Addr-typed identifier
+// arguments; a later Direct* call (or a wrapper reaching one) whose
+// arguments mention a tainted identifier — including derived expressions
+// like n+8 — is flagged; reassigning the variable kills the taint. Function
+// literals are skipped on both sides: they run at times source order cannot
+// witness (atomic bodies are rule 1's business).
+func (p *Program) checkRetireFlow(pkg *Package, fd *ast.FuncDecl, mayDirect map[*types.Func]Edge) []Diagnostic {
+	info := pkg.Info
+	retired := make(map[types.Object]token.Pos)
+	var diags []Diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			// The variable names a different extent from here on.
+			for _, l := range n.Lhs {
+				if id, ok := unparen(l).(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil {
+						delete(retired, obj)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			fn := CalleeOf(info, n)
+			if fn == nil {
+				return true
+			}
+			_, wraps := mayDirect[fn]
+			switch {
+			case p.isDirectAccessor(fn) || wraps:
+				for _, arg := range n.Args {
+					obj, rp := retiredIdentIn(info, arg, retired)
+					if obj == nil {
+						continue
+					}
+					what := funcDisplayName(fn)
+					if wraps {
+						what = what + " (which reaches a Direct* access)"
+					}
+					diags = append(diags, Diagnostic{
+						Pos:  p.Fset.Position(n.Pos()),
+						Rule: "privaccess",
+						Message: fmt.Sprintf(
+							"%s receives %q, an address retired to the reclaimer at %s; once its epoch passes the extent may be poisoned or reused by another thread, so uninstrumented access after Retire is a use-after-free",
+							what, obj.Name(), p.relTo(rp)),
+					})
+					break
+				}
+			case p.isRetireMethod(fn):
+				for _, arg := range n.Args {
+					id, ok := unparen(arg).(*ast.Ident)
+					if !ok || !isAddrType(info.TypeOf(arg)) {
+						continue
+					}
+					obj := info.Uses[id]
+					if v, ok := obj.(*types.Var); ok && !v.IsField() {
+						retired[obj] = n.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// retiredIdentIn returns the first identifier inside expr bound to a
+// retired object, with its retire position.
+func retiredIdentIn(info *types.Info, expr ast.Expr, retired map[types.Object]token.Pos) (types.Object, token.Pos) {
+	var obj types.Object
+	var pos token.Pos
+	ast.Inspect(expr, func(m ast.Node) bool {
+		if obj != nil {
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok {
+			if o := info.Uses[id]; o != nil {
+				if rp, ok := retired[o]; ok {
+					obj, pos = o, rp
+				}
+			}
+		}
+		return true
+	})
+	return obj, pos
 }
 
 // collectTxEscapes runs the taint flow inside one atomic literal and

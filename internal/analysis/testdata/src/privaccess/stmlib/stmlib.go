@@ -45,3 +45,7 @@ func (t *Thread) Atomic(body func(tx *Tx)) error {
 	body(&Tx{s: t.s})
 	return nil
 }
+
+// Retire is the stand-in for stm.Thread.Retire: it hands the n-word extent
+// at a to the epoch-based reclaimer for eventual poisoning and reuse.
+func (t *Thread) Retire(a Addr, n int) { delete(t.s.mem, a) }

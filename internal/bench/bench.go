@@ -9,11 +9,14 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	stm "privstm"
+	"privstm/internal/heap"
 	"privstm/internal/rng"
 	"privstm/internal/stats"
 )
@@ -69,30 +72,72 @@ type Spec struct {
 	Build func(s *stm.STM, r *rng.RNG) (Instance, error)
 }
 
-// OpCtx is per-worker state: the STM thread, a private RNG, and a private
-// node free pool (nodes are recycled only after the freeing transaction has
-// committed, mirroring what a malloc-based C implementation does).
+// FreePolicy selects how workloads hand unlinked nodes back to the
+// allocator.
+type FreePolicy int
+
+const (
+	// FreeReclaim (the default) retires nodes through the epoch-based
+	// reclaimer: the extent waits in limbo until no incomplete transaction
+	// began before the unlinking commit, then lands on the heap free list
+	// for AllocNode to recycle. This is the safe policy — a doomed reader
+	// still holding the node's address can never observe reuse.
+	FreeReclaim FreePolicy = iota
+	// FreePool is the pre-reclamation per-thread free pool: nodes recycle
+	// immediately within the freeing thread, with no epoch quarantine. It
+	// is kept as the A-side of overhead measurements; it was tolerable only
+	// because pool reuse re-initializes nodes transactionally, which the
+	// doomed reader's validation catches (CORRECTNESS.md §14 discusses why
+	// that residual argument is weaker than the epoch one).
+	FreePool
+	// FreeLeak never recycles: every allocation is fresh bump space. This
+	// reproduces the pre-reclamation behavior of workloads that could not
+	// safely pool (and is how the soak cell used to exhaust the heap).
+	FreeLeak
+)
+
+// OpCtx is per-worker state: the STM thread, a private RNG, and the
+// node-recycling policy (FreeReclaim by default; see FreePolicy).
 type OpCtx struct {
-	Th   *stm.Thread
-	RNG  *rng.RNG
-	S    *stm.STM
-	free []stm.Addr
+	Th     *stm.Thread
+	RNG    *rng.RNG
+	S      *stm.STM
+	Policy FreePolicy
+	free   []stm.Addr // FreePool only
 }
 
-// AllocNode returns a node of nodeWords words: a previously freed node if
-// available, else fresh heap space.
+// AllocNode returns a node of nodeWords words. Under FreePool it pops the
+// thread's private pool; under FreeReclaim it prefers extents recycled
+// through the epoch (Thread.MustAlloc); FreeLeak always takes fresh bump
+// space. In every policy the node may hold stale words — the workloads
+// initialize every field before publishing, as a malloc-based C
+// implementation would.
 func (c *OpCtx) AllocNode(nodeWords int) stm.Addr {
-	if n := len(c.free); n > 0 {
-		a := c.free[n-1]
-		c.free = c.free[:n-1]
-		return a
+	switch c.Policy {
+	case FreePool:
+		if n := len(c.free); n > 0 {
+			a := c.free[n-1]
+			c.free = c.free[:n-1]
+			return a
+		}
+	case FreeReclaim:
+		return c.Th.MustAlloc(nodeWords)
 	}
 	return c.S.MustAlloc(nodeWords)
 }
 
-// FreeNode recycles a node. Call only after the transaction that unlinked
-// it has committed.
-func (c *OpCtx) FreeNode(a stm.Addr) { c.free = append(c.free, a) }
+// FreeNode recycles the nodeWords-word node at a. Call only after the
+// transaction that unlinked it has committed — under FreeReclaim the
+// retire stamp is that commit's timestamp.
+func (c *OpCtx) FreeNode(a stm.Addr, nodeWords int) {
+	switch c.Policy {
+	case FreeReclaim:
+		c.Th.Retire(a, nodeWords)
+	case FreePool:
+		c.free = append(c.free, a)
+	case FreeLeak:
+	}
+}
 
 // RunConfig drives one throughput measurement.
 type RunConfig struct {
@@ -122,6 +167,11 @@ type RunConfig struct {
 	Clock stm.ClockMode
 	// OrderBatch enables the Ord flat-combining commit batcher (0 = off).
 	OrderBatch int
+	// Free selects the node-recycling policy (default FreeReclaim).
+	Free FreePolicy
+	// DisableSandbox turns off validate-before-dangerous-use checkpoints
+	// (ablations).
+	DisableSandbox bool
 }
 
 // Measurement is the outcome of one (workload, algorithm, threads, mix)
@@ -152,7 +202,13 @@ type Measurement struct {
 	// vs its paired baseline) when the cell was measured by RunPaired;
 	// WriteJSON reports their median.
 	PairDeltas []float64
-	Stats      stats.Counters
+	// ReclaimCollects counts epoch-collection passes (amortized + drain).
+	ReclaimCollects uint64
+	// Exhausted reports that a worker ran the heap out of address space
+	// before finishing its operation quota (FreeLeak soak cells; Ops counts
+	// the operations completed before exhaustion).
+	Exhausted bool
+	Stats     stats.Counters
 }
 
 // Run builds the workload and drives it with rc.Threads workers.
@@ -176,6 +232,7 @@ func Run(spec Spec, rc RunConfig) (*Measurement, error) {
 		DisableHintCache:         rc.DisableHintCache,
 		Clock:                    rc.Clock,
 		OrderBatch:               rc.OrderBatch,
+		DisableSandboxChecks:     rc.DisableSandbox,
 	})
 	if err != nil {
 		return nil, err
@@ -191,16 +248,37 @@ func Run(spec Spec, rc RunConfig) (*Measurement, error) {
 		if err != nil {
 			return nil, err
 		}
-		ctxs[i] = &OpCtx{Th: th, RNG: rng.New(rc.Seed + uint64(i)*1e9), S: s}
+		ctxs[i] = &OpCtx{Th: th, RNG: rng.New(rc.Seed + uint64(i)*1e9), S: s, Policy: rc.Free}
 	}
 
 	var wg sync.WaitGroup
+	var exhausted atomic.Bool
 	deadline := time.Now().Add(rc.Duration)
 	start := time.Now()
 	for _, ctx := range ctxs {
 		wg.Add(1)
 		go func(ctx *OpCtx) {
 			defer wg.Done()
+			// Publish this worker's buffered retires/prefetched extents so
+			// the post-run drain and stats see them (runs even on the
+			// exhaustion path below).
+			defer ctx.Th.FlushReclaim()
+			// Heap exhaustion surfaces as a MustAlloc panic from AllocNode,
+			// which every workload calls outside its transaction — so
+			// recovering here never strands a transaction mid-flight. It is
+			// an expected outcome for FreeLeak soak cells; anything else
+			// still propagates.
+			defer func() {
+				r := recover()
+				if r == nil {
+					return
+				}
+				if err, ok := r.(error); ok && errors.Is(err, heap.ErrOutOfMemory) {
+					exhausted.Store(true)
+					return
+				}
+				panic(r)
+			}()
 			if rc.TxnsPerThread > 0 {
 				for i := 0; i < rc.TxnsPerThread; i++ {
 					inst.Op(ctx, rc.Mix)
@@ -221,16 +299,19 @@ func Run(spec Spec, rc RunConfig) (*Measurement, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	s.DrainReclaim()
 
 	m := &Measurement{
-		Workload:   spec.Name,
-		Algorithm:  rc.Algorithm.String(),
-		Threads:    rc.Threads,
-		Mix:        rc.Mix,
-		Elapsed:    elapsed,
-		Layout:     rc.OrecLayout.String(),
-		Clock:      rc.Clock.String(),
-		OrderBatch: rc.OrderBatch,
+		Workload:        spec.Name,
+		Algorithm:       rc.Algorithm.String(),
+		Threads:         rc.Threads,
+		Mix:             rc.Mix,
+		Elapsed:         elapsed,
+		Layout:          rc.OrecLayout.String(),
+		Clock:           rc.Clock.String(),
+		OrderBatch:      rc.OrderBatch,
+		ReclaimCollects: s.ReclaimStats().Collects,
+		Exhausted:       exhausted.Load(),
 	}
 	for _, ctx := range ctxs {
 		m.Stats.Add(ctx.Th.Stats())

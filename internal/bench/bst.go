@@ -101,7 +101,7 @@ func (t *bst) Op(ctx *OpCtx, mix Mix) {
 			}
 		})
 		if !inserted {
-			ctx.FreeNode(n)
+			ctx.FreeNode(n, bstNodeWords)
 		}
 	case p < mix.InsertPct+mix.DeletePct:
 		removed := stm.Nil
@@ -152,7 +152,7 @@ func (t *bst) Op(ctx *OpCtx, mix Mix) {
 			removed = succ
 		})
 		if removed != stm.Nil {
-			ctx.FreeNode(removed)
+			ctx.FreeNode(removed, bstNodeWords)
 		}
 	default:
 		var found bool

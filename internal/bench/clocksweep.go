@@ -96,6 +96,7 @@ func RunClockSweep(w io.Writer, hc HarnessConfig, variants []ClockVariant, pairs
 				Tracker: hc.Tracker, DisableExtension: hc.DisableExtension,
 				CM: hc.CM, MaxAttempts: hc.MaxAttempts,
 				OrecLayout: hc.OrecLayout, DisableHintCache: hc.DisableHintCache,
+				Free: hc.Free, DisableSandbox: hc.DisableSandbox,
 			}
 			rcCand := rcBase
 			if !aa {

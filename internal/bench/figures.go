@@ -121,6 +121,12 @@ type HarnessConfig struct {
 	Clock stm.ClockMode
 	// OrderBatch enables the Ord flat-combining commit batcher (0 = off).
 	OrderBatch int
+	// Free selects the node-recycling policy for every cell (default
+	// FreeReclaim).
+	Free FreePolicy
+	// DisableSandbox turns off validate-before-dangerous-use checkpoints
+	// for every cell (ablation).
+	DisableSandbox bool
 }
 
 func (hc *HarnessConfig) fill() {
@@ -158,6 +164,8 @@ func runCell(spec Spec, rc RunConfig, reps int) (*Measurement, error) {
 		agg.Ops += m.Ops
 		agg.Elapsed += m.Elapsed
 		agg.Stats.Add(&m.Stats)
+		agg.ReclaimCollects += m.ReclaimCollects
+		agg.Exhausted = agg.Exhausted || m.Exhausted
 		agg.RepThroughputs = append(agg.RepThroughputs, m.Throughput)
 	}
 	if agg.Elapsed > 0 {
@@ -210,6 +218,7 @@ func runThroughput(w io.Writer, fig Figure, hc HarnessConfig) ([]*Measurement, e
 				CM: hc.CM, MaxAttempts: hc.MaxAttempts,
 				OrecLayout: hc.OrecLayout, DisableHintCache: hc.DisableHintCache,
 				Clock: hc.Clock, OrderBatch: hc.OrderBatch,
+				Free: hc.Free, DisableSandbox: hc.DisableSandbox,
 			}, hc.Reps)
 			if err != nil {
 				return nil, err
@@ -247,6 +256,7 @@ func runFenceStats(w io.Writer, fig Figure, hc HarnessConfig) ([]*Measurement, e
 					CM: hc.CM, MaxAttempts: hc.MaxAttempts,
 					OrecLayout: hc.OrecLayout, DisableHintCache: hc.DisableHintCache,
 					Clock: hc.Clock, OrderBatch: hc.OrderBatch,
+					Free: hc.Free, DisableSandbox: hc.DisableSandbox,
 				}, hc.Reps)
 				if err != nil {
 					return nil, err
@@ -306,6 +316,7 @@ func runOverhead(w io.Writer, hc HarnessConfig) ([]*Measurement, error) {
 				CM: hc.CM, MaxAttempts: hc.MaxAttempts,
 				OrecLayout: hc.OrecLayout, DisableHintCache: hc.DisableHintCache,
 				Clock: hc.Clock, OrderBatch: hc.OrderBatch,
+				Free: hc.Free, DisableSandbox: hc.DisableSandbox,
 			}, hc.Reps)
 			if err != nil {
 				return nil, err

@@ -93,7 +93,7 @@ func (h *hashtable) Op(ctx *OpCtx, mix Mix) {
 			inserted = true
 		})
 		if !inserted {
-			ctx.FreeNode(n)
+			ctx.FreeNode(n, htNodeWords)
 		}
 	case p < mix.InsertPct+mix.DeletePct:
 		removed := stm.Nil
@@ -113,7 +113,7 @@ func (h *hashtable) Op(ctx *OpCtx, mix Mix) {
 			}
 		})
 		if removed != stm.Nil {
-			ctx.FreeNode(removed)
+			ctx.FreeNode(removed, htNodeWords)
 		}
 	default:
 		var found bool

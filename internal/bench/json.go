@@ -51,6 +51,14 @@ type jsonMeasurement struct {
 	ClockTicks    uint64 `json:"clock_ticks,omitempty"`
 	ClockAdvances uint64 `json:"clock_advances,omitempty"`
 	Combined      uint64 `json:"combined,omitempty"`
+	// ReclaimCollects counts epoch-collection passes; 0 when the cell ran
+	// without the reclaimer (FreePool/FreeLeak, or older baseline files).
+	ReclaimCollects uint64 `json:"reclaim_collects,omitempty"`
+	// SandboxValidations counts validate-before-dangerous-use checkpoints.
+	SandboxValidations uint64 `json:"sandbox_validations,omitempty"`
+	// Exhausted marks a cell that ran the heap out of address space before
+	// completing its quota (leak-policy soak cells).
+	Exhausted bool `json:"exhausted,omitempty"`
 }
 
 // jsonMicro is the on-disk form of one read-path microbenchmark result.
@@ -124,29 +132,32 @@ func WriteJSONReport(w io.Writer, label string, ms []*Measurement, micro []Micro
 			clk = "" // default scheme: keep old files byte-comparable
 		}
 		jm := jsonMeasurement{
-			Fig:           m.Fig,
-			Workload:      m.Workload,
-			Algorithm:     m.Algorithm,
-			Threads:       m.Threads,
-			Mix:           m.Mix.String(),
-			OrecLayout:    m.Layout,
-			Clock:         clk,
-			OrderBatch:    m.OrderBatch,
-			Ops:           m.Ops,
-			Seconds:       m.Elapsed.Seconds(),
-			Throughput:    m.Throughput,
-			Stddev:        stddev(m.RepThroughputs),
-			Runs:          len(m.RepThroughputs),
-			Aborts:        m.Stats.Aborts,
-			Commits:       m.Stats.Commits,
-			Fenced:        m.Stats.Fenced,
-			Validation:    m.Stats.Validations,
-			Extensions:    m.Stats.Extensions,
-			Serialized:    m.Stats.Serialized,
-			Stalls:        m.Stats.FenceStalls,
-			ClockTicks:    m.Stats.ClockTicks,
-			ClockAdvances: m.Stats.ClockAdvances,
-			Combined:      m.Stats.Combined,
+			Fig:                m.Fig,
+			Workload:           m.Workload,
+			Algorithm:          m.Algorithm,
+			Threads:            m.Threads,
+			Mix:                m.Mix.String(),
+			OrecLayout:         m.Layout,
+			Clock:              clk,
+			OrderBatch:         m.OrderBatch,
+			Ops:                m.Ops,
+			Seconds:            m.Elapsed.Seconds(),
+			Throughput:         m.Throughput,
+			Stddev:             stddev(m.RepThroughputs),
+			Runs:               len(m.RepThroughputs),
+			Aborts:             m.Stats.Aborts,
+			Commits:            m.Stats.Commits,
+			Fenced:             m.Stats.Fenced,
+			Validation:         m.Stats.Validations,
+			Extensions:         m.Stats.Extensions,
+			Serialized:         m.Stats.Serialized,
+			Stalls:             m.Stats.FenceStalls,
+			ClockTicks:         m.Stats.ClockTicks,
+			ClockAdvances:      m.Stats.ClockAdvances,
+			Combined:           m.Stats.Combined,
+			ReclaimCollects:    m.ReclaimCollects,
+			SandboxValidations: m.Stats.SandboxValidations,
+			Exhausted:          m.Exhausted,
 		}
 		if len(m.PairDeltas) > 0 {
 			jm.PairedMedianPct = Median(m.PairDeltas)

@@ -91,7 +91,7 @@ func (m *multilist) Op(ctx *OpCtx, mix Mix) {
 			inserted = true
 		})
 		if !inserted {
-			ctx.FreeNode(n)
+			ctx.FreeNode(n, htNodeWords)
 		}
 	case p < mix.InsertPct+mix.DeletePct:
 		removed := stm.Nil
@@ -111,7 +111,7 @@ func (m *multilist) Op(ctx *OpCtx, mix Mix) {
 			}
 		})
 		if removed != stm.Nil {
-			ctx.FreeNode(removed)
+			ctx.FreeNode(removed, htNodeWords)
 		}
 	default:
 		var found bool

@@ -46,6 +46,8 @@ func mergeInto(agg, m *Measurement) *Measurement {
 	agg.Ops += m.Ops
 	agg.Elapsed += m.Elapsed
 	agg.Stats.Add(&m.Stats)
+	agg.ReclaimCollects += m.ReclaimCollects
+	agg.Exhausted = agg.Exhausted || m.Exhausted
 	agg.RepThroughputs = append(agg.RepThroughputs, m.Throughput)
 	if agg.Elapsed > 0 {
 		agg.Throughput = float64(agg.Ops) / agg.Elapsed.Seconds()

@@ -28,30 +28,37 @@ func ParseClockMode(s string) (ClockMode, error) { return clock.ParseMode(s) }
 // reached V, so a reader whose snapshot covers V either sees the ownership
 // (and defers) or sees the fully committed state — extension-based
 // validation cannot admit a torn prefix (CORRECTNESS.md §13).
+//
+// CommitTS also records the result in Thread.LastCommitTS, the anchor for
+// reclamation stamps (RetireStamp): under the deferred modes the clock can
+// lag the commit timestamp, and a retire stamped below the unlinking
+// commit would let the epoch check release the extent early.
 func (t *Thread) CommitTS() uint64 {
 	rt := t.RT
+	var wts uint64
 	switch rt.ClockMode {
 	case clock.GV5:
 		// Deferred: no shared RMW at all. Duplicate timestamps across
 		// threads are possible and fine; SkipCommitValidation is disabled
 		// in this mode, and readers propagate observed future timestamps
 		// themselves (NoteFutureWTS).
-		return rt.Clock.Now() + 1
+		wts = rt.Clock.Now() + 1
 	case clock.Local:
 		// Thread-local merge: strictly above every global time this thread
 		// has observed and every timestamp it has issued, with no shared
 		// write on the commit path.
-		wts := rt.Clock.Now()
+		wts = rt.Clock.Now()
 		if l := t.Clk.Now(); l > wts {
 			wts = l
 		}
 		wts++
 		t.Clk.AdvanceTo(wts)
-		return wts
 	default:
 		t.Stats.ClockTicks++
-		return rt.Clock.Tick()
+		wts = rt.Clock.Tick()
 	}
+	t.LastCommitTS = wts
+	return wts
 }
 
 // NoteFutureWTS propagates an observed future write timestamp into the

@@ -17,6 +17,7 @@ import (
 	"privstm/internal/clock"
 	"privstm/internal/heap"
 	"privstm/internal/orec"
+	"privstm/internal/reclaim"
 	"privstm/internal/ticket"
 	"privstm/internal/txnlist"
 )
@@ -93,6 +94,19 @@ type Options struct {
 	// every MakeVisible re-run the full §II-E protocol (ablations and the
 	// cache-equivalence property test).
 	DisableHintCache bool
+	// DisableSandboxChecks turns off the validate-before-dangerous-use
+	// sandbox checkpoints (Thread.ValidateBeforeUse): doomed transactions
+	// then rely solely on commit-time validation and Run's panic sandbox,
+	// the pre-reclamation behaviour. Kept for ablations; unsafe to combine
+	// with uninstrumented access to txn-read pointers.
+	DisableSandboxChecks bool
+	// ReclaimPoison makes the epoch-based reclaimer overwrite quarantined
+	// words with the reclaim.Poison sentinel (debug mode: use-after-reclaim
+	// fails loudly and the explorer's poisoned-memory oracle can see it).
+	ReclaimPoison bool
+	// ReclaimCollectEvery is the reclaimer's amortization period in retires
+	// per thread (0 ⇒ reclaim.DefaultCollectEvery).
+	ReclaimCollectEvery int
 
 	// CM selects the contention-management policy applied between retry
 	// attempts (default CMBackoff).
@@ -157,11 +171,18 @@ type Runtime struct {
 	// Options.OrderBatch > 0.
 	Combine *ticket.Combiner
 
+	// Reclaim is the epoch-based safe-reclamation subsystem: extents
+	// retired through Thread.Retire are quarantined until the oldest-begin
+	// watermark proves no incomplete transaction began before the retiring
+	// commit, then returned to Heap's free list (CORRECTNESS.md §14).
+	Reclaim *reclaim.Reclaimer
+
 	MaxGrace         uint64
 	HybridThreshold  int
 	CapFenceAtCommit bool
 	NoExtension      bool // snapshot extension disabled (ablation)
 	NoHintCache      bool // thread-local hint cache disabled (ablation)
+	NoSandboxChecks  bool // validate-before-use sandbox disabled (ablation)
 	GraceStrategy    GraceStrategy
 
 	CMKind         CMPolicy
@@ -198,6 +219,7 @@ func NewRuntime(opts Options) (*Runtime, error) {
 		CapFenceAtCommit: opts.CapFenceAtCommit,
 		NoExtension:      opts.DisableExtension,
 		NoHintCache:      opts.DisableHintCache,
+		NoSandboxChecks:  opts.DisableSandboxChecks,
 		GraceStrategy:    opts.GraceStrategy,
 		CMKind:           opts.CM,
 		MaxAttempts:      opts.MaxAttempts,
@@ -216,6 +238,15 @@ func NewRuntime(opts Options) (*Runtime, error) {
 	// Every tracker kind carries the schedule explorer's yield points
 	// (tracker.go); disabled cost is a nil-check per Enter/EnterAt/Leave.
 	rt.Active = yieldTracker{inner: rt.Active}
+	// The reclaimer's epoch source is the tracker's oldest-begin watermark;
+	// bind it through a closure so tests that swap trackers keep working.
+	rt.Reclaim = reclaim.New(rt.Heap,
+		func() (uint64, bool) { return rt.Active.OldestBegin() },
+		reclaim.Config{
+			Threads:      opts.MaxThreads,
+			CollectEvery: opts.ReclaimCollectEvery,
+			Poison:       opts.ReclaimPoison,
+		})
 	if opts.OrderBatch > 0 {
 		rt.Combine = ticket.NewCombiner(opts.MaxThreads, opts.OrderBatch)
 	}
@@ -235,7 +266,7 @@ func (rt *Runtime) NewThread() (*Thread, error) {
 		rt.nthread.Add(-1)
 		return nil, fmt.Errorf("core: thread limit %d reached", len(rt.threads))
 	}
-	t := &Thread{RT: rt, ID: uint64(id)}
+	t := &Thread{RT: rt, ID: uint64(id), Rl: rt.Reclaim.Local(int(id))}
 	t.cm = rt.newCM()
 	rt.threads[id].Store(t)
 	return t, nil

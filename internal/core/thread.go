@@ -1,12 +1,14 @@
 package core
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"privstm/internal/clock"
 	"privstm/internal/heap"
 	"privstm/internal/logs"
 	"privstm/internal/orec"
+	"privstm/internal/reclaim"
 	"privstm/internal/stats"
 	"privstm/internal/txnlist"
 )
@@ -17,6 +19,12 @@ import (
 type Thread struct {
 	RT *Runtime
 	ID uint64
+
+	// Rl is this thread's owner-only reclamation front (cached from
+	// RT.Reclaim at registration): Retire/AllocReused run once per node in
+	// allocation-heavy workloads, so their fast paths must be direct
+	// inlinable calls.
+	Rl *reclaim.Local
 
 	// Node is this thread's statically allocated entry in the central
 	// transaction list (§II-C).
@@ -66,6 +74,13 @@ type Thread struct {
 	// Attempts counts consecutive aborts of the current Run, for
 	// contention-management backoff.
 	Attempts int
+	// LastCommitTS is the write timestamp of this thread's most recent
+	// writer commit (recorded by CommitTS). Under the deferred clock modes
+	// a commit does not advance the global clock, so Clock.Now() sampled
+	// after the commit can lag the commit timestamp; RetireStamp takes the
+	// max of the two so retire stamps never undershoot the unlinking
+	// commit (CORRECTNESS.md §14).
+	LastCommitTS uint64
 	// VisPub logs the (orec, rts) hints this transaction published; the
 	// writer-side self-test (ReaderConflictScan) only treats a hint as the
 	// writer's own if it appears here. Open-addressed and epoch-reset
@@ -218,6 +233,90 @@ func (t *Thread) ValidateReads() bool {
 	return true
 }
 
+// ValidateBeforeUse is the sandbox checkpoint of the Machens
+// validate-before-dangerous-operation discipline (PAPERS.md, "Sandboxing
+// for Software Transactional Memory with Deferred Updates"): call it
+// immediately before an operation whose *inputs* derive from
+// transactionally-read data and whose failure mode is worse than a wrong
+// value — a division whose divisor could be a torn zero, an indirect load
+// through a txn-read pointer that could now be reclaimed or poisoned. A
+// doomed transaction fails the validation and aborts (retries) here,
+// before the dangerous operation executes; a consistent transaction pays
+// one O(R) read-set pass and proceeds.
+//
+// The full ValidateReads pass is required — a cheap commit-signal "has any
+// writer committed?" test is NOT a sound substitute for the in-place
+// (undo-log) engines, whose rivals invalidate a read set by acquiring
+// orecs and writing in place without moving the clock or the ordering
+// counters. The disabled path (Runtime.NoSandboxChecks, the
+// Config.DisableSandboxChecks ablation) is one field load and performs no
+// allocation (pinned by TestSandboxDisabledAllocates0).
+func (t *Thread) ValidateBeforeUse() {
+	if t.RT.NoSandboxChecks {
+		return
+	}
+	t.Stats.SandboxValidations++
+	if !t.ValidateReads() {
+		t.ConflictAbort()
+	}
+}
+
+// CheckAddr sandbox-checks a heap address that is about to be
+// dereferenced. In-range addresses pass with one comparison. An
+// out-of-range address means the value it was computed from was torn: the
+// transaction validates, so a doomed attempt aborts and retries before any
+// wild access, while a consistent transaction — whose address really is
+// garbage, an application bug — propagates a descriptive panic (core.Run's
+// sandbox re-validates and lets it through).
+func (t *Thread) CheckAddr(a heap.Addr) {
+	if t.RT.Heap.Contains(a) {
+		return
+	}
+	t.ValidateBeforeUse()
+	panic(fmt.Sprintf("stm: wild heap address %d (heap cap %d words) in a consistent transaction", a, t.RT.Heap.Size()))
+}
+
+// RetireStamp returns the timestamp to stamp a retired extent with: no
+// lower than this thread's latest commit. The unlink that freed the extent
+// committed at LastCommitTS; any transaction beginning at or after the
+// stamp therefore observes the unlink, which is exactly what the
+// reclaimer's epoch check needs (internal/reclaim, CORRECTNESS.md §14).
+// Clock.Now() alone would be unsound under the deferred clock modes, where
+// the clock can lag the commit timestamp.
+func (t *Thread) RetireStamp() uint64 {
+	s := t.RT.Clock.Now()
+	if t.LastCommitTS > s {
+		s = t.LastCommitTS
+	}
+	return s
+}
+
+// Retire hands the n-word extent at a to the runtime's epoch-based
+// reclaimer, stamped with RetireStamp. Call it only after the transaction
+// that unlinked the extent has committed (outside any Atomic body). The
+// extent rides this thread's owner-only front (reclaim.RetireLocal) — a
+// plain append on the fast path, publishing to the shared limbo shard in
+// batches — so FlushReclaim must run before cross-thread accounting
+// (Drain/Stats) can see the most recent retires.
+func (t *Thread) Retire(a heap.Addr, n int) {
+	t.Rl.Retire(a, n, t.RetireStamp())
+}
+
+// AllocReused returns an n-word extent recycled through the reclaimer's
+// epoch, if one is available to this thread; words are NOT zeroed (the
+// caller initializes the node before publishing it, as with malloc).
+// Returns false when the caller should allocate from the heap instead.
+func (t *Thread) AllocReused(n int) (heap.Addr, bool) {
+	return t.Rl.Alloc(n)
+}
+
+// FlushReclaim publishes this thread's buffered retires and prefetched free
+// extents to its reclaim shard. Call when the thread finishes working (or
+// from a point that provably happens after it stopped).
+func (t *Thread) FlushReclaim() {
+	t.Rl.Flush()
+}
+
 // TryExtend attempts a snapshot extension (the classic timestamp-extension
 // move of lazy-snapshot STMs): sample the clock, revalidate the whole read
 // set, and on success raise ValidTS to the sampled time. Ordering matters —
@@ -298,6 +397,9 @@ func (t *Thread) PollValidate() {
 // around it. A word newer than the validity bound triggers a snapshot
 // extension attempt instead of an unconditional abort.
 func (t *Thread) ReadHeapConsistent(a heap.Addr) heap.Word {
+	// Sandbox bounds guard: an address computed from torn reads aborts the
+	// doomed attempt here instead of faulting into Run's recover.
+	t.CheckAddr(a)
 	o := t.RT.Orecs.For(a)
 	//stmlint:ignore yieldsite obstruction-free double-check: the loop repeats only when a rival changed the orec (then we abort or extend) — it retries on interference, not on stillness, so it cannot spin while the world is idle
 	for {

@@ -117,6 +117,25 @@ const (
 	// way, and a scheduler that kept granting it (each retry looks like
 	// progress) would starve the suspended rival forever.
 	CMWait = "core/retry/cm-wait"
+
+	// --- Epoch-based reclamation (internal/reclaim, CORRECTNESS.md §14) ---
+
+	// ReclaimRetire fires at the top of Reclaimer.Retire, before the extent
+	// is stamped into the limbo list. Window: an old-snapshot reader that
+	// captured the extent's address before the unlink must be able to keep
+	// reading the quarantined words unharmed for the whole retire→collect
+	// span.
+	ReclaimRetire = "reclaim/retire"
+	// ReclaimCollect fires once per extent a collection pass is about to
+	// release, between the epoch check and the poison/free step. Window:
+	// the watermark sampled by the pass must still cover every incomplete
+	// transaction that could reach the extent when the free lands.
+	ReclaimCollect = "reclaim/collect"
+	// HeapReuse fires in heap.Alloc when an extent is served from the free
+	// list, before it is zeroed and returned. Window: reuse is the step
+	// that turns an epoch bug into a user-visible torn read — the explorer
+	// orders other workers' steps against it.
+	HeapReuse = "heap/alloc/reuse"
 )
 
 // waitSites is the set of points that sit inside wait/poll loops: a worker

@@ -12,9 +12,18 @@
 package heap
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
+
+	"privstm/internal/failpoint"
+	"privstm/internal/spin"
 )
+
+// ErrOutOfMemory is the sentinel wrapped by Alloc's exhaustion error;
+// long-running workloads match it with errors.Is to distinguish running out
+// of address space (expected when reclamation is ablated away) from bugs.
+var ErrOutOfMemory = errors.New("heap: out of memory")
 
 // Addr is the address of one word in a Heap. Address 0 is reserved as the
 // nil address and is never returned by Alloc.
@@ -26,6 +35,18 @@ const Nil Addr = 0
 // Word is the unit of transactional access.
 type Word uint64
 
+// maxSizeClass is the largest extent size (in words) with a dedicated
+// exact-fit free stack; larger extents share one overflow list. Every
+// workload node in this repository is ≤ 4 words, so the classed stacks
+// cover the hot path with an O(1) pop.
+const maxSizeClass = 16
+
+// extent is one freed run of words parked on the overflow free list.
+type extent struct {
+	base Addr
+	n    int
+}
+
 // Heap is a flat, fixed-size word-addressed memory.
 //
 // Transactional accesses must use AtomicLoad/AtomicStore/CAS; accesses to
@@ -35,6 +56,42 @@ type Word uint64
 type Heap struct {
 	words []uint64
 	next  atomic.Uint64 // bump pointer for Alloc
+
+	// Free-list state. Freed extents are recycled exact-size only (no
+	// splitting or coalescing): the workloads allocate fixed-size nodes, so
+	// exact fit is both O(1) and fragmentation-free. freeWords fronts the
+	// lock: Alloc skips the free list entirely (one atomic load) while
+	// nothing has ever been freed, keeping the bump path as cheap as before
+	// reclamation existed.
+	freeMu    spin.Mutex
+	freeClass [maxSizeClass + 1][]Addr // [n] → stack of freed n-word extents
+	freeBig   []extent                 // extents larger than maxSizeClass
+	freeWords atomic.Uint64            // words currently parked on the free list
+
+	freedWords  atomic.Uint64 // cumulative words passed to Free
+	reusedWords atomic.Uint64 // cumulative words re-handed-out by Alloc
+}
+
+// Stats is a point-in-time snapshot of the heap's allocation accounting.
+type Stats struct {
+	CapWords    int    // heap capacity in words
+	BumpWords   uint64 // words handed out by the bump pointer (incl. the nil word)
+	FreedWords  uint64 // cumulative words returned with Free
+	ReusedWords uint64 // cumulative words Alloc served from the free list
+	FreeWords   uint64 // words currently parked on the free list
+}
+
+// Stats snapshots the allocation counters. Counters are monotone and
+// individually atomic; a snapshot taken while allocators run is internally
+// consistent enough for reporting (exact after workers join).
+func (h *Heap) Stats() Stats {
+	return Stats{
+		CapWords:    len(h.words),
+		BumpWords:   h.next.Load(),
+		FreedWords:  h.freedWords.Load(),
+		ReusedWords: h.reusedWords.Load(),
+		FreeWords:   h.freeWords.Load(),
+	}
 }
 
 // New creates a heap with the given number of words (minimum 2: the nil
@@ -51,24 +108,85 @@ func New(words int) *Heap {
 // Size returns the heap capacity in words.
 func (h *Heap) Size() int { return len(h.words) }
 
-// Alloc reserves n contiguous words and returns the address of the first.
-// The words are zeroed (they were never handed out before). Alloc never
-// reuses space; long-lived structures should manage free pools inside
-// transactional memory (see internal/bench), which both matches what the
-// paper's microbenchmarks do and sidesteps unsafe reclamation.
+// Alloc reserves n contiguous zeroed words and returns the address of the
+// first, preferring an exact-size extent from the free list over fresh bump
+// space. Free list entries come from Free, which in this repository is
+// called only by the epoch-based reclaimer (internal/reclaim) — so by the
+// time Alloc re-hands an extent out, no incomplete transaction can still
+// reach it (CORRECTNESS.md §14).
 func (h *Heap) Alloc(n int) (Addr, error) {
 	if n <= 0 {
 		return Nil, fmt.Errorf("heap: Alloc(%d): non-positive size", n)
 	}
+	if h.freeWords.Load() > 0 {
+		if a, ok := h.popFree(n); ok {
+			failpoint.Eval(failpoint.HeapReuse)
+			// Zero with atomic stores: a doomed reader that captured the
+			// extent's address before it was retired may still issue
+			// instrumented loads against it (its validation will reject
+			// them, but the loads themselves must stay race-clean).
+			for i := 0; i < n; i++ {
+				atomic.StoreUint64(&h.words[a+Addr(i)], 0)
+			}
+			h.reusedWords.Add(uint64(n))
+			return a, nil
+		}
+	}
 	for {
 		base := h.next.Load()
 		if base+uint64(n) > uint64(len(h.words)) {
-			return Nil, fmt.Errorf("heap: out of memory (cap %d words, want %d more)", len(h.words), n)
+			return Nil, fmt.Errorf("%w (cap %d words, want %d more)", ErrOutOfMemory, len(h.words), n)
 		}
 		if h.next.CompareAndSwap(base, base+uint64(n)) {
 			return Addr(base), nil
 		}
 	}
+}
+
+// popFree removes and returns an exact-size free extent, if one exists.
+func (h *Heap) popFree(n int) (Addr, bool) {
+	h.freeMu.Lock()
+	defer h.freeMu.Unlock()
+	if n <= maxSizeClass {
+		stack := h.freeClass[n]
+		if len(stack) == 0 {
+			return Nil, false
+		}
+		a := stack[len(stack)-1]
+		h.freeClass[n] = stack[:len(stack)-1]
+		h.freeWords.Add(^uint64(uint64(n) - 1)) // subtract n
+		return a, true
+	}
+	for i, e := range h.freeBig {
+		if e.n == n {
+			h.freeBig[i] = h.freeBig[len(h.freeBig)-1]
+			h.freeBig = h.freeBig[:len(h.freeBig)-1]
+			h.freeWords.Add(^uint64(uint64(n) - 1))
+			return e.base, true
+		}
+	}
+	return Nil, false
+}
+
+// Free returns the n-word extent at a to the free list for reuse by a later
+// Alloc. The caller must guarantee that no incomplete transaction can still
+// reach the extent — in this repository that proof is the reclaimer's epoch
+// check (internal/reclaim); workloads must never call Free directly on
+// addresses that were ever shared. Freeing out-of-range extents panics:
+// a wild free is a bug in the caller, not a recoverable condition.
+func (h *Heap) Free(a Addr, n int) {
+	if n <= 0 || uint64(a) == 0 || uint64(a)+uint64(n) > h.next.Load() {
+		panic(fmt.Sprintf("heap: Free(%d, %d): extent not allocated (bump=%d)", a, n, h.next.Load()))
+	}
+	h.freeMu.Lock()
+	if n <= maxSizeClass {
+		h.freeClass[n] = append(h.freeClass[n], a)
+	} else {
+		h.freeBig = append(h.freeBig, extent{base: a, n: n})
+	}
+	h.freeMu.Unlock()
+	h.freeWords.Add(uint64(n))
+	h.freedWords.Add(uint64(n))
 }
 
 // MustAlloc is Alloc that panics on exhaustion; used by workloads whose
@@ -81,9 +199,15 @@ func (h *Heap) MustAlloc(n int) Addr {
 	return a
 }
 
-// InUse returns the number of words handed out so far (including the
-// reserved nil word).
+// InUse returns the number of words the bump pointer has handed out so far
+// (including the reserved nil word). Freed-and-parked words still count:
+// InUse measures address-space consumption, not live data.
 func (h *Heap) InUse() int { return int(h.next.Load()) }
+
+// Contains reports whether a addresses a word inside the heap. The sandbox
+// checkpoints (core.Thread.CheckAddr) use it to pre-validate addresses
+// computed from transactionally-read data before indexing the word array.
+func (h *Heap) Contains(a Addr) bool { return uint64(a) < uint64(len(h.words)) }
 
 // AtomicLoad reads a word with atomic (acquire) semantics. Use for all
 // transactional reads.

@@ -102,6 +102,9 @@ func (e *Engine) Write(t *core.Thread, a heap.Addr, w heap.Word) {
 	if e.writerOnly && !t.Visible {
 		e.goVisible(t)
 	}
+	// Sandbox bounds guard before the in-place write: an address computed
+	// from torn reads must not fault (or clobber a live word) mid-attempt.
+	t.CheckAddr(a)
 	o := t.RT.Orecs.For(a)
 	if !t.AcquireOrec(o) {
 		t.ConflictAbort()

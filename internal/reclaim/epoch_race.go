@@ -1,0 +1,19 @@
+//go:build privstm_reclaim_race
+
+// epoch_race.go deliberately removes the epoch check: every retired extent
+// is freed (and may be reused) immediately, regardless of in-flight
+// transactions. This is the "unsafe reclaim" positive control — the bug the
+// production check in epoch_safe.go exists to prevent. With this tag the
+// reclaim explorer program (explore_race_test.go) must FAIL: a reader that
+// began before the retiring commit still holds the extent's address, the
+// reuse lands inside its window, and the PoisonOracle (or the reader's own
+// torn result) reports the use-after-reclaim with a replayable trace.
+//
+// Never build production binaries with this tag.
+
+package reclaim
+
+// canFree under the race tag ignores the epoch entirely.
+func canFree(stamp, oldestBegin uint64, anyActive bool) bool {
+	return true
+}

@@ -1,0 +1,23 @@
+//go:build !privstm_reclaim_race
+
+// epoch_safe.go is the production epoch check. Building with
+// -tags privstm_reclaim_race substitutes epoch_race.go, which removes the
+// check entirely so the schedule explorer can demonstrate catching the
+// resulting use-after-reclaim as a positive control (the same build-tag
+// pattern as txnlist's slots_safe.go / slots_race.go).
+
+package reclaim
+
+// canFree reports whether an extent stamped at stamp may be physically
+// reused. Safe exactly when no incomplete transaction began before stamp:
+// a transaction beginning at or after the unlink's commit timestamp R
+// (stamp ≥ R) observes the unlink in its begin snapshot and can never
+// transactionally load the extent's address again — while a transaction
+// that began *before* R may consistently hold the pre-unlink pointer, and
+// a plain reuse write would bypass its orec-based validation entirely.
+// oldestBegin is a lower bound (watermark), so the test can only err by
+// keeping the extent quarantined longer — the safe direction
+// (CORRECTNESS.md §14).
+func canFree(stamp, oldestBegin uint64, anyActive bool) bool {
+	return !anyActive || oldestBegin >= stamp
+}

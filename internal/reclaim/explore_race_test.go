@@ -1,0 +1,37 @@
+//go:build privstm_reclaim_race
+
+package reclaim
+
+import (
+	"strings"
+	"testing"
+
+	"privstm/internal/sched"
+)
+
+// TestReclaimRaceCaught is the positive control: with the epoch check
+// removed (this build tag substitutes epoch_race.go — every retired extent
+// frees immediately), the explorer must find a use-after-reclaim in the
+// very program whose full schedule space passes clean under the production
+// check (TestReclaimExplorationCorpus), and the failing trace must
+// reproduce deterministically under Replay.
+//
+// Run via `make explore-reclaim`:
+//
+//	go test -tags privstm_reclaim_race -run TestReclaimRaceCaught -v ./internal/reclaim
+func TestReclaimRaceCaught(t *testing.T) {
+	res, n := sched.ExploreDFS(sched.Config{}, 2000, reclaimExploreProgram)
+	if res == nil {
+		t.Fatalf("explorer missed the use-after-reclaim in %d schedules", n)
+	}
+	if !strings.Contains(res.Err.Error(), "use-after-reclaim") {
+		t.Fatalf("found a different failure: %v", res.Err)
+	}
+	t.Logf("caught in %d schedules: %v\n  trace: %v", n, res.Err, res.Trace)
+
+	cfg, bodies := reclaimExploreProgram()
+	rep := sched.Replay(cfg, res.Trace, bodies...)
+	if rep.Err == nil || !strings.Contains(rep.Err.Error(), "use-after-reclaim") {
+		t.Fatalf("replay of the failing trace did not reproduce: %v", rep.Err)
+	}
+}

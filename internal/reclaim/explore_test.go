@@ -1,0 +1,94 @@
+package reclaim
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"privstm/internal/clock"
+	"privstm/internal/heap"
+	"privstm/internal/sched"
+	"privstm/internal/txnlist"
+)
+
+// reclaimExploreProgram is the schedule-exploration micro-program for the
+// retire→collect→reuse epoch (CORRECTNESS.md §14). It distills the hazard
+// to its two-thread core:
+//
+//   - "reader" begins a transaction at clock 5 (entering the oldest-begin
+//     slots) and holds the address of node x, which its snapshot reached
+//     before the unlink; it dereferences x across two yield points, then
+//     announces its last access and leaves the tracker;
+//   - "writer" models the unlinking commit at clock 10: it advances the
+//     clock, retires x stamped 10, runs a collection pass, and tries to
+//     reallocate.
+//
+// The reclaimer runs in poison mode and a sched.PoisonOracle watches x for
+// exactly the danger window — retired while the pre-retire reader is still
+// incomplete. On the production epoch check (epoch_safe.go) no
+// interleaving can poison, free, or reuse x inside that window: the
+// watermark (oldest begin 5 < stamp 10) blocks collection until the reader
+// has left. With -tags privstm_reclaim_race the check is gone and the
+// explorer must find a schedule where the collect lands inside the
+// reader's window — the use-after-reclaim this subsystem exists to
+// prevent. The reader also self-checks the values it loads, catching the
+// variant where reuse zeroes the words between its two loads.
+func reclaimExploreProgram() (sched.Config, []func()) {
+	const retireTS = 10
+	h := heap.New(64)
+	s := txnlist.NewSlots(4)
+	var c clock.Clock
+	c.AdvanceTo(5)
+	r := New(h, s.OldestBegin, Config{Threads: 2, CollectEvery: 1 << 30, Poison: true})
+
+	x := h.MustAlloc(2)
+	h.AtomicStore(x, 42)
+	h.AtomicStore(x+1, 43)
+	oracle := sched.NewPoisonOracle(h, Poison)
+
+	// holder is true while the reader is a pre-retire transaction that may
+	// still dereference x. There is no yield point between Enter and the
+	// store (or between the clear and Unwatch), so the writer always
+	// observes slot registration and holder flag in agreement.
+	var holder atomic.Bool
+	var torn error
+
+	reader := func() {
+		begin := s.Enter(0, &c)
+		if begin < retireTS {
+			holder.Store(true)
+			sched.Point("reclaim/test/reader-captured")
+			v0 := h.AtomicLoad(x)
+			sched.Point("reclaim/test/reader-deref")
+			v1 := h.AtomicLoad(x + 1)
+			if v0 != 42 || v1 != 43 {
+				torn = fmt.Errorf(
+					"use-after-reclaim: pre-retire reader loaded %#x/%#x, want 42/43", v0, v1)
+			}
+			holder.Store(false)
+			oracle.Unwatch("x")
+		}
+		// A transaction beginning at or after the unlink's commit sees the
+		// unlink and can never reach x — it performs no dereference.
+		s.Leave(0)
+	}
+	writer := func() {
+		c.AdvanceTo(retireTS) // the unlinking commit
+		sched.Point("reclaim/test/unlinked")
+		if holder.Load() {
+			oracle.Watch("x", x, 2)
+		}
+		r.Retire(1, x, 2, retireTS)
+		r.Collect(1)
+		sched.Point("reclaim/test/collected")
+		if a, err := h.Alloc(2); err == nil {
+			_ = a // reuse attempt; yields at HeapReuse when recycled
+		}
+	}
+	check := func() error {
+		if err := oracle.Check(); err != nil {
+			return err
+		}
+		return torn
+	}
+	return sched.Config{OnStep: check, AtEnd: check}, []func(){reader, writer}
+}

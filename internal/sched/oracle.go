@@ -1,0 +1,97 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"privstm/internal/heap"
+)
+
+// PoisonOracle is the poisoned-memory oracle for reclamation programs
+// (CORRECTNESS.md §14): it checks, at every exploration step, that no heap
+// extent a live old-snapshot transaction can still reach has been released
+// by the reclaimer. The program under test runs the reclaimer in poison
+// mode — collection overwrites released words with a sentinel — so
+// "released" is directly observable in memory: a watched word equal to the
+// sentinel, or no longer equal to the committed value it held when the
+// watch began (reuse zeroes or rewrites it), is a use-after-reclaim.
+//
+// Protocol: a worker calls Watch when an extent enters the danger window —
+// it has been retired while a transaction that began before the retire
+// stamp is still incomplete and holds the extent's address — and Unwatch
+// when the holder performs its last access (before it leaves the
+// incomplete-transaction tracker: after leaving, reclamation is fair
+// game). Install Check as the program's Config.OnStep/AtEnd; the explorer
+// invokes it with every worker suspended, so the loads race nothing.
+type PoisonOracle struct {
+	h        *heap.Heap
+	sentinel heap.Word
+
+	mu      sync.Mutex
+	watched map[string]watchedExtent
+}
+
+type watchedExtent struct {
+	addr heap.Addr
+	n    int
+	vals []heap.Word // committed values at Watch time
+}
+
+// NewPoisonOracle builds an oracle over h. sentinel is the reclaimer's
+// poison pattern (reclaim.Poison; passed in as a value so sched stays
+// independent of the reclaim package).
+func NewPoisonOracle(h *heap.Heap, sentinel heap.Word) *PoisonOracle {
+	return &PoisonOracle{h: h, sentinel: sentinel, watched: make(map[string]watchedExtent)}
+}
+
+// Watch starts guarding the n-word extent at a under label: until Unwatch,
+// its words must keep the committed values they hold now.
+func (p *PoisonOracle) Watch(label string, a heap.Addr, n int) {
+	vals := make([]heap.Word, n)
+	for i := 0; i < n; i++ {
+		vals[i] = p.h.AtomicLoad(a + heap.Addr(i))
+	}
+	p.mu.Lock()
+	p.watched[label] = watchedExtent{addr: a, n: n, vals: vals}
+	p.mu.Unlock()
+}
+
+// Unwatch stops guarding the labeled extent (the holder has performed its
+// last access).
+func (p *PoisonOracle) Unwatch(label string) {
+	p.mu.Lock()
+	delete(p.watched, label)
+	p.mu.Unlock()
+}
+
+// Check reports a use-after-reclaim if any watched word has been poisoned
+// or otherwise overwritten. Install as Config.OnStep and AtEnd.
+func (p *PoisonOracle) Check() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Deterministic iteration so a violation always names the same label.
+	labels := make([]string, 0, len(p.watched))
+	for l := range p.watched {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		w := p.watched[l]
+		for i := 0; i < w.n; i++ {
+			got := p.h.AtomicLoad(w.addr + heap.Addr(i))
+			if got == w.vals[i] {
+				continue
+			}
+			if got == p.sentinel {
+				return fmt.Errorf(
+					"use-after-reclaim: extent %q word %d (addr %d) poisoned while a pre-retire transaction can still reach it",
+					l, i, w.addr+heap.Addr(i))
+			}
+			return fmt.Errorf(
+				"use-after-reclaim: extent %q word %d (addr %d) = %#x, want committed %#x — reused under a live old-snapshot reader",
+				l, i, w.addr+heap.Addr(i), got, w.vals[i])
+		}
+	}
+	return nil
+}

@@ -34,6 +34,7 @@ import (
 	"privstm/internal/hybrid"
 	"privstm/internal/ord"
 	"privstm/internal/pvr"
+	"privstm/internal/reclaim"
 	"privstm/internal/stats"
 	"privstm/internal/tl2"
 	"privstm/internal/val"
@@ -212,6 +213,21 @@ type Config struct {
 	// OnStall is invoked once per detected fence stall; nil selects the
 	// default log line. It runs on the fenced thread: keep it cheap.
 	OnStall func(StallInfo)
+	// DisableSandboxChecks turns off the validate-before-dangerous-use
+	// sandbox checkpoints (Tx.Div, Tx.LoadPriv, the wild-address guards on
+	// the read and in-place write paths): doomed transactions then rely
+	// solely on commit-time validation and the panic sandbox of Atomic.
+	// Kept for ablations (stmbench -nosandbox); unsafe to combine with
+	// uninstrumented access to transactionally-read pointers.
+	DisableSandboxChecks bool
+	// ReclaimPoison makes the epoch-based reclaimer overwrite every
+	// quarantined word with the reclaim.Poison sentinel, so a
+	// use-after-reclaim fails loudly instead of silently consuming stale
+	// data. Debug mode: leave it off in production runs.
+	ReclaimPoison bool
+	// ReclaimCollectEvery is the reclaimer's amortization period in retires
+	// per thread (0 = default).
+	ReclaimCollectEvery int
 }
 
 // TrackerKind re-exports the incomplete-transaction tracker selector.
@@ -329,6 +345,10 @@ func New(cfg Config) (*STM, error) {
 		MaxAttempts:      cfg.MaxAttempts,
 		StallThreshold:   cfg.StallThreshold,
 		OnStall:          cfg.OnStall,
+
+		DisableSandboxChecks: cfg.DisableSandboxChecks,
+		ReclaimPoison:        cfg.ReclaimPoison,
+		ReclaimCollectEvery:  cfg.ReclaimCollectEvery,
 	})
 	if err != nil {
 		return nil, err
@@ -405,6 +425,21 @@ func (s *STM) Stats() stats.Counters {
 	return agg
 }
 
+// HeapStats snapshots the heap's allocation accounting (bump, freed,
+// reused words).
+func (s *STM) HeapStats() heap.Stats { return s.rt.Heap.Stats() }
+
+// ReclaimStats snapshots the epoch-based reclaimer's counters (retired,
+// collected, freed, still-quarantined extents).
+func (s *STM) ReclaimStats() reclaim.Stats { return s.rt.Reclaim.Stats() }
+
+// DrainReclaim forces a collection pass over every thread's limbo list and
+// returns the number of extents it freed. Extents whose epoch has not
+// arrived (some incomplete transaction began before their retire stamp)
+// stay quarantined. Tests and end-of-run accounting use it; steady-state
+// collection is amortized into Thread.Retire.
+func (s *STM) DrainReclaim() uint64 { return s.rt.Reclaim.Drain() }
+
 // Thread is a per-goroutine transaction context. A Thread must not be used
 // concurrently; create one per worker with NewThread.
 type Thread struct {
@@ -440,6 +475,51 @@ func (s *STM) MustNewThread() *Thread {
 
 // Stats returns this thread's execution counters.
 func (th *Thread) Stats() *stats.Counters { return &th.t.Stats }
+
+// Retire hands the n-word extent at a to the epoch-based reclaimer
+// (internal/reclaim): the extent is stamped with this thread's latest
+// commit timestamp and physically reused only once no incomplete
+// transaction began before that stamp — the discipline that makes freeing
+// shared nodes safe even while old-snapshot readers still hold their
+// addresses (CORRECTNESS.md §14).
+//
+// Call Retire only after the transaction that unlinked the extent has
+// committed (i.e. after Atomic returns), from the thread that ran it. The
+// retired words must never be accessed directly again by the caller.
+//
+// Retires are buffered on a thread-private front and published to the
+// shared reclaimer in batches; call FlushReclaim when the thread stops so
+// DrainReclaim and ReclaimStats observe everything.
+func (th *Thread) Retire(a Addr, n int) { th.t.Retire(a, n) }
+
+// Alloc returns an n-word extent, preferring memory recycled through the
+// reclaimer's epoch (this thread's cleared retires and its shard's stock)
+// and falling back to the shared heap. Unlike STM.MustAlloc, the words are
+// NOT guaranteed zero when they come from the recycle path — treat the
+// extent like a malloc'd block and initialize every word before publishing
+// it to other threads.
+func (th *Thread) Alloc(n int) (Addr, error) {
+	if a, ok := th.t.AllocReused(n); ok {
+		return a, nil
+	}
+	return th.s.rt.Heap.Alloc(n)
+}
+
+// MustAlloc is Alloc that panics on heap exhaustion (the panic value wraps
+// heap.ErrOutOfMemory).
+func (th *Thread) MustAlloc(n int) Addr {
+	a, err := th.Alloc(n)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// FlushReclaim publishes this thread's buffered retires and prefetched
+// free extents to the shared reclaimer. Call it when the thread finishes
+// working; until then, recent retires are invisible to DrainReclaim,
+// ReclaimStats, and other threads' allocations.
+func (th *Thread) FlushReclaim() { th.t.FlushReclaim() }
 
 // Atomic executes body as a transaction, retrying transparently on
 // conflict. It returns nil on commit, or the error passed to Tx.Cancel.
@@ -499,6 +579,35 @@ func (tx *Tx) LoadAddr(a Addr) Addr { return Addr(tx.Load(a)) }
 
 // StoreAddr writes a heap address into a word.
 func (tx *Tx) StoreAddr(a Addr, p Addr) { tx.Store(a, Word(p)) }
+
+// Div returns n/d with the sandbox's validate-before-dangerous-use
+// discipline: when the divisor is zero the transaction validates its read
+// set first, so a doomed attempt — whose zero came from torn state —
+// aborts and retries instead of faulting, while a consistent transaction
+// propagates the genuine division-by-zero panic. Nonzero divisors pay one
+// compare (the standard sandboxing fast path: only the value that can
+// fault triggers validation).
+func (tx *Tx) Div(n, d Word) Word {
+	if d == 0 {
+		tx.th.t.ValidateBeforeUse()
+	}
+	return n / d
+}
+
+// LoadPriv performs a sandboxed *uninstrumented* load through a, an
+// address obtained from transactionally-read data (e.g. a node pointer the
+// transaction is about to privatize and traverse without instrumentation).
+// The sandbox validates the read set first — a doomed attempt retries here
+// instead of consuming reclaimed or poisoned memory — and bounds-checks
+// the address; only then is the plain load issued. With
+// Config.DisableSandboxChecks the validation is skipped and the caller
+// inherits the torn-pointer hazard.
+func (tx *Tx) LoadPriv(a Addr) Word {
+	t := tx.th.t
+	t.ValidateBeforeUse()
+	t.CheckAddr(a)
+	return tx.th.s.rt.Heap.Load(a)
+}
 
 // Retry aborts the transaction and re-executes it from the start.
 func (tx *Tx) Retry() { tx.th.t.ConflictAbort() }
