@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-faults test-faults-gv5 explore explore-reclaim bench bench-json bench-smoke bench-readpath bench-readpath-smoke bench-clock bench-reclaim figures privtest stress cover clean lint lint-json
+.PHONY: all build test race test-faults test-faults-gv5 explore explore-reclaim explore-tds bench bench-json bench-smoke bench-readpath bench-readpath-smoke bench-clock bench-reclaim bench-tds bench-tds-smoke figures privtest stress cover clean lint lint-json
 
 all: build test lint
 
@@ -25,6 +25,7 @@ lint:
 	$(GO) run ./cmd/stmlint -baseline stmlint.baseline ./...
 	$(GO) run ./cmd/stmlint -tags privstm_watermark_race -ratchet=false ./...
 	$(GO) run ./cmd/stmlint -tags privstm_reclaim_race -ratchet=false ./...
+	$(GO) run ./cmd/stmlint -tags privstm_semlock_race -ratchet=false ./...
 
 # Machine-readable findings for the CI artifact (default tag set).
 lint-json:
@@ -64,6 +65,15 @@ explore-reclaim:
 	$(GO) test -count=1 -run TestReclaimExplorationCorpus -v ./internal/reclaim
 	$(GO) test -count=1 -tags privstm_reclaim_race -run TestReclaimRaceCaught -v ./internal/reclaim
 
+# Semantic-lock rediscovery pair (CORRECTNESS.md §15): the abstract-lock
+# micro-program's schedule corpus must pass clean on the production stripe
+# release, then with the release version bump compiled out
+# (-tags privstm_semlock_race) the explorer must FIND a committed torn read
+# and log a replayable trace.
+explore-tds:
+	$(GO) test -count=1 -run TestSemLockExplorationCorpus -v ./internal/tds
+	$(GO) test -count=1 -tags privstm_semlock_race -run TestSemLockRaceCaught -v ./internal/tds
+
 # One testing.B benchmark per paper figure, plus the ablations.
 bench:
 	$(GO) test -bench . -benchmem ./...
@@ -101,6 +111,27 @@ bench-clock:
 bench-reclaim:
 	$(GO) run ./cmd/stmbench -reclaimsweep -threads 1,2,4 -pairs 5 -dur 150ms \
 		-json BENCH_reclaim.json -basejson BENCH_reclaim_baseline.json
+
+# Semantic-structure baseline: the paired A/B sweep (internal/tds map+queue
+# interleaved with same-seed tlib word-level runs) on the Zipf-skewed mixed
+# producer/consumer workload. tds cells land in BENCH_tds.json
+# (median-of-pairs deltas and per-structure abort attribution embedded),
+# tlib sides in BENCH_tds_baseline.json. The trailing -tdscheck pins the
+# acceptance criterion: at 8 threads on the in-place privatization-safe
+# engine, the tds map's abort rate is strictly lower than tlib's and
+# aggregate throughput at least 1.15x.
+bench-tds:
+	$(GO) run ./cmd/stmbench -tdssweep -threads 2,8 -txns 50000 -pairs 3 -zipf 0.8 \
+		-json BENCH_tds.json -basejson BENCH_tds_baseline.json
+	$(GO) run ./cmd/stmbench -tdscheck BENCH_tds.json BENCH_tds_baseline.json
+
+# CI guard for the semantic layer: exercise the sweep path end-to-end at a
+# tiny size (no acceptance gate — single short runs on a shared CI host are
+# scheduler weather), then hold the committed artifacts to the acceptance
+# criterion so a regressed re-measurement cannot land quietly.
+bench-tds-smoke:
+	$(GO) run ./cmd/stmbench -tdssweep -algos pvrStore -threads 2 -txns 1000 -pairs 1 -zipf 0.8
+	$(GO) run ./cmd/stmbench -tdscheck BENCH_tds.json BENCH_tds_baseline.json
 
 # Read-path baseline for regression checks: the figures most sensitive to
 # MakeVisible cost (read-mostly hashtable 3a and long-traversal multi-list

@@ -50,6 +50,11 @@ func main() {
 		obatch   = flag.Int("orderbatch", 0, "Ord flat-combining commit batch bound (0 = off)")
 		csweep   = flag.Bool("clocksweep", false, "run the paired clock-scalability sweep (fig clk); writes candidates to -json, gv1 baselines to -basejson")
 		rsweep   = flag.Bool("reclaimsweep", false, "run the paired reclamation-overhead sweep (fig rcl); writes reclaim cells to -json, pool baselines to -basejson")
+		tsweep   = flag.Bool("tdssweep", false, "run the paired semantic-structure sweep (fig tds); writes tds cells to -json, tlib baselines to -basejson")
+		tcheck   = flag.Bool("tdscheck", false, "check tds acceptance: stmbench -tdscheck [-tdsthreads N] [-tdsgain X] tds.json tds_baseline.json")
+		tdsThrd  = flag.Int("tdsthreads", 8, "with -tdscheck: thread count of the acceptance cell")
+		tdsGain  = flag.Float64("tdsgain", 1.15, "with -tdscheck: required tds/tlib throughput ratio")
+		zipf     = flag.Float64("zipf", 0, "key-distribution skew for every cell: 0 = uniform, (0,1) = YCSB Zipf theta")
 		noRecl   = flag.Bool("noreclaim", false, "recycle nodes through the legacy per-thread pool instead of the epoch reclaimer")
 		noSandbx = flag.Bool("nosandbox", false, "disable validate-before-dangerous-use sandbox checkpoints (ablation)")
 		pairs    = flag.Int("pairs", 3, "with -clocksweep: interleaved A/B pairs per cell")
@@ -82,6 +87,21 @@ func main() {
 		return
 	}
 
+	if *tcheck {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "stmbench: -tdscheck needs exactly two JSON files: candidate baseline")
+			os.Exit(2)
+		}
+		err := bench.CheckTdsAcceptance(flag.Arg(0), flag.Arg(1), *tdsThrd, *tdsGain, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stmbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("tds acceptance OK: map abort rate improved and throughput >= %.2fx at %d threads\n",
+			*tdsGain, *tdsThrd)
+		return
+	}
+
 	if *list {
 		fmt.Println("Experiment index (paper figure -> harness id):")
 		for _, f := range bench.Figures {
@@ -89,8 +109,12 @@ func main() {
 		}
 		return
 	}
-	if *figID == "" && !*micro && !*csweep && !*rsweep {
-		fmt.Fprintln(os.Stderr, "stmbench: -fig is required (try -list, -micro, -clocksweep, or -reclaimsweep)")
+	if *figID == "" && !*micro && !*csweep && !*rsweep && !*tsweep {
+		fmt.Fprintln(os.Stderr, "stmbench: -fig is required (try -list, -micro, -clocksweep, -reclaimsweep, or -tdssweep)")
+		os.Exit(2)
+	}
+	if *zipf < 0 || *zipf >= 1 {
+		fmt.Fprintf(os.Stderr, "stmbench: bad -zipf %v (want 0 for uniform or theta in (0,1))\n", *zipf)
 		os.Exit(2)
 	}
 
@@ -192,14 +216,15 @@ func main() {
 		Clock:            clockMode,
 		OrderBatch:       *obatch,
 		DisableSandbox:   *noSandbx,
+		ZipfTheta:        *zipf,
 	}
 	if *noRecl {
 		hc.Free = bench.FreePool
 	}
 
-	fmt.Printf("# GOMAXPROCS=%d NumCPU=%d scale=1/%d tracker=%s extension=%s cm=%s maxattempts=%d oreclayout=%s hintcache=%s clock=%s orderbatch=%d reclaim=%s sandbox=%s\n",
+	fmt.Printf("# GOMAXPROCS=%d NumCPU=%d scale=1/%d tracker=%s extension=%s cm=%s maxattempts=%d oreclayout=%s hintcache=%s clock=%s orderbatch=%d reclaim=%s sandbox=%s zipf=%.2f\n",
 		runtime.GOMAXPROCS(0), runtime.NumCPU(), *scale, *tracker, onOff(!*noextend), cmPolicy, *maxAtt,
-		orecLayout, onOff(!*nocache), clockMode, *obatch, onOff(!*noRecl), onOff(!*noSandbx))
+		orecLayout, onOff(!*nocache), clockMode, *obatch, onOff(!*noRecl), onOff(!*noSandbx), *zipf)
 	if runtime.NumCPU() < 8 {
 		fmt.Printf("# note: %d CPUs — thread counts beyond that timeshare; expect curves to flatten there\n", runtime.NumCPU())
 	}
@@ -231,6 +256,24 @@ func main() {
 		if *baseJSON != "" {
 			bench.SortMeasurements(base)
 			writeJSONTo(*baseJSON, label+" (pool baselines)", base)
+		}
+		return
+	}
+
+	if *tsweep {
+		base, cand, err := bench.RunTdsSweep(os.Stdout, hc, curveFilter, *pairs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stmbench:", err)
+			os.Exit(1)
+		}
+		label := fmt.Sprintf("tdssweep pairs=%d zipf=%.2f", *pairs, *zipf)
+		if *jsonPath != "" {
+			bench.SortMeasurements(cand)
+			writeJSONTo(*jsonPath, label+" (tds semantic structures)", cand)
+		}
+		if *baseJSON != "" {
+			bench.SortMeasurements(base)
+			writeJSONTo(*baseJSON, label+" (tlib word-level baselines)", base)
 		}
 		return
 	}

@@ -1,0 +1,50 @@
+// fixture_handout.go pins the privatized-handout idiom of the semantic
+// containers' escape hatch (tds.Map.PrivateSnapshot / tds.Queue.
+// DrainPrivate): a transaction detaches a whole chain with one privatizing
+// write, the caller traverses the extent uninstrumented, and finishes by
+// retiring every node. The clean shape must stay clean; forgetting the
+// privatizing write or touching a node after its Retire must be flagged.
+package privaccess
+
+import "privstm/internal/analysis/testdata/src/privaccess/stmlib"
+
+// DrainHandout is the escape-hatch shape internal/tds implements: detach
+// the chain head inside the transaction (the privatizing write), then walk
+// the now-private nodes directly and retire each one after its last use.
+func DrainHandout(t *stmlib.Thread, s *stmlib.STM, head stmlib.Addr) uint64 {
+	var n stmlib.Addr
+	_ = t.Atomic(func(tx *stmlib.Tx) {
+		n = tx.LoadAddr(head)
+		tx.StoreAddr(head, stmlib.Nil) // privatizing write: detach the chain
+	})
+	var sum uint64
+	for n != stmlib.Nil {
+		next := stmlib.Addr(s.DirectLoad(n)) // clean: privatized chain
+		sum += s.DirectLoad(n + 1)           // clean: same extent
+		t.Retire(n, 2)
+		n = next // reassignment: the loop variable now names the next node
+	}
+	return sum
+}
+
+// DrainWithoutDetach forgets the privatizing write: the handed-out head
+// still hangs off shared memory, so the direct walk races with writers.
+func DrainWithoutDetach(t *stmlib.Thread, s *stmlib.STM, head stmlib.Addr) uint64 {
+	var n stmlib.Addr
+	_ = t.Atomic(func(tx *stmlib.Tx) {
+		n = tx.LoadAddr(head)
+	})
+	return s.DirectLoad(n + 1) // want flagged: no privatizing write
+}
+
+// DrainUseAfterRetire retires the node before its last direct read: the
+// value read races with the reclaimer's poisoning.
+func DrainUseAfterRetire(t *stmlib.Thread, s *stmlib.STM, head stmlib.Addr) uint64 {
+	var n stmlib.Addr
+	_ = t.Atomic(func(tx *stmlib.Tx) {
+		n = tx.LoadAddr(head)
+		tx.StoreAddr(head, stmlib.Nil) // privatizing write: detach
+	})
+	t.Retire(n, 2)
+	return s.DirectLoad(n + 1) // want flagged: retired before the read
+}

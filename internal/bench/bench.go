@@ -96,14 +96,39 @@ const (
 	FreeLeak
 )
 
-// OpCtx is per-worker state: the STM thread, a private RNG, and the
-// node-recycling policy (FreeReclaim by default; see FreePolicy).
+// OpCtx is per-worker state: the STM thread, a private RNG, the
+// node-recycling policy (FreeReclaim by default; see FreePolicy), and the
+// key-skew configuration.
 type OpCtx struct {
 	Th     *stm.Thread
 	RNG    *rng.RNG
 	S      *stm.STM
 	Policy FreePolicy
-	free   []stm.Addr // FreePool only
+	// ZipfTheta skews Key draws (0 = uniform; see RunConfig.ZipfTheta).
+	ZipfTheta float64
+	free      []stm.Addr // FreePool only
+	zipf      map[int]*rng.Zipf
+}
+
+// Key draws a key in [0, n): uniformly by default, Zipf(ZipfTheta) when the
+// run is skewed. Zipf rank 0 is the hottest key; ranks are used directly,
+// so hot keys are the low ones (for the modulo-hashed structures this
+// spreads the hottest ranks across distinct buckets/lists). Samplers share
+// the worker's RNG stream, so paired A/B runs with one seed draw identical
+// key sequences.
+func (c *OpCtx) Key(n int) int {
+	if c.ZipfTheta <= 0 {
+		return c.RNG.Intn(n)
+	}
+	z := c.zipf[n]
+	if z == nil {
+		if c.zipf == nil {
+			c.zipf = make(map[int]*rng.Zipf, 2)
+		}
+		z = rng.NewZipf(c.RNG, uint64(n), c.ZipfTheta)
+		c.zipf[n] = z
+	}
+	return int(z.Next())
 }
 
 // AllocNode returns a node of nodeWords words. Under FreePool it pops the
@@ -172,6 +197,10 @@ type RunConfig struct {
 	// DisableSandbox turns off validate-before-dangerous-use checkpoints
 	// (ablations).
 	DisableSandbox bool
+	// ZipfTheta skews key choice across every workload: 0 means uniform
+	// (the paper's distribution); anything in (0, 1) draws keys from a
+	// Zipf(theta) distribution (YCSB convention — theta 0.99 is "zipfian").
+	ZipfTheta float64
 }
 
 // Measurement is the outcome of one (workload, algorithm, threads, mix)
@@ -202,6 +231,12 @@ type Measurement struct {
 	// vs its paired baseline) when the cell was measured by RunPaired;
 	// WriteJSON reports their median.
 	PairDeltas []float64
+	// ZipfTheta is the key-skew the cell ran with (0 = uniform).
+	ZipfTheta float64
+	// Structs holds per-structure operation/abort attribution for the mixed
+	// container workloads (empty elsewhere): key "map"/"queue", aborts
+	// charged to the structure whose operation incurred them.
+	Structs map[string]StructStat
 	// ReclaimCollects counts epoch-collection passes (amortized + drain).
 	ReclaimCollects uint64
 	// Exhausted reports that a worker ran the heap out of address space
@@ -209,6 +244,27 @@ type Measurement struct {
 	// the operations completed before exhaustion).
 	Exhausted bool
 	Stats     stats.Counters
+}
+
+// StructStat is one structure's share of a mixed workload.
+type StructStat struct {
+	Ops    uint64 `json:"ops"`
+	Aborts uint64 `json:"aborts"`
+}
+
+// AbortPct returns aborts per started transaction, in percent.
+func (s StructStat) AbortPct() float64 {
+	if s.Ops+s.Aborts == 0 {
+		return 0
+	}
+	return 100 * float64(s.Aborts) / float64(s.Ops+s.Aborts)
+}
+
+// structStatser is implemented by workload instances that attribute aborts
+// per structure (the mixed map+queue workload); Run folds the result into
+// Measurement.Structs.
+type structStatser interface {
+	StructStats() map[string]StructStat
 }
 
 // Run builds the workload and drives it with rc.Threads workers.
@@ -248,7 +304,7 @@ func Run(spec Spec, rc RunConfig) (*Measurement, error) {
 		if err != nil {
 			return nil, err
 		}
-		ctxs[i] = &OpCtx{Th: th, RNG: rng.New(rc.Seed + uint64(i)*1e9), S: s, Policy: rc.Free}
+		ctxs[i] = &OpCtx{Th: th, RNG: rng.New(rc.Seed + uint64(i)*1e9), S: s, Policy: rc.Free, ZipfTheta: rc.ZipfTheta}
 	}
 
 	var wg sync.WaitGroup
@@ -310,8 +366,12 @@ func Run(spec Spec, rc RunConfig) (*Measurement, error) {
 		Layout:          rc.OrecLayout.String(),
 		Clock:           rc.Clock.String(),
 		OrderBatch:      rc.OrderBatch,
+		ZipfTheta:       rc.ZipfTheta,
 		ReclaimCollects: s.ReclaimStats().Collects,
 		Exhausted:       exhausted.Load(),
+	}
+	if ss, ok := inst.(structStatser); ok {
+		m.Structs = ss.StructStats()
 	}
 	for _, ctx := range ctxs {
 		m.Stats.Add(ctx.Th.Stats())

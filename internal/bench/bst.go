@@ -70,7 +70,7 @@ func (t *bst) insertDirect(s *stm.STM, k stm.Word) {
 
 // Op performs one insert, delete or lookup of a uniformly random key.
 func (t *bst) Op(ctx *OpCtx, mix Mix) {
-	k := stm.Word(ctx.RNG.Intn(t.keys))
+	k := stm.Word(ctx.Key(t.keys))
 	p := ctx.RNG.Pct()
 	switch {
 	case p < mix.InsertPct:

@@ -127,6 +127,9 @@ type HarnessConfig struct {
 	// DisableSandbox turns off validate-before-dangerous-use checkpoints
 	// for every cell (ablation).
 	DisableSandbox bool
+	// ZipfTheta skews the key distribution for every cell (0 = uniform,
+	// the paper's setting; (0,1) = YCSB-style Zipf, larger is hotter).
+	ZipfTheta float64
 }
 
 func (hc *HarnessConfig) fill() {
@@ -156,20 +159,7 @@ func runCell(spec Spec, rc RunConfig, reps int) (*Measurement, error) {
 		if err != nil {
 			return nil, err
 		}
-		if agg == nil {
-			agg = m
-			agg.RepThroughputs = append(agg.RepThroughputs, m.Throughput)
-			continue
-		}
-		agg.Ops += m.Ops
-		agg.Elapsed += m.Elapsed
-		agg.Stats.Add(&m.Stats)
-		agg.ReclaimCollects += m.ReclaimCollects
-		agg.Exhausted = agg.Exhausted || m.Exhausted
-		agg.RepThroughputs = append(agg.RepThroughputs, m.Throughput)
-	}
-	if agg.Elapsed > 0 {
-		agg.Throughput = float64(agg.Ops) / agg.Elapsed.Seconds()
+		agg = mergeInto(agg, m)
 	}
 	return agg, nil
 }
@@ -219,6 +209,7 @@ func runThroughput(w io.Writer, fig Figure, hc HarnessConfig) ([]*Measurement, e
 				OrecLayout: hc.OrecLayout, DisableHintCache: hc.DisableHintCache,
 				Clock: hc.Clock, OrderBatch: hc.OrderBatch,
 				Free: hc.Free, DisableSandbox: hc.DisableSandbox,
+				ZipfTheta: hc.ZipfTheta,
 			}, hc.Reps)
 			if err != nil {
 				return nil, err
@@ -257,6 +248,7 @@ func runFenceStats(w io.Writer, fig Figure, hc HarnessConfig) ([]*Measurement, e
 					OrecLayout: hc.OrecLayout, DisableHintCache: hc.DisableHintCache,
 					Clock: hc.Clock, OrderBatch: hc.OrderBatch,
 					Free: hc.Free, DisableSandbox: hc.DisableSandbox,
+					ZipfTheta: hc.ZipfTheta,
 				}, hc.Reps)
 				if err != nil {
 					return nil, err
@@ -317,6 +309,7 @@ func runOverhead(w io.Writer, hc HarnessConfig) ([]*Measurement, error) {
 				OrecLayout: hc.OrecLayout, DisableHintCache: hc.DisableHintCache,
 				Clock: hc.Clock, OrderBatch: hc.OrderBatch,
 				Free: hc.Free, DisableSandbox: hc.DisableSandbox,
+				ZipfTheta: hc.ZipfTheta,
 			}, hc.Reps)
 			if err != nil {
 				return nil, err

@@ -67,7 +67,7 @@ func (h *hashtable) insertDirect(s *stm.STM, n stm.Addr, k stm.Word) {
 
 // Op performs one insert, delete or lookup of a uniformly random key.
 func (h *hashtable) Op(ctx *OpCtx, mix Mix) {
-	k := stm.Word(ctx.RNG.Intn(h.keys))
+	k := stm.Word(ctx.Key(h.keys))
 	p := ctx.RNG.Pct()
 	head := h.bucketOf(k)
 	switch {

@@ -27,7 +27,10 @@ type jsonMeasurement struct {
 	// default CAS-per-commit global clock (older files predate the field).
 	Clock string `json:"clock,omitempty"`
 	// OrderBatch is the Ord flat-combining bound the cell ran with (0 = off).
-	OrderBatch int     `json:"order_batch,omitempty"`
+	OrderBatch int `json:"order_batch,omitempty"`
+	// ZipfTheta is the key-distribution skew the cell ran with (0 = uniform,
+	// the default for all figures predating -zipf).
+	ZipfTheta  float64 `json:"zipf_theta,omitempty"`
 	Ops        uint64  `json:"ops"`
 	Seconds    float64 `json:"seconds"`
 	Throughput float64 `json:"ops_per_sec"`
@@ -56,9 +59,25 @@ type jsonMeasurement struct {
 	ReclaimCollects uint64 `json:"reclaim_collects,omitempty"`
 	// SandboxValidations counts validate-before-dangerous-use checkpoints.
 	SandboxValidations uint64 `json:"sandbox_validations,omitempty"`
+	// SemanticSkips counts commit-time validations skipped because the
+	// operation commuted at the abstract level (tds counter-shaped ops).
+	SemanticSkips uint64 `json:"semantic_skips,omitempty"`
+	// AbstractLockConflicts counts aborts caused by abstract-lock (semantic
+	// stripe) acquisition or validation failure rather than word-level orecs.
+	AbstractLockConflicts uint64 `json:"abstract_lock_conflicts,omitempty"`
+	// Structs carries per-structure op/abort attribution for mixed
+	// workloads (e.g. "map" and "queue" in the tds cell).
+	Structs map[string]jsonStructStat `json:"structs,omitempty"`
 	// Exhausted marks a cell that ran the heap out of address space before
 	// completing its quota (leak-policy soak cells).
 	Exhausted bool `json:"exhausted,omitempty"`
+}
+
+// jsonStructStat is the on-disk per-structure abort attribution.
+type jsonStructStat struct {
+	Ops      uint64  `json:"ops"`
+	Aborts   uint64  `json:"aborts"`
+	AbortPct float64 `json:"abort_pct"`
 }
 
 // jsonMicro is the on-disk form of one read-path microbenchmark result.
@@ -94,6 +113,11 @@ func (jm *jsonMeasurement) cellKey() string {
 	}
 	if jm.OrderBatch > 0 {
 		k += fmt.Sprintf("|b%d", jm.OrderBatch)
+	}
+	// Key skew distinguishes cells the same way: uniform (the historic
+	// default) adds nothing, so old baselines keep matching.
+	if jm.ZipfTheta > 0 {
+		k += fmt.Sprintf("|z%.2f", jm.ZipfTheta)
 	}
 	return k
 }
@@ -132,32 +156,41 @@ func WriteJSONReport(w io.Writer, label string, ms []*Measurement, micro []Micro
 			clk = "" // default scheme: keep old files byte-comparable
 		}
 		jm := jsonMeasurement{
-			Fig:                m.Fig,
-			Workload:           m.Workload,
-			Algorithm:          m.Algorithm,
-			Threads:            m.Threads,
-			Mix:                m.Mix.String(),
-			OrecLayout:         m.Layout,
-			Clock:              clk,
-			OrderBatch:         m.OrderBatch,
-			Ops:                m.Ops,
-			Seconds:            m.Elapsed.Seconds(),
-			Throughput:         m.Throughput,
-			Stddev:             stddev(m.RepThroughputs),
-			Runs:               len(m.RepThroughputs),
-			Aborts:             m.Stats.Aborts,
-			Commits:            m.Stats.Commits,
-			Fenced:             m.Stats.Fenced,
-			Validation:         m.Stats.Validations,
-			Extensions:         m.Stats.Extensions,
-			Serialized:         m.Stats.Serialized,
-			Stalls:             m.Stats.FenceStalls,
-			ClockTicks:         m.Stats.ClockTicks,
-			ClockAdvances:      m.Stats.ClockAdvances,
-			Combined:           m.Stats.Combined,
-			ReclaimCollects:    m.ReclaimCollects,
-			SandboxValidations: m.Stats.SandboxValidations,
-			Exhausted:          m.Exhausted,
+			Fig:                   m.Fig,
+			Workload:              m.Workload,
+			Algorithm:             m.Algorithm,
+			Threads:               m.Threads,
+			Mix:                   m.Mix.String(),
+			OrecLayout:            m.Layout,
+			Clock:                 clk,
+			OrderBatch:            m.OrderBatch,
+			Ops:                   m.Ops,
+			Seconds:               m.Elapsed.Seconds(),
+			Throughput:            m.Throughput,
+			Stddev:                stddev(m.RepThroughputs),
+			Runs:                  len(m.RepThroughputs),
+			Aborts:                m.Stats.Aborts,
+			Commits:               m.Stats.Commits,
+			Fenced:                m.Stats.Fenced,
+			Validation:            m.Stats.Validations,
+			Extensions:            m.Stats.Extensions,
+			Serialized:            m.Stats.Serialized,
+			Stalls:                m.Stats.FenceStalls,
+			ClockTicks:            m.Stats.ClockTicks,
+			ClockAdvances:         m.Stats.ClockAdvances,
+			Combined:              m.Stats.Combined,
+			ReclaimCollects:       m.ReclaimCollects,
+			SandboxValidations:    m.Stats.SandboxValidations,
+			SemanticSkips:         m.Stats.SemanticSkips,
+			AbstractLockConflicts: m.Stats.AbstractLockConflicts,
+			ZipfTheta:             m.ZipfTheta,
+			Exhausted:             m.Exhausted,
+		}
+		if len(m.Structs) > 0 {
+			jm.Structs = make(map[string]jsonStructStat, len(m.Structs))
+			for name, ss := range m.Structs {
+				jm.Structs[name] = jsonStructStat{Ops: ss.Ops, Aborts: ss.Aborts, AbortPct: ss.AbortPct()}
+			}
 		}
 		if len(m.PairDeltas) > 0 {
 			jm.PairedMedianPct = Median(m.PairDeltas)
@@ -256,6 +289,29 @@ func Compare(w io.Writer, oldPath, newPath string) (worstPct float64, err error)
 		fmt.Fprintf(w, "%-4s %-22s %-14s %7d %9s  %12.0f %12.0f %+7.1f%%\n",
 			nc.Fig, nc.Workload, layout, nc.Threads, nc.Mix,
 			oc.Throughput, nc.Throughput, pct)
+		if nc.SemanticSkips > 0 || oc.SemanticSkips > 0 {
+			fmt.Fprintf(w, "     · semantic skips %d -> %d, abstract-lock conflicts %d -> %d\n",
+				oc.SemanticSkips, nc.SemanticSkips,
+				oc.AbstractLockConflicts, nc.AbstractLockConflicts)
+		}
+		if len(nc.Structs) > 0 || len(oc.Structs) > 0 {
+			names := make([]string, 0, len(nc.Structs)+len(oc.Structs))
+			seen := map[string]bool{}
+			for name := range oc.Structs {
+				names, seen[name] = append(names, name), true
+			}
+			for name := range nc.Structs {
+				if !seen[name] {
+					names = append(names, name)
+				}
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				os, ns := oc.Structs[name], nc.Structs[name]
+				fmt.Fprintf(w, "     · %-8s abort rate %5.2f%% -> %5.2f%%  (%d/%d -> %d/%d aborts/ops)\n",
+					name, os.AbortPct, ns.AbortPct, os.Aborts, os.Ops, ns.Aborts, ns.Ops)
+			}
+		}
 	}
 
 	if len(oldFile.Micro) > 0 && len(newFile.Micro) > 0 {

@@ -65,7 +65,7 @@ func (m *multilist) insertDirect(s *stm.STM, n stm.Addr, k stm.Word) {
 // Op performs one insert, delete or lookup of a uniformly random key in
 // the key's home list.
 func (m *multilist) Op(ctx *OpCtx, mix Mix) {
-	k := stm.Word(ctx.RNG.Intn(m.nlist * m.entries))
+	k := stm.Word(ctx.Key(m.nlist * m.entries))
 	p := ctx.RNG.Pct()
 	head := m.headOf(k)
 	switch {

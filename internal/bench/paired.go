@@ -46,6 +46,17 @@ func mergeInto(agg, m *Measurement) *Measurement {
 	agg.Ops += m.Ops
 	agg.Elapsed += m.Elapsed
 	agg.Stats.Add(&m.Stats)
+	if len(m.Structs) > 0 {
+		if agg.Structs == nil {
+			agg.Structs = make(map[string]StructStat, len(m.Structs))
+		}
+		for name, ss := range m.Structs {
+			cur := agg.Structs[name]
+			cur.Ops += ss.Ops
+			cur.Aborts += ss.Aborts
+			agg.Structs[name] = cur
+		}
+	}
 	agg.ReclaimCollects += m.ReclaimCollects
 	agg.Exhausted = agg.Exhausted || m.Exhausted
 	agg.RepThroughputs = append(agg.RepThroughputs, m.Throughput)
@@ -59,6 +70,15 @@ func mergeInto(agg, m *Measurement) *Measurement {
 // pairs: pairs× (one A run, then one B run). Both sides of a pair use the
 // same seed so they execute the same operation stream.
 func RunPaired(spec Spec, a, b RunConfig, pairs int) (*PairedResult, error) {
+	return RunPairedSpecs(spec, a, spec, b, pairs)
+}
+
+// RunPairedSpecs is RunPaired generalized to sides that differ in the
+// workload spec as well as the run configuration — e.g. a semantic data
+// structure against its word-level baseline. The interleaving and the
+// shared per-pair seed are the same; comparability of the op streams is the
+// caller's responsibility (both specs should consume RNG draws identically).
+func RunPairedSpecs(specA Spec, a RunConfig, specB Spec, b RunConfig, pairs int) (*PairedResult, error) {
 	if pairs <= 0 {
 		pairs = 1
 	}
@@ -68,11 +88,11 @@ func RunPaired(spec Spec, a, b RunConfig, pairs int) (*PairedResult, error) {
 		ra, rb := a, b
 		ra.Seed += bump
 		rb.Seed += bump
-		ma, err := Run(spec, ra)
+		ma, err := Run(specA, ra)
 		if err != nil {
 			return nil, err
 		}
-		mb, err := Run(spec, rb)
+		mb, err := Run(specB, rb)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,310 @@
+package bench
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	stm "privstm"
+	"privstm/internal/rng"
+	"privstm/internal/tds"
+	"privstm/tlib"
+)
+
+// The mixed map+queue workload behind `stmbench -tdssweep`: a
+// producer/consumer cell that exercises semantic conflict detection where
+// it should pay off. Under the paper's 40/40/20 mix the percentages are
+// reinterpreted as map-RMW / queue-op / map-lookup:
+//
+//   - InsertPct:  a mutation of a (Zipf-skewed) map key — 3/4 read-modify-
+//     write increments, 1/4 deletes. The delete/re-insert churn keeps hot
+//     buckets structurally unstable, which is exactly the false-conflict
+//     source key-level abstract locks exist to kill: a word-level map walk
+//     logs every chain pointer it crosses, so churn on ANY key in the
+//     bucket aborts it, while the tds walk reads weakly and conflicts only
+//     on its own key's stripe;
+//   - DeletePct:  a coin-flip queue push or pop — the counter-shaped ops
+//     whose size updates commute and skip validation;
+//   - remainder:  a plain map lookup.
+//
+// Both implementations run the identical operation plan: mixedInstance owns
+// the RNG consumption and op shape, and a two-method-set backend supplies
+// either the semantic structures (internal/tds) or their word-level
+// baselines (tlib, where every queue op serializes on the size word and
+// every map op conflicts at bucket granularity). That keeps paired A/B runs
+// (RunPairedSpecs) executing the same key/value streams on both sides.
+type mixedBackend interface {
+	mapGet(tx *stm.Tx, k stm.Word) (stm.Word, bool)
+	mapPut(tx *stm.Tx, k, v stm.Word)
+	mapDel(tx *stm.Tx, k stm.Word) bool
+	mapLen(tx *stm.Tx) int
+	qPush(tx *stm.Tx, v stm.Word) bool
+	qPop(tx *stm.Tx) (stm.Word, bool)
+	qLen(tx *stm.Tx) int
+}
+
+type mixedInstance struct {
+	b    mixedBackend
+	keys int
+
+	// Conservation ledger, updated only after the owning op's transaction
+	// committed. The audit in Check replays against these.
+	incrs      atomic.Uint64 // committed map increments
+	deletedSum atomic.Uint64 // value mass destroyed by committed deletes
+	pushes     atomic.Uint64
+	pops       atomic.Uint64
+	pushedSum  atomic.Uint64
+	poppedSum  atomic.Uint64
+
+	// Per-structure abort attribution (structStatser).
+	mapOps    atomic.Uint64
+	mapAborts atomic.Uint64
+	qOps      atomic.Uint64
+	qAborts   atomic.Uint64
+
+	// auditTh is any worker's thread, stashed during Op so the post-run
+	// Check (which has no thread of its own — MaxThreads is exactly the
+	// worker count) can run single-threaded audit transactions.
+	auditTh atomic.Pointer[stm.Thread]
+}
+
+// Op runs one operation; see the package comment for the mix meaning.
+func (mi *mixedInstance) Op(ctx *OpCtx, mix Mix) {
+	mi.auditTh.CompareAndSwap(nil, ctx.Th)
+	p := ctx.RNG.Pct()
+	before := ctx.Th.Stats().Aborts
+	switch {
+	case p < mix.InsertPct: // map mutation: 3/4 increment, 1/4 delete
+		k := stm.Word(ctx.Key(mi.keys))
+		if ctx.RNG.Intn(4) == 0 {
+			var gone stm.Word
+			_ = ctx.Th.Atomic(func(tx *stm.Tx) {
+				gone, _ = mi.b.mapGet(tx, k)
+				if !mi.b.mapDel(tx, k) {
+					gone = 0
+				}
+			})
+			mi.deletedSum.Add(uint64(gone))
+		} else {
+			_ = ctx.Th.Atomic(func(tx *stm.Tx) {
+				v, _ := mi.b.mapGet(tx, k)
+				mi.b.mapPut(tx, k, v+1)
+			})
+			mi.incrs.Add(1)
+		}
+		mi.mapOps.Add(1)
+		mi.mapAborts.Add(ctx.Th.Stats().Aborts - before)
+	case p < mix.InsertPct+mix.DeletePct: // queue producer/consumer
+		if ctx.RNG.Intn(2) == 0 {
+			v := stm.Word(ctx.RNG.Intn(1 << 16))
+			pushed := false
+			_ = ctx.Th.Atomic(func(tx *stm.Tx) {
+				pushed = mi.b.qPush(tx, v)
+			})
+			if pushed {
+				mi.pushes.Add(1)
+				mi.pushedSum.Add(uint64(v))
+			}
+		} else {
+			var v stm.Word
+			took := false
+			_ = ctx.Th.Atomic(func(tx *stm.Tx) {
+				v, took = mi.b.qPop(tx)
+			})
+			if took {
+				mi.pops.Add(1)
+				mi.poppedSum.Add(uint64(v))
+			}
+		}
+		mi.qOps.Add(1)
+		mi.qAborts.Add(ctx.Th.Stats().Aborts - before)
+	default: // map lookup
+		k := stm.Word(ctx.Key(mi.keys))
+		_ = ctx.Th.Atomic(func(tx *stm.Tx) {
+			_, _ = mi.b.mapGet(tx, k)
+		})
+		mi.mapOps.Add(1)
+		mi.mapAborts.Add(ctx.Th.Stats().Aborts - before)
+	}
+}
+
+// StructStats attributes ops and aborts to the structure that incurred them.
+func (mi *mixedInstance) StructStats() map[string]StructStat {
+	return map[string]StructStat{
+		"map":   {Ops: mi.mapOps.Load(), Aborts: mi.mapAborts.Load()},
+		"queue": {Ops: mi.qOps.Load(), Aborts: mi.qAborts.Load()},
+	}
+}
+
+var errMixedAudit = fmt.Errorf("mixed audit rollback")
+
+// Check validates conservation after the workers join: the map's value sum
+// equals the committed increment count, and the queue's length and element
+// sum match the push/pop ledger. The queue is drained inside a canceled
+// transaction so the structure survives for Size/Dump.
+func (mi *mixedInstance) Check(s *stm.STM) error {
+	th := mi.auditTh.Load()
+	if th == nil {
+		return nil // no ops ran
+	}
+	var (
+		sum     uint64
+		present int
+		mlen    int
+		qlen    int
+		qsum    uint64
+		drained int
+	)
+	if err := th.Atomic(func(tx *stm.Tx) {
+		sum, present = 0, 0
+		for k := 0; k < mi.keys; k++ {
+			if v, ok := mi.b.mapGet(tx, stm.Word(k)); ok {
+				sum += uint64(v)
+				present++
+			}
+		}
+		mlen = mi.b.mapLen(tx)
+	}); err != nil {
+		return err
+	}
+	if err := th.Atomic(func(tx *stm.Tx) {
+		qlen = mi.b.qLen(tx)
+		qsum, drained = 0, 0
+		for {
+			v, ok := mi.b.qPop(tx)
+			if !ok {
+				break
+			}
+			qsum += uint64(v)
+			drained++
+		}
+		tx.Cancel(errMixedAudit)
+	}); err != errMixedAudit {
+		return fmt.Errorf("audit drain: expected rollback, got %v", err)
+	}
+	if want := mi.incrs.Load() - mi.deletedSum.Load(); sum != want {
+		return fmt.Errorf("map value sum %d, increments minus deleted mass %d", sum, want)
+	}
+	if mlen != present {
+		return fmt.Errorf("map Len %d, keys present %d", mlen, present)
+	}
+	want := int(mi.pushes.Load()) - int(mi.pops.Load())
+	if qlen != want {
+		return fmt.Errorf("queue Len %d, pushes-pops %d", qlen, want)
+	}
+	if drained != want {
+		return fmt.Errorf("queue drained %d elements, ledger says %d", drained, want)
+	}
+	if qsum != mi.pushedSum.Load()-mi.poppedSum.Load() {
+		return fmt.Errorf("queue element sum %d, ledger %d", qsum, mi.pushedSum.Load()-mi.poppedSum.Load())
+	}
+	return nil
+}
+
+// Size returns map entries plus queued elements.
+func (mi *mixedInstance) Size(s *stm.STM) int {
+	th := mi.auditTh.Load()
+	if th == nil {
+		return 0
+	}
+	n := 0
+	_ = th.Atomic(func(tx *stm.Tx) {
+		n = mi.b.mapLen(tx) + mi.b.qLen(tx)
+	})
+	return n
+}
+
+// Dump returns the present map keys in ascending order.
+func (mi *mixedInstance) Dump(s *stm.STM) []uint64 {
+	th := mi.auditTh.Load()
+	if th == nil {
+		return nil
+	}
+	var out []uint64
+	_ = th.Atomic(func(tx *stm.Tx) {
+		out = out[:0]
+		for k := 0; k < mi.keys; k++ {
+			if _, ok := mi.b.mapGet(tx, stm.Word(k)); ok {
+				out = append(out, uint64(k))
+			}
+		}
+	})
+	return out
+}
+
+// tdsBackend adapts internal/tds's semantic structures.
+type tdsBackend struct {
+	m *tds.Map
+	q *tds.Queue
+}
+
+func (b *tdsBackend) mapGet(tx *stm.Tx, k stm.Word) (stm.Word, bool) { return b.m.Get(tx, k) }
+func (b *tdsBackend) mapPut(tx *stm.Tx, k, v stm.Word)               { b.m.Put(tx, k, v) }
+func (b *tdsBackend) mapDel(tx *stm.Tx, k stm.Word) bool             { return b.m.Delete(tx, k) }
+func (b *tdsBackend) mapLen(tx *stm.Tx) int                          { return b.m.Len(tx) }
+func (b *tdsBackend) qPush(tx *stm.Tx, v stm.Word) bool              { b.q.Push(tx, v); return true }
+func (b *tdsBackend) qPop(tx *stm.Tx) (stm.Word, bool)               { return b.q.Pop(tx) }
+func (b *tdsBackend) qLen(tx *stm.Tx) int                            { return b.q.Len(tx) }
+
+// tlibBackend adapts the word-level baselines.
+type tlibBackend struct {
+	m *tlib.Map
+	q *tlib.Queue
+}
+
+func (b *tlibBackend) mapGet(tx *stm.Tx, k stm.Word) (stm.Word, bool) { return b.m.Get(tx, k) }
+func (b *tlibBackend) mapPut(tx *stm.Tx, k, v stm.Word)               { _ = b.m.Put(tx, k, v) }
+func (b *tlibBackend) mapDel(tx *stm.Tx, k stm.Word) bool             { return b.m.Delete(tx, k) }
+func (b *tlibBackend) mapLen(tx *stm.Tx) int                          { return b.m.Len(tx) }
+func (b *tlibBackend) qPush(tx *stm.Tx, v stm.Word) bool              { return b.q.Enqueue(tx, v) == nil }
+func (b *tlibBackend) qPop(tx *stm.Tx) (stm.Word, bool)               { return b.q.Dequeue(tx) }
+func (b *tlibBackend) qLen(tx *stm.Tx) int                            { return b.q.Len(tx) }
+
+// TdsMixed returns the mixed map+queue workload backed by internal/tds
+// (useTds) or by the tlib word-level baselines. Both variants share one
+// workload name so -compare matches their cells across JSON files; the
+// implementation is recorded in the file label instead.
+func TdsMixed(buckets, keys, stripes int, useTds bool) Spec {
+	if buckets <= 0 {
+		buckets = 16
+	}
+	if keys <= 0 {
+		keys = 256
+	}
+	if stripes <= 0 {
+		stripes = 256
+	}
+	name := fmt.Sprintf("mixed map+queue %db/%dk", buckets, keys)
+	return Spec{
+		Name: name,
+		// Room for the full key set, the queue's random-walk excursion, and
+		// reclamation lag; the tds side allocates transactionally and a
+		// mid-transaction out-of-memory panic would strand the txn.
+		HeapWords: 1 << 20,
+		OrecCount: 1 << 12,
+		Build: func(s *stm.STM, r *rng.RNG) (Instance, error) {
+			var b mixedBackend
+			if useTds {
+				m, err := tds.NewMap(s, buckets, stripes)
+				if err != nil {
+					return nil, err
+				}
+				q, err := tds.NewQueue(s)
+				if err != nil {
+					return nil, err
+				}
+				b = &tdsBackend{m: m, q: q}
+			} else {
+				m, err := tlib.NewMap(s, buckets, 2*keys)
+				if err != nil {
+					return nil, err
+				}
+				q, err := tlib.NewQueue(s, 1<<15)
+				if err != nil {
+					return nil, err
+				}
+				b = &tlibBackend{m: m, q: q}
+			}
+			return &mixedInstance{b: b, keys: keys}, nil
+		},
+	}
+}

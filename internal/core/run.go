@@ -144,5 +144,9 @@ func runOnce(e Engine, t *Thread, body func()) (done bool, err error) {
 		}
 	}()
 	body()
-	return e.Commit(t), nil
+	if e.Commit(t) {
+		t.FinishCommit() // apply RetireOnCommit + settle txn allocations
+		return true, nil
+	}
+	return false, nil
 }

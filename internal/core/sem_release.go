@@ -1,0 +1,12 @@
+//go:build !privstm_semlock_race
+
+package core
+
+// semReleaseBump is the amount a stripe's packed word advances when a
+// committed writer releases it: +2 keeps the word even (unowned) and bumps
+// the version, so every transaction that sampled the stripe before this
+// commit fails its validation. The privstm_semlock_race build recreates the
+// historical broken release (no bump) for the schedule explorer's positive
+// control: with it, `make explore-tds` must FIND a serializability
+// violation.
+const semReleaseBump = 2

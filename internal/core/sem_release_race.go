@@ -1,0 +1,10 @@
+//go:build privstm_semlock_race
+
+package core
+
+// Broken abstract-lock release for the explorer's positive control: the
+// stripe is unlocked without bumping its version, so a transaction that
+// sampled it before a conflicting commit still validates — a
+// serializability hole the tds exploration corpus must rediscover (see
+// Makefile explore-tds and internal/tds sched tests).
+const semReleaseBump = 0

@@ -49,6 +49,10 @@ type Thread struct {
 	Undo  logs.Undo
 	Redo  logs.Redo
 	Acq   logs.Acquired
+	// Sem is the semantic-layer log (sem.go): abstract-lock stripes sampled
+	// and to acquire, plus commuting counter deltas. Empty — and free — for
+	// plain word-level transactions.
+	Sem logs.SemLog
 
 	// Clk is the thread-local clock of ClockLocal mode: the high-water
 	// mark of this thread's own write timestamps, merged with the global
@@ -74,6 +78,21 @@ type Thread struct {
 	// Attempts counts consecutive aborts of the current Run, for
 	// contention-management backoff.
 	Attempts int
+	// EpochPinned is set when an invisible transaction registered itself on
+	// the active tracker solely to block epoch reclamation under its weak
+	// reads (ReadWeak); PublishInactive releases the pin. A transaction that
+	// later turns Visible (hybrid/writerOnly mode switches) inherits the
+	// tracker entry instead of re-entering.
+	EpochPinned bool
+	// TxnAllocs are extents allocated by MustAllocTxn across the attempts of
+	// the current Run: entries below txnAllocCur are consumed by the current
+	// attempt, the rest are leftovers from aborted attempts awaiting reuse
+	// (FinishCommit retires whatever a committed attempt did not consume).
+	TxnAllocs   []TxnExtent
+	txnAllocCur int
+	// commitRetires is the RetireOnCommit schedule: extents the current
+	// attempt unlinked, retired by FinishCommit iff the attempt commits.
+	commitRetires []TxnExtent
 	// LastCommitTS is the write timestamp of this thread's most recent
 	// writer commit (recorded by CommitTS). Under the deferred clock modes
 	// a commit does not advance the global clock, so Clock.Now() sampled
@@ -130,8 +149,17 @@ func (t *Thread) PublishActive(ts uint64) {
 // timestamp. The stall watchdog keys blocker identity on it.
 func (t *Thread) BeginSeq() uint64 { return t.pubSeq.Load() }
 
-// PublishInactive announces that this thread has no live transaction.
-func (t *Thread) PublishInactive() { t.pub.Store(0) }
+// PublishInactive announces that this thread has no live transaction. It is
+// the universal transaction-end path (every engine's commit and abort
+// protocol runs it), so it also releases the weak-read epoch pin: a pinned
+// transaction leaves the active tracker here, unblocking reclamation.
+func (t *Thread) PublishInactive() {
+	if t.EpochPinned {
+		t.RT.Active.Leave(t)
+		t.EpochPinned = false
+	}
+	t.pub.Store(0)
+}
 
 // Published returns the announced state: begin timestamp and liveness.
 func (t *Thread) Published() (beginTS uint64, active bool) {
@@ -157,6 +185,9 @@ func (t *Thread) ResetTxnState() {
 	t.ExtendOK = false
 	t.VisPub.Reset()
 	t.visCache.Reset()
+	t.Sem.Reset()
+	t.txnAllocCur = 0 // leftovers from an aborted attempt are re-handed out
+	t.commitRetires = t.commitRetires[:0]
 }
 
 // StartSnapshot records ts as the transaction's begin time and initializes

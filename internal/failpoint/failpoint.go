@@ -136,6 +136,24 @@ const (
 	// that turns an epoch bug into a user-visible torn read — the explorer
 	// orders other workers' steps against it.
 	HeapReuse = "heap/alloc/reuse"
+
+	// --- Abstract locks / semantic conflict detection (internal/tds,
+	// CORRECTNESS.md §15) ---
+
+	// SemAcquired fires after a committing writer wins one abstract-lock
+	// stripe, before it acquires the next or validates its sampled stripes.
+	// Window: stripes must exclude every conflicting semantic commit for the
+	// whole acquire→release span, exactly like orecs.
+	SemAcquired = "core/sem/acquired"
+	// SemRelease fires before each abstract-lock stripe release or delta
+	// bump in SemPostCommit. Window: the version bump must be observable to
+	// any transaction that can observe the committed data (bump-before-
+	// visibility: SemPostCommit runs while the word orecs are still owned).
+	SemRelease = "core/sem/release"
+	// SemQuiesceWait fires once per poll of the weak-reader quiescence wait
+	// (Thread.WeakQuiesce): the privatizing thread is waiting for every
+	// tracked transaction that began before its commit to complete.
+	SemQuiesceWait = "core/sem/quiesce-wait"
 )
 
 // waitSites is the set of points that sit inside wait/poll loops: a worker
@@ -151,6 +169,8 @@ var waitSites = map[string]bool{
 	OrderWait:     true,
 	CombineWait:   true,
 	CMWait:        true,
+
+	SemQuiesceWait: true,
 }
 
 // IsWaitSite reports whether name is a wait-loop yield point (see

@@ -221,6 +221,15 @@ func (h *Heap) AtomicStore(a Addr, w Word) {
 	atomic.StoreUint64(&h.words[a], uint64(w))
 }
 
+// AtomicAdd atomically adds d to the word at a and returns the new value.
+// It is the commit-path primitive for commuting (delta) updates — counter
+// words maintained by the semantic layer (internal/tds): concurrent commits
+// apply their deltas in any order without conflicting. Negative deltas are
+// expressed in two's complement (Word arithmetic wraps).
+func (h *Heap) AtomicAdd(a Addr, d Word) Word {
+	return Word(atomic.AddUint64(&h.words[a], uint64(d)))
+}
+
 // Load reads a word with plain semantics. Only correct for data the caller
 // privately owns (e.g. after privatization).
 //

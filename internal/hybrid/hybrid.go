@@ -80,7 +80,13 @@ func (e *Engine) maybeGoVisible(t *core.Thread) {
 	if t.Reads.Len() <= e.rt.HybridThreshold || e.rt.CommitSignal() <= t.BeginSignal {
 		return
 	}
-	e.rt.Active.EnterAt(t, t.BeginTS)
+	if t.EpochPinned {
+		// Weak reads already registered us on the tracker at BeginTS (the
+		// epoch pin); adopt that entry rather than double-entering.
+		t.EpochPinned = false
+	} else {
+		e.rt.Active.EnterAt(t, t.BeginTS)
+	}
 	failpoint.Eval(failpoint.BeginEnteredBeforePublish)
 	t.Visible = true
 	t.Stats.ModeSwitches++
@@ -96,6 +102,10 @@ func (e *Engine) maybeGoVisible(t *core.Thread) {
 	}
 }
 
+// SemanticCommitCapable marks that Commit runs the abstract-lock hooks of
+// the semantic conflict layer (core.SemCommitter).
+func (e *Engine) SemanticCommitCapable() {}
+
 // Commit combines the ordered commit of §IV with the PVR writer-side scan:
 // acquire, take a ticket, validate, write back, wait to be served, scan for
 // partially visible readers while still owning the write set, release in
@@ -103,6 +113,11 @@ func (e *Engine) maybeGoVisible(t *core.Thread) {
 func (e *Engine) Commit(t *core.Thread) bool {
 	rt := e.rt
 	if !t.Wrote {
+		if !t.SemPreCommit() {
+			e.cleanupAbort(t)
+			return false
+		}
+		t.SemPostCommit()
 		if t.Visible {
 			rt.Active.Leave(t)
 		}
@@ -115,8 +130,14 @@ func (e *Engine) Commit(t *core.Thread) bool {
 		return false
 	}
 	failpoint.Eval(failpoint.AcquiredBeforeWriteback)
+	if !t.SemPreCommit() {
+		t.Acq.RestoreAll()
+		e.cleanupAbort(t)
+		return false
+	}
 	ticket := rt.Order.Take()
 	if !t.ValidateReads() {
+		t.SemAbortRelease()
 		rt.Order.Wait(ticket)
 		rt.Order.Done(ticket)
 		t.Acq.RestoreAll()
@@ -124,6 +145,7 @@ func (e *Engine) Commit(t *core.Thread) bool {
 		return false
 	}
 	wts := t.CommitTS()
+	t.SemPostCommit()
 	t.Redo.WriteBack(rt.Heap)
 	if !rt.Order.Served(ticket) {
 		t.Stats.OrderWaits++

@@ -1,0 +1,212 @@
+package logs
+
+import (
+	"sync/atomic"
+
+	"privstm/internal/heap"
+)
+
+// This file implements the per-transaction log of the *semantic* conflict
+// layer (internal/tds, CORRECTNESS.md §15): abstract-lock stripes sampled
+// (reads), stripes the commit must acquire (writes), and commuting counter
+// deltas that skip validation entirely (Proust/boosting-style commutativity).
+//
+// A stripe is one padded atomic word in a core.SemTable, packed exactly like
+// an orec owner word: even = version<<1 (unowned), odd = tid<<1|1 (owned by
+// a committing writer). The log stores raw *atomic.Uint64 stripe pointers so
+// it stays ignorant of the table layout; exactness of deduplication is by
+// pointer comparison, with the caller-supplied 32-bit key (table id mixed
+// with stripe index) serving only as the probe key of the epoch-stamped
+// filter (filter.go).
+
+// SemRead records one sampled stripe: the packed word observed at sample
+// time. Commit-time validation demands the stripe still carries Seen (or is
+// owned by this very transaction with Seen as its pre-acquisition value).
+type SemRead struct {
+	Stripe *atomic.Uint64
+	Seen   uint64
+}
+
+// SemWrite records one stripe the commit must acquire. Prev is filled at
+// acquisition time with the displaced unowned word, needed both to release
+// (Prev + bump) and to restore on abort.
+type SemWrite struct {
+	Stripe *atomic.Uint64
+	Prev   uint64
+}
+
+// SemDeltaEntry is one commuting counter update: add Delta to the word at
+// Addr at commit, after bumping Stripe so concurrent samplers of the
+// counter's stripe revalidate. Deltas to the same address accumulate in the
+// log, so a transaction that pushes three items records one +3.
+type SemDeltaEntry struct {
+	Stripe *atomic.Uint64
+	Addr   heap.Addr
+	Delta  heap.Word
+}
+
+// SemLog is the per-transaction semantic log. Like the word-level logs it
+// is built for reuse: Reset is O(1) via the filters' epoch bumps, and
+// steady-state transactions allocate nothing.
+type SemLog struct {
+	reads  []SemRead
+	rkeys  []uint32
+	rf     filter
+	writes []SemWrite
+	wkeys  []uint32
+	wf     filter
+	deltas []SemDeltaEntry
+	df     filter
+}
+
+// Empty reports whether the transaction recorded no semantic activity at
+// all — the fast path that keeps the commit hooks free for plain word-level
+// transactions.
+func (l *SemLog) Empty() bool {
+	return len(l.reads) == 0 && len(l.writes) == 0 && len(l.deltas) == 0
+}
+
+func (l *SemLog) readKeyAt(i int) uint32  { return l.rkeys[i] }
+func (l *SemLog) writeKeyAt(i int) uint32 { return l.wkeys[i] }
+func (l *SemLog) deltaKeyAt(i int) uint32 { return semDeltaKey(l.deltas[i].Addr) }
+
+// semDeltaKey condenses a counter address into the filter's key space (same
+// scatter as the redo log's address key).
+func semDeltaKey(a heap.Addr) uint32 {
+	return uint32(uint64(a) * 0x9e3779b97f4a7c15 >> 33)
+}
+
+// AddRead records a sample of stripe s (probe key key) that observed the
+// packed word seen. A re-sample of a stripe already logged returns whether
+// the new observation matches the recorded one: false means the stripe
+// moved between two samples of the same transaction, which is a semantic
+// conflict the caller must abort on (the first sample anchors the
+// transaction's abstract snapshot; there is no stripe-level extension).
+func (l *SemLog) AddRead(key uint32, s *atomic.Uint64, seen uint64) bool {
+	if l.rf.needGrow(len(l.reads)) {
+		l.rf.grow(32, len(l.reads), l.readKeyAt)
+	}
+	slot := l.rf.start(key)
+	for {
+		i := l.rf.at(slot)
+		if i < 0 {
+			l.rf.put(slot, len(l.reads))
+			l.reads = append(l.reads, SemRead{Stripe: s, Seen: seen})
+			l.rkeys = append(l.rkeys, key)
+			return true
+		}
+		if e := &l.reads[i]; e.Stripe == s {
+			return e.Seen == seen
+		}
+		slot = l.rf.next(slot)
+	}
+}
+
+// AddWrite records that the commit must acquire stripe s (probe key key).
+// Duplicates collapse: one acquisition per distinct stripe.
+func (l *SemLog) AddWrite(key uint32, s *atomic.Uint64) {
+	if l.wf.needGrow(len(l.writes)) {
+		l.wf.grow(32, len(l.writes), l.writeKeyAt)
+	}
+	slot := l.wf.start(key)
+	for {
+		i := l.wf.at(slot)
+		if i < 0 {
+			l.wf.put(slot, len(l.writes))
+			l.writes = append(l.writes, SemWrite{Stripe: s})
+			l.wkeys = append(l.wkeys, key)
+			return
+		}
+		if l.writes[i].Stripe == s {
+			return
+		}
+		slot = l.wf.next(slot)
+	}
+}
+
+// AddDelta records a commuting update of d to the counter word at a, covered
+// by stripe s. Deltas to the same address accumulate.
+func (l *SemLog) AddDelta(s *atomic.Uint64, a heap.Addr, d heap.Word) {
+	if l.df.needGrow(len(l.deltas)) {
+		l.df.grow(16, len(l.deltas), l.deltaKeyAt)
+	}
+	slot := l.df.start(semDeltaKey(a))
+	for {
+		i := l.df.at(slot)
+		if i < 0 {
+			l.df.put(slot, len(l.deltas))
+			l.deltas = append(l.deltas, SemDeltaEntry{Stripe: s, Addr: a, Delta: d})
+			return
+		}
+		if e := &l.deltas[i]; e.Addr == a {
+			e.Delta += d
+			return
+		}
+		slot = l.df.next(slot)
+	}
+}
+
+// PendingDelta returns the delta accumulated for the counter word at a so
+// far this transaction — read-your-writes for commuting counters: a reader
+// of the counter adds this to the committed word it loaded. Uses the filter,
+// so it costs one probe.
+func (l *SemLog) PendingDelta(a heap.Addr) heap.Word {
+	if len(l.deltas) == 0 {
+		return 0
+	}
+	slot := l.df.start(semDeltaKey(a))
+	for {
+		i := l.df.at(slot)
+		if i < 0 {
+			return 0
+		}
+		if e := &l.deltas[i]; e.Addr == a {
+			return e.Delta
+		}
+		slot = l.df.next(slot)
+	}
+}
+
+// PrevOf returns the pre-acquisition word recorded for stripe s, for
+// validating a sampled stripe the transaction itself now owns. Linear scan:
+// write sets of semantic transactions are a handful of stripes.
+func (l *SemLog) PrevOf(s *atomic.Uint64) (uint64, bool) {
+	for i := range l.writes {
+		if l.writes[i].Stripe == s {
+			return l.writes[i].Prev, true
+		}
+	}
+	return 0, false
+}
+
+// ReadsLen returns the number of distinct sampled stripes.
+func (l *SemLog) ReadsLen() int { return len(l.reads) }
+
+// ReadAt returns the i-th sampled stripe.
+func (l *SemLog) ReadAt(i int) *SemRead { return &l.reads[i] }
+
+// WritesLen returns the number of distinct stripes to acquire.
+func (l *SemLog) WritesLen() int { return len(l.writes) }
+
+// WriteAt returns the i-th write stripe.
+func (l *SemLog) WriteAt(i int) *SemWrite { return &l.writes[i] }
+
+// DeltasLen returns the number of distinct counter words with pending
+// deltas.
+func (l *SemLog) DeltasLen() int { return len(l.deltas) }
+
+// DeltaAt returns the i-th accumulated delta.
+func (l *SemLog) DeltaAt(i int) *SemDeltaEntry { return &l.deltas[i] }
+
+// Reset empties the log, retaining capacity; O(1) via the filters' epoch
+// bumps.
+func (l *SemLog) Reset() {
+	l.reads = l.reads[:0]
+	l.rkeys = l.rkeys[:0]
+	l.rf.reset()
+	l.writes = l.writes[:0]
+	l.wkeys = l.wkeys[:0]
+	l.wf.reset()
+	l.deltas = l.deltas[:0]
+	l.df.reset()
+}

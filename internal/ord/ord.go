@@ -73,12 +73,25 @@ func (e *Engine) Write(t *core.Thread, a heap.Addr, w heap.Word) {
 	t.Wrote = true
 }
 
+// SemanticCommitCapable marks that Commit runs the abstract-lock hooks of
+// the semantic conflict layer (core.SemCommitter).
+func (e *Engine) SemanticCommitCapable() {}
+
 // Commit implements the ordered commit. Aborting ticket holders still wait
 // for their turn before passing the ticket on, preserving the serving
-// sequence.
+// sequence. Abstract locks are acquired before the ticket (a busy stripe
+// aborts without entering the serving sequence) and released by
+// SemPostCommit before the write-back — whether this thread or a
+// flat-combining leader performs it — so stripe bumps always precede data
+// visibility.
 func (e *Engine) Commit(t *core.Thread) bool {
 	rt := e.rt
 	if !t.Wrote {
+		if !t.SemPreCommit() {
+			t.PublishInactive()
+			return false
+		}
+		t.SemPostCommit()
 		t.PublishInactive()
 		t.Stats.ReadOnlyCommits++
 		return true
@@ -88,11 +101,17 @@ func (e *Engine) Commit(t *core.Thread) bool {
 		return false
 	}
 	failpoint.Eval(failpoint.AcquiredBeforeWriteback)
+	if !t.SemPreCommit() {
+		t.Acq.RestoreAll()
+		t.PublishInactive()
+		return false
+	}
 	if e.useQueue {
 		return e.commitQueue(t)
 	}
 	ticket := rt.Order.Take()
 	if !t.ValidateReads() {
+		t.SemAbortRelease()
 		rt.Order.Wait(ticket)
 		rt.Order.Done(ticket)
 		t.Acq.RestoreAll()
@@ -100,6 +119,7 @@ func (e *Engine) Commit(t *core.Thread) bool {
 		return false
 	}
 	wts := t.CommitTS()
+	t.SemPostCommit()
 	if c := rt.Combine; c != nil {
 		// Flat-combining path (Config.OrderBatch): publish the validated
 		// commit and either have the current leader perform it, or — once
@@ -133,6 +153,7 @@ func (e *Engine) commitQueue(t *core.Thread) bool {
 	rt := e.rt
 	n := rt.OrderQ.Enqueue()
 	if !t.ValidateReads() {
+		t.SemAbortRelease()
 		rt.OrderQ.Wait(n)
 		rt.OrderQ.Done(n)
 		t.Acq.RestoreAll()
@@ -140,6 +161,7 @@ func (e *Engine) commitQueue(t *core.Thread) bool {
 		return false
 	}
 	wts := t.CommitTS()
+	t.SemPostCommit()
 	t.Redo.WriteBack(rt.Heap)
 	t.Stats.OrderWaits++
 	rt.OrderQ.Wait(n)

@@ -128,7 +128,14 @@ func (e *Engine) Write(t *core.Thread, a heap.Addr, w heap.Word) {
 // write. (If the validation passes, every later-committing conflicting
 // writer's scan is ordered after our hint stores and will fence.)
 func (e *Engine) goVisible(t *core.Thread) {
-	e.rt.Active.EnterAt(t, t.BeginTS)
+	if t.EpochPinned {
+		// Weak reads already registered us on the tracker at BeginTS (the
+		// epoch pin); adopt that entry rather than double-entering, which
+		// would corrupt the list tracker's linkage.
+		t.EpochPinned = false
+	} else {
+		e.rt.Active.EnterAt(t, t.BeginTS)
+	}
 	failpoint.Eval(failpoint.BeginEnteredBeforePublish)
 	t.Visible = true
 	t.Stats.ModeSwitches++
@@ -141,13 +148,28 @@ func (e *Engine) goVisible(t *core.Thread) {
 	}
 }
 
+// SemanticCommitCapable marks that Commit runs the abstract-lock hooks of
+// the semantic conflict layer (core.SemCommitter).
+func (e *Engine) SemanticCommitCapable() {}
+
 // Commit finishes the transaction. Writers validate their read set, scan
 // their owned orecs for possible reader conflicts, release ownership at a
 // fresh timestamp, leave the central list, and only then — per §II-D —
-// wait at the privatization fence if a conflict was found.
+// wait at the privatization fence if a conflict was found. Abstract locks
+// are acquired before the commit timestamp (the word orecs are already
+// held from encounter time) and released by SemPostCommit before the
+// orecs, so stripe bumps precede data visibility.
 func (e *Engine) Commit(t *core.Thread) bool {
 	rt := e.rt
 	if !t.Wrote {
+		if !t.SemPreCommit() {
+			if t.Visible {
+				rt.Active.Leave(t)
+			}
+			t.PublishInactive()
+			return false
+		}
+		t.SemPostCommit()
 		if t.Visible {
 			rt.Active.Leave(t)
 		}
@@ -155,8 +177,13 @@ func (e *Engine) Commit(t *core.Thread) bool {
 		t.Stats.ReadOnlyCommits++
 		return true
 	}
+	if !t.SemPreCommit() {
+		e.rollback(t)
+		return false
+	}
 	wts := t.CommitTS()
 	if !t.SkipCommitValidation(wts) && !t.ValidateReads() {
+		t.SemAbortRelease()
 		e.rollback(t)
 		return false
 	}
@@ -168,6 +195,7 @@ func (e *Engine) Commit(t *core.Thread) bool {
 		// time only add "extended delays" — cap them.
 		threshold = wts
 	}
+	t.SemPostCommit()
 	t.Acq.ReleaseAll(wts)
 	rt.Active.Leave(t)
 	t.PublishInactive()

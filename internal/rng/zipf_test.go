@@ -1,0 +1,68 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfRangeAndDeterminism(t *testing.T) {
+	a := NewZipf(New(9), 1000, 0.8)
+	b := NewZipf(New(9), 1000, 0.8)
+	for i := 0; i < 10000; i++ {
+		va, vb := a.Next(), b.Next()
+		if va != vb {
+			t.Fatalf("streams diverged at %d: %d vs %d", i, va, vb)
+		}
+		if va >= 1000 {
+			t.Fatalf("draw %d out of range", va)
+		}
+	}
+}
+
+// TestZipfSkew checks the defining property against the exact CDF: the mass
+// on the hottest ranks grows with theta and tracks the analytic value.
+func TestZipfSkew(t *testing.T) {
+	const n, draws = 1000, 200000
+	for _, theta := range []float64{0.2, 0.5, 0.8, 0.99} {
+		z := NewZipf(New(1), n, theta)
+		top := 0 // draws landing in the hottest 10 ranks
+		for i := 0; i < draws; i++ {
+			if z.Next() < 10 {
+				top++
+			}
+		}
+		want := zeta(10, theta) / zeta(n, theta)
+		got := float64(top) / draws
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("theta %.2f: top-10 mass %.4f, analytic %.4f", theta, got, want)
+		}
+		if theta >= 0.8 && got < 0.2 {
+			t.Errorf("theta %.2f: expected heavy skew, top-10 mass only %.4f", theta, got)
+		}
+	}
+}
+
+func TestZipfHottestFirst(t *testing.T) {
+	z := NewZipf(New(3), 100, 0.9)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	if !(counts[0] > counts[1] && counts[1] > counts[5] && counts[5] > counts[50]) {
+		t.Errorf("rank frequencies not decreasing: c0=%d c1=%d c5=%d c50=%d",
+			counts[0], counts[1], counts[5], counts[50])
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, bad := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("theta %v accepted", bad)
+				}
+			}()
+			NewZipf(New(1), 10, bad)
+		}()
+	}
+}

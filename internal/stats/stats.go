@@ -13,31 +13,34 @@ import "fmt"
 // a multiple of the cache-line size so adjacent threads' counters never
 // false-share.
 type Counters struct {
-	Commits            uint64 // transactions committed
-	Aborts             uint64 // transactions aborted (then retried)
-	WriterCommits      uint64 // committed transactions that performed ≥1 write
-	ReadOnlyCommits    uint64 // committed transactions with no writes
-	Fenced             uint64 // writer commits that waited at the privatization fence
-	FenceSpins         uint64 // backoff iterations spent inside fences
-	PVReads            uint64 // transactional reads executed in partially visible mode
-	PVUpdates          uint64 // partial-visibility metadata updates performed
-	PVSkipped          uint64 // partial-visibility updates skipped (read was covered)
-	PVCacheHits        uint64 // skips resolved by the thread-local hint cache (no vis load)
-	PVMultiSets        uint64 // updates that only set the multiple-readers bit
-	Validations        uint64 // full read-set validations
-	Extensions         uint64 // successful snapshot (timestamp) extensions
-	OrderWaits         uint64 // commits that waited for strict-ordering turns
-	StoreRaces         uint64 // retries of the store-only visibility protocol
-	GraceRaces         uint64 // grace-adaptation CAS attempts lost to concurrent adapters
-	ModeSwitches       uint64 // hybrid/writer-only transitions to visible mode
-	Serialized         uint64 // commits via the serialized-irrevocable fallback
-	FenceStalls        uint64 // stall-watchdog firings inside fences
-	ClockTicks         uint64 // commit-path global-clock RMWs (0 under the deferred clock modes)
-	ClockAdvances      uint64 // deferred-mode future-timestamp publications (reader/fence AdvanceTo)
-	Combined           uint64 // commits whose write-back a flat-combining leader performed
-	CombineLeads       uint64 // combining leads that served ≥1 follower commit
-	SandboxValidations uint64 // validate-before-dangerous-use checkpoints executed
-	Ops                uint64 // benchmark-level operations completed
+	Commits               uint64 // transactions committed
+	Aborts                uint64 // transactions aborted (then retried)
+	WriterCommits         uint64 // committed transactions that performed ≥1 write
+	ReadOnlyCommits       uint64 // committed transactions with no writes
+	Fenced                uint64 // writer commits that waited at the privatization fence
+	FenceSpins            uint64 // backoff iterations spent inside fences
+	PVReads               uint64 // transactional reads executed in partially visible mode
+	PVUpdates             uint64 // partial-visibility metadata updates performed
+	PVSkipped             uint64 // partial-visibility updates skipped (read was covered)
+	PVCacheHits           uint64 // skips resolved by the thread-local hint cache (no vis load)
+	PVMultiSets           uint64 // updates that only set the multiple-readers bit
+	Validations           uint64 // full read-set validations
+	Extensions            uint64 // successful snapshot (timestamp) extensions
+	OrderWaits            uint64 // commits that waited for strict-ordering turns
+	StoreRaces            uint64 // retries of the store-only visibility protocol
+	GraceRaces            uint64 // grace-adaptation CAS attempts lost to concurrent adapters
+	ModeSwitches          uint64 // hybrid/writer-only transitions to visible mode
+	Serialized            uint64 // commits via the serialized-irrevocable fallback
+	FenceStalls           uint64 // stall-watchdog firings inside fences
+	ClockTicks            uint64 // commit-path global-clock RMWs (0 under the deferred clock modes)
+	ClockAdvances         uint64 // deferred-mode future-timestamp publications (reader/fence AdvanceTo)
+	Combined              uint64 // commits whose write-back a flat-combining leader performed
+	CombineLeads          uint64 // combining leads that served ≥1 follower commit
+	SandboxValidations    uint64 // validate-before-dangerous-use checkpoints executed
+	SemanticSkips         uint64 // commuting (delta) updates applied without validation (internal/tds)
+	AbstractLockConflicts uint64 // commit-time abstract-lock acquisitions or validations that failed
+	WeakReads             uint64 // unlogged reads covered by abstract locks (Tx.LoadWeak)
+	Ops                   uint64 // benchmark-level operations completed
 }
 
 // Add accumulates o into c.
@@ -66,6 +69,9 @@ func (c *Counters) Add(o *Counters) {
 	c.Combined += o.Combined
 	c.CombineLeads += o.CombineLeads
 	c.SandboxValidations += o.SandboxValidations
+	c.SemanticSkips += o.SemanticSkips
+	c.AbstractLockConflicts += o.AbstractLockConflicts
+	c.WeakReads += o.WeakReads
 	c.Ops += o.Ops
 }
 

@@ -1,0 +1,40 @@
+//go:build privstm_semlock_race
+
+package tds
+
+import (
+	"strings"
+	"testing"
+
+	stm "privstm"
+	"privstm/internal/sched"
+)
+
+// TestSemLockRaceCaught is the positive control: with the stripe version
+// bump compiled out (this build tag substitutes core/sem_release_race.go —
+// a release restores the pre-acquisition word, so samplers never learn a
+// writer committed under them), the explorer must find a committed torn
+// read in the very program whose schedule corpus passes clean under the
+// production release (TestSemLockExplorationCorpus), and the failing trace
+// must reproduce deterministically under Replay.
+//
+// Run via `make explore-tds`:
+//
+//	go test -tags privstm_semlock_race -run TestSemLockRaceCaught -v ./internal/tds
+func TestSemLockRaceCaught(t *testing.T) {
+	res, n := sched.ExploreDFS(sched.Config{}, 4000,
+		func() (sched.Config, []func()) { return semLockExploreProgram(stm.Ord) })
+	if res == nil {
+		t.Fatalf("explorer missed the broken abstract-lock release in %d schedules", n)
+	}
+	if !strings.Contains(res.Err.Error(), "semantic-lock serializability violation") {
+		t.Fatalf("found a different failure: %v", res.Err)
+	}
+	t.Logf("caught in %d schedules: %v\n  trace: %v", n, res.Err, res.Trace)
+
+	cfg, bodies := semLockExploreProgram(stm.Ord)
+	rep := sched.Replay(cfg, res.Trace, bodies...)
+	if rep.Err == nil || !strings.Contains(rep.Err.Error(), "semantic-lock serializability violation") {
+		t.Fatalf("replay of the failing trace did not reproduce: %v", rep.Err)
+	}
+}

@@ -1,0 +1,118 @@
+package tds
+
+import stm "privstm"
+
+// PrivateList is a privatized chain of nodes handed out by the escape-hatch
+// operations (Map.PrivateSnapshot, Queue.DrainPrivate). The privatizing
+// transaction has committed and quiesced before a PrivateList is returned,
+// so the nodes are unreachable from the shared structure and may be walked
+// with plain uninstrumented loads — no transactions, no orecs, no logging.
+//
+// The extents still live in the STM heap and MUST be returned to it:
+// call Retire (or retire each node yourself) when done, or the words leak
+// until process exit.
+type PrivateList struct {
+	s     *stm.STM
+	Head  stm.Addr // first node, or stm.Nil
+	Count int      // number of nodes in the chain
+	words int      // extent size of each node
+}
+
+// Each walks the chain, calling fn with each node's base address until fn
+// returns false. The next pointer is word 0 of every node; mark bits are
+// stripped (a privatized map chain can contain nodes that were marked by a
+// Delete racing the snapshot's doomed rivals — the link words are committed
+// state, the marks are dead metadata).
+func (p *PrivateList) Each(fn func(node stm.Addr) bool) {
+	for n := p.Head; n != stm.Nil; {
+		next := unmark(p.s.DirectLoad(n))
+		if !fn(n) {
+			return
+		}
+		n = next
+	}
+}
+
+// Retire walks the chain and hands every node's extent to th's epoch
+// reclaimer, emptying the list.
+func (p *PrivateList) Retire(th *stm.Thread) {
+	for n := p.Head; n != stm.Nil; {
+		next := unmark(p.s.DirectLoad(n))
+		th.Retire(n, p.words)
+		n = next
+	}
+	p.Head = stm.Nil
+	p.Count = 0
+}
+
+// PrivateSnapshot detaches bucket b wholesale and returns its chain for
+// uninstrumented traversal. The transaction write-acquires b's bucket
+// stripe — the abstract lock every operation on the bucket samples — so
+// any concurrent Put/Get/Delete in b whose weak traversal overlapped the
+// snapshot is doomed at its own commit, even though its logged word set is
+// disjoint from the single head word written here. The walk itself uses
+// logged reads: the count must be commit-exact, and logged validation kills
+// doomed walks promptly (a weak walk inside a doomed transaction could
+// chase reused memory).
+//
+// After the commit, the calling thread quiesces weak readers
+// (Thread.WeakQuiesce) before the chain is handed out: invisible weak
+// traversals are not covered by the engine's privatization fence, and one
+// could still hold pre-snapshot pointers into the chain. See
+// CORRECTNESS.md §15.
+func (m *Map) PrivateSnapshot(th *stm.Thread, b int) (*PrivateList, error) {
+	if !m.s.Algorithm().Safe() {
+		return nil, ErrNotPrivatizationSafe
+	}
+	var head stm.Addr
+	var count int
+	err := th.Atomic(func(tx *stm.Tx) {
+		tx.SemSample(m.sem, m.bucketStripe(b))
+		tx.SemIntendWrite(m.sem, m.bucketStripe(b))
+		head = tx.LoadAddr(m.head(b))
+		count = 0
+		for n := head; n != stm.Nil; n = unmark(tx.Load(n)) {
+			count++
+		}
+		tx.StoreAddr(m.head(b), stm.Nil)
+		if count > 0 {
+			tx.SemDelta(m.sem, 0, m.size, ^stm.Word(uint64(count)-1)) // -count
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	th.WeakQuiesce()
+	return &PrivateList{s: m.s, Head: head, Count: count, words: mapNodeWords}, nil
+}
+
+// DrainPrivate detaches the queue's entire chain and returns it for
+// uninstrumented traversal, leaving the queue empty. Head and tail are
+// rewritten with logged (privatizing) stores; the logged walk makes the
+// count commit-exact and keeps doomed walks finite. The same post-commit
+// weak-reader quiescence as PrivateSnapshot applies before the chain is
+// handed out.
+func (q *Queue) DrainPrivate(th *stm.Thread) (*PrivateList, error) {
+	if !q.s.Algorithm().Safe() {
+		return nil, ErrNotPrivatizationSafe
+	}
+	var head stm.Addr
+	var count int
+	err := th.Atomic(func(tx *stm.Tx) {
+		head = tx.LoadAddr(q.head)
+		count = 0
+		for n := head; n != stm.Nil; n = tx.LoadAddr(n) {
+			count++
+		}
+		tx.StoreAddr(q.head, stm.Nil)
+		tx.StoreAddr(q.tail, stm.Nil)
+		if count > 0 {
+			tx.SemDelta(q.sem, 0, q.size, ^stm.Word(uint64(count)-1)) // -count
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	th.WeakQuiesce()
+	return &PrivateList{s: q.s, Head: head, Count: count, words: queueNodeWords}, nil
+}

@@ -1,0 +1,34 @@
+package tds
+
+import stm "privstm"
+
+// Set is a transactional set of words: a Map with a fixed value, inheriting
+// its key-level conflict detection (two transactions on different keys of
+// one bucket never conflict) and commuting size counter.
+type Set struct {
+	m *Map
+}
+
+// NewSet allocates a set with the given bucket and key-stripe counts.
+func NewSet(s *stm.STM, buckets, stripes int) (*Set, error) {
+	m, err := NewMap(s, buckets, stripes)
+	if err != nil {
+		return nil, err
+	}
+	return &Set{m: m}, nil
+}
+
+// Add inserts k inside tx.
+func (s *Set) Add(tx *stm.Tx, k stm.Word) { s.m.Put(tx, k, 1) }
+
+// Remove deletes k inside tx, reporting whether it was present.
+func (s *Set) Remove(tx *stm.Tx, k stm.Word) bool { return s.m.Delete(tx, k) }
+
+// Contains reports whether k is present inside tx.
+func (s *Set) Contains(tx *stm.Tx, k stm.Word) bool {
+	_, ok := s.m.Get(tx, k)
+	return ok
+}
+
+// Len returns the element count inside tx.
+func (s *Set) Len(tx *stm.Tx) int { return s.m.Len(tx) }

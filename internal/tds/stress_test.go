@@ -1,0 +1,118 @@
+package tds
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	stm "privstm"
+)
+
+// TestMixedStress is the -race mixed workload: the 40/40/20 shape of the
+// benchmark (map updates / queue producer-consumer / map lookups) hammered
+// from several threads, with an occasional private drain thrown in, and the
+// books balanced at the end:
+//
+//   - every queue token is conserved: pushed == popped + privately drained +
+//     still enqueued;
+//   - per-thread map key ranges end with exactly the increments applied;
+//   - privately drained nodes are readable uninstrumented and retire clean.
+func TestMixedStress(t *testing.T) {
+	const (
+		workers = 4
+		iters   = 300
+	)
+	for _, alg := range []stm.Algorithm{stm.Ord, stm.PVRStore, stm.PVRHybrid} {
+		t.Run(alg.String(), func(t *testing.T) {
+			s := newSTM(t, alg)
+			m, _ := NewMap(s, 8, 64)
+			q, _ := NewQueue(s)
+			var pushed, popped, drained atomic.Uint64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				th := s.MustNewThread()
+				base := stm.Word(w * 100)
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						switch i % 10 {
+						case 0, 1, 2, 3: // 40%: read-modify-write a map key
+							k := base + stm.Word(i%25)
+							_ = th.Atomic(func(tx *stm.Tx) {
+								v, _ := m.Get(tx, k)
+								m.Put(tx, k, v+1)
+							})
+						case 4, 5: // 20%: produce
+							_ = th.Atomic(func(tx *stm.Tx) { q.Push(tx, 1) })
+							pushed.Add(1)
+						case 6, 7: // 20%: consume
+							took := false
+							_ = th.Atomic(func(tx *stm.Tx) {
+								_, took = q.Pop(tx)
+							})
+							if took {
+								popped.Add(1)
+							}
+						default: // 20%: lookups
+							k := base + stm.Word(i%25)
+							_ = th.Atomic(func(tx *stm.Tx) {
+								m.Get(tx, k)
+								m.Len(tx)
+								q.Len(tx)
+							})
+						}
+						if w == 0 && i%97 == 96 && alg.Safe() {
+							pl, err := q.DrainPrivate(th)
+							if err != nil {
+								t.Error(err)
+								return
+							}
+							n := 0
+							pl.Each(func(node stm.Addr) bool {
+								if s.DirectLoad(node+1) != 1 {
+									t.Error("drained token corrupted")
+								}
+								n++
+								return true
+							})
+							if n != pl.Count {
+								t.Errorf("drain walked %d, Count %d", n, pl.Count)
+							}
+							drained.Add(uint64(pl.Count))
+							pl.Retire(th)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			th := s.MustNewThread()
+			_ = th.Atomic(func(tx *stm.Tx) {
+				rem := 0
+				for {
+					if _, ok := q.Pop(tx); !ok {
+						break
+					}
+					rem++
+				}
+				if got := popped.Load() + drained.Load() + uint64(rem); got != pushed.Load() {
+					t.Errorf("token leak: pushed %d, accounted %d (popped %d, drained %d, remaining %d)",
+						pushed.Load(), got, popped.Load(), drained.Load(), rem)
+				}
+				var sum stm.Word
+				for w := 0; w < workers; w++ {
+					for i := 0; i < 25; i++ {
+						if v, ok := m.Get(tx, stm.Word(w*100+i)); ok {
+							sum += v
+						}
+					}
+				}
+				// 4 of every 10 iterations increment; iters multiple of 10.
+				if want := stm.Word(workers * iters * 4 / 10); sum != want {
+					t.Errorf("map increments = %d, want %d", sum, want)
+				}
+				tx.Cancel(errAudit) // audit only; roll the drain back
+			})
+		})
+	}
+}

@@ -48,12 +48,24 @@ func (e *Engine) Write(t *core.Thread, a heap.Addr, w heap.Word) {
 	t.Wrote = true
 }
 
+// SemanticCommitCapable marks that Commit runs the abstract-lock hooks of
+// the semantic conflict layer (core.SemCommitter).
+func (e *Engine) SemanticCommitCapable() {}
+
 // Commit is the TL2 protocol: lock the write set, increment the clock,
 // validate the read set (skipped when no other writer intervened), write
-// back, and release the locks at the new timestamp.
+// back, and release the locks at the new timestamp. Abstract locks ride
+// alongside: acquired and validated after the word-level write set
+// (SemPreCommit), published before any word becomes visible
+// (SemPostCommit runs before the write-back).
 func (e *Engine) Commit(t *core.Thread) bool {
 	rt := e.rt
 	if !t.Wrote {
+		if !t.SemPreCommit() {
+			t.PublishInactive()
+			return false
+		}
+		t.SemPostCommit()
 		t.PublishInactive()
 		t.Stats.ReadOnlyCommits++
 		return true
@@ -63,12 +75,19 @@ func (e *Engine) Commit(t *core.Thread) bool {
 		return false
 	}
 	failpoint.Eval(failpoint.AcquiredBeforeWriteback)
-	wts := t.CommitTS()
-	if !t.SkipCommitValidation(wts) && !t.ValidateReads() {
+	if !t.SemPreCommit() {
 		t.Acq.RestoreAll()
 		t.PublishInactive()
 		return false
 	}
+	wts := t.CommitTS()
+	if !t.SkipCommitValidation(wts) && !t.ValidateReads() {
+		t.SemAbortRelease()
+		t.Acq.RestoreAll()
+		t.PublishInactive()
+		return false
+	}
+	t.SemPostCommit()
 	t.Redo.WriteBack(rt.Heap)
 	t.Acq.ReleaseAll(wts)
 	t.PublishInactive()

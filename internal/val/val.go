@@ -60,11 +60,20 @@ func (e *Engine) Write(t *core.Thread, a heap.Addr, w heap.Word) {
 	t.Wrote = true
 }
 
-// Commit runs the TL2-style ordered steps (acquire, tick, validate,
-// write back, release) and then executes the validation fence.
+// SemanticCommitCapable marks that Commit runs the abstract-lock hooks of
+// the semantic conflict layer (core.SemCommitter).
+func (e *Engine) SemanticCommitCapable() {}
+
+// Commit runs the TL2-style ordered steps (acquire, abstract locks, tick,
+// validate, write back, release) and then executes the validation fence.
 func (e *Engine) Commit(t *core.Thread) bool {
 	rt := e.rt
 	if !t.Wrote {
+		if !t.SemPreCommit() {
+			t.PublishInactive()
+			return false
+		}
+		t.SemPostCommit()
 		t.PublishInactive()
 		t.Stats.ReadOnlyCommits++
 		return true
@@ -74,12 +83,19 @@ func (e *Engine) Commit(t *core.Thread) bool {
 		return false
 	}
 	failpoint.Eval(failpoint.AcquiredBeforeWriteback)
-	wts := t.CommitTS()
-	if !t.SkipCommitValidation(wts) && !t.ValidateReads() {
+	if !t.SemPreCommit() {
 		t.Acq.RestoreAll()
 		t.PublishInactive()
 		return false
 	}
+	wts := t.CommitTS()
+	if !t.SkipCommitValidation(wts) && !t.ValidateReads() {
+		t.SemAbortRelease()
+		t.Acq.RestoreAll()
+		t.PublishInactive()
+		return false
+	}
+	t.SemPostCommit()
 	t.Redo.WriteBack(rt.Heap)
 	t.Acq.ReleaseAll(wts)
 	t.PublishInactive()

@@ -615,3 +615,83 @@ func (tx *Tx) Retry() { tx.th.t.ConflictAbort() }
 // Cancel rolls the transaction back and makes Atomic return err without
 // retrying.
 func (tx *Tx) Cancel(err error) { tx.th.t.UserCancel(err) }
+
+// ---- Semantic conflict layer (internal/tds, CORRECTNESS.md §15) ----
+
+// SemTable is a table of abstract-lock stripes for semantic conflict
+// detection: containers map operations to stripes (by key or predicate) and
+// the commit protocol validates and acquires stripes alongside the
+// word-level orecs, so structurally overlapping but semantically disjoint
+// operations stop aborting each other. Create with NewSemTable; one table
+// per container instance.
+type SemTable = core.SemTable
+
+// NewSemTable creates an abstract-lock table with at least n stripes
+// (rounded up to a power of two). By convention stripe 0 is reserved for
+// commuting counters (Tx.SemDelta) and is never write-acquired.
+func NewSemTable(n int) *SemTable { return core.NewSemTable(n) }
+
+// SemanticCommitSupported reports whether the configured algorithm's commit
+// protocol runs the abstract-lock hooks. All eight built-in algorithms
+// support it; the check exists so semantic containers fail fast on an
+// engine that would silently skip stripe validation.
+func (s *STM) SemanticCommitSupported() bool {
+	_, ok := s.engine.(core.SemCommitter)
+	return ok
+}
+
+// SemSample records a read-side sample of stripe i of st: everything the
+// transaction observes under that abstract lock is valid iff the stripe is
+// unchanged at commit time. Aborts immediately if the stripe is owned by a
+// committing rival.
+func (tx *Tx) SemSample(st *SemTable, i uint32) { tx.th.t.SemSample(st, i) }
+
+// SemIntendWrite declares that the transaction semantically modifies the
+// state guarded by stripe i of st: the commit acquires the stripe and bumps
+// its version on release, invalidating every overlapping sampler.
+func (tx *Tx) SemIntendWrite(st *SemTable, i uint32) { tx.th.t.SemIntendWrite(st, i) }
+
+// SemDelta logs a commuting counter update: add d (two's complement for
+// decrements) to the word at a, applied with one atomic add at commit after
+// bumping stripe i — no word-level conflict, counted in
+// stats.SemanticSkips. The word must be maintained exclusively through
+// deltas, and its readers must sample stripe i (which must be one of the
+// never-acquired counter stripes, conventionally stripe 0).
+func (tx *Tx) SemDelta(st *SemTable, i uint32, a Addr, d Word) { tx.th.t.SemAddDelta(st, i, a, d) }
+
+// SemPending returns the delta this transaction has already logged against
+// the counter word at a — read-your-writes for SemDelta counters: deltas
+// only land at commit, so an in-transaction reader of the counter adds this
+// to the committed word it loaded.
+func (tx *Tx) SemPending(a Addr) Word { return tx.th.t.SemPendingDelta(a) }
+
+// LoadWeak performs an unlogged transactional read: the word is loaded
+// consistently (orec double-check) but never enters the read set, so only
+// the abstract locks the caller sampled certify it at commit. The first
+// weak read pins the transaction on the active tracker, blocking epoch
+// reclamation of anything retired after it — which is what makes chasing
+// weakly-read pointers safe. Use only under a sampled stripe.
+func (tx *Tx) LoadWeak(a Addr) Word { return tx.th.t.ReadWeak(a) }
+
+// LoadWeakAddr is LoadWeak for a word storing a heap address.
+func (tx *Tx) LoadWeakAddr(a Addr) Addr { return Addr(tx.th.t.ReadWeak(a)) }
+
+// MustAllocTxn allocates an n-word extent whose lifetime follows the
+// transaction: aborted attempts recycle it into the retry's allocations,
+// and a committed attempt that did not consume it retires it through the
+// epoch reclaimer. Words are NOT guaranteed zero — initialize every word
+// before publishing. Panics on heap exhaustion.
+func (tx *Tx) MustAllocTxn(n int) Addr { return tx.th.t.MustAllocTxn(n) }
+
+// RetireOnCommit schedules the n-word extent at a for epoch retirement iff
+// the running transaction commits — the right way for a transaction to free
+// a node it unlinks, since the unlink itself may abort.
+func (tx *Tx) RetireOnCommit(a Addr, n int) { tx.th.t.RetireOnCommit(a, n) }
+
+// WeakQuiesce blocks until every transaction that began before this
+// thread's latest commit has completed. Containers that hand out privatized
+// extents (tds.Map.PrivateSnapshot, tds.Queue.DrainPrivate) call it after
+// the privatizing commit: weak readers are invisible to the engines'
+// privatization fences, but all of them are pinned on the active tracker,
+// so this drains them before uninstrumented access begins.
+func (th *Thread) WeakQuiesce() { th.t.WeakQuiesce() }

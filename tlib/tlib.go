@@ -11,6 +11,14 @@
 // roll back with everything else — no leaks, no unsafe reclamation, and
 // nodes are never recycled while a doomed reader could still dereference
 // them (its timestamp validation aborts it first).
+//
+// Conflict detection here is word-level: every read a traversal performs
+// is logged and validated, so structurally adjacent but semantically
+// disjoint operations (two keys in one bucket chain, a producer and a
+// consumer sharing a queue's size word) can abort each other. That makes
+// these structures the measured baseline for internal/tds, whose semantic
+// containers certify traversals with abstract locks instead (see
+// `stmbench -tdssweep` and EXPERIMENTS.md "Semantic conflict detection").
 package tlib
 
 import (
