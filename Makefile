@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-faults test-faults-gv5 explore explore-reclaim explore-tds bench bench-json bench-smoke bench-readpath bench-readpath-smoke bench-clock bench-reclaim bench-tds bench-tds-smoke figures privtest stress cover clean lint lint-json
+.PHONY: all build test race test-faults test-faults-gv5 explore explore-reclaim explore-tds bench bench-json bench-smoke bench-readpath bench-readpath-smoke bench-clock bench-reclaim bench-tds bench-tds-smoke bench-remote-smoke figures privtest run-stmd stress cover clean lint lint-json
 
 all: build test lint
 
@@ -155,6 +155,20 @@ bench-readpath-smoke:
 # paper-scale invocations).
 figures:
 	$(GO) run ./cmd/stmbench -fig all -reps 3 -scale 4
+
+# Serve the transactional KV store on :7077 (SIGINT drains gracefully and
+# prints the final server/reclaim stats).
+run-stmd:
+	$(GO) run ./cmd/stmd -addr :7077
+
+# End-to-end smoke for the network path: stmd on a scratch port with a
+# 4-worker pool and a write-set-capped tenant, ~200 connections of Zipf
+# traffic from stmbench -remote, then SIGTERM. Asserts nonzero committed
+# transactions, quota aborts attributed to the capped tenant, zero
+# transport errors, and a clean drain (stmd exits nonzero if any reclaim
+# extents stay quarantined).
+bench-remote-smoke:
+	./scripts/remote_smoke.sh
 
 privtest:
 	$(GO) run ./cmd/privtest -iters 500

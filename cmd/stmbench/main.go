@@ -11,6 +11,7 @@
 //	stmbench -fig 3c -threads 1,2,4,8,16,32 -txns 100000
 //	stmbench -fig 3e -tracker list -noextend   # pre-optimization ablation
 //	stmbench -compare old.json new.json        # per-cell throughput deltas
+//	stmbench -remote :7077 -conns 1000 -dur 5s # drive a running stmd
 //	stmbench -list                   # show the experiment index
 package main
 
@@ -20,6 +21,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -64,11 +66,38 @@ func main() {
 		micro    = flag.Bool("micro", false, "also run the read-path microbenchmarks (embedded in -json output)")
 		tol      = flag.Float64("tolerance", 0, "with -compare: exit nonzero if the worst delta is below -tolerance percent (0 = report only)")
 		compare  = flag.Bool("compare", false, "compare two -json files: stmbench -compare old.json new.json")
+		remote   = flag.String("remote", "", "drive a running stmd at this address instead of the in-process harness")
+		conns    = flag.Int("conns", 200, "with -remote: concurrent client connections")
+		keys     = flag.Int("keys", 1<<16, "with -remote: key-space size")
+		batch    = flag.Int("batch", 4, "with -remote: keys per multi-key request")
+		rmix     = flag.String("remotemix", "", "with -remote: get/put/cas/delete/privatize mix (e.g. 70/20/5/4/1)")
+		tenants  = flag.String("tenants", "", "with -remote: weighted tenant list name:weight[,name:weight...]")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 		mutexPrf = flag.String("mutexprofile", "", "write a mutex-contention profile to this file at exit")
 	)
 	flag.Parse()
+
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if err := crossValidate(explicit, flagValues{
+		remote:     *remote,
+		fig:        *figID,
+		compare:    *compare,
+		tdscheck:   *tcheck,
+		list:       *list,
+		clocksweep: *csweep,
+		reclaim:    *rsweep,
+		tdssweep:   *tsweep,
+		micro:      *micro,
+		aa:         *aa,
+		algos:      *algos,
+		orderBatch: *obatch,
+		zipf:       *zipf,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "stmbench: %v\nstmbench: run with -h for flag usage\n", err)
+		os.Exit(2)
+	}
 
 	if *compare {
 		if flag.NArg() != 2 {
@@ -109,13 +138,18 @@ func main() {
 		}
 		return
 	}
-	if *figID == "" && !*micro && !*csweep && !*rsweep && !*tsweep {
-		fmt.Fprintln(os.Stderr, "stmbench: -fig is required (try -list, -micro, -clocksweep, -reclaimsweep, or -tdssweep)")
+	if *figID == "" && !*micro && !*csweep && !*rsweep && !*tsweep && *remote == "" {
+		fmt.Fprintln(os.Stderr, "stmbench: -fig is required (try -list, -micro, -remote, -clocksweep, -reclaimsweep, or -tdssweep)")
 		os.Exit(2)
 	}
 	if *zipf < 0 || *zipf >= 1 {
 		fmt.Fprintf(os.Stderr, "stmbench: bad -zipf %v (want 0 for uniform or theta in (0,1))\n", *zipf)
 		os.Exit(2)
+	}
+
+	if *remote != "" {
+		runRemote(*remote, *conns, *keys, *batch, *dur, *zipf, *seed, *rmix, *tenants, *jsonPath)
+		return
 	}
 
 	var trackerKind stm.TrackerKind
@@ -374,6 +408,63 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("# wrote %d measurements to %s\n", len(allMs), *jsonPath)
+	}
+}
+
+// runRemote dispatches the -remote macro-benchmark against a running stmd
+// and exits the mode (writing the cell to -json when asked).
+func runRemote(addr string, conns, keys, batch int, dur time.Duration,
+	zipf float64, seed uint64, mixSpec, tenantSpec, jsonPath string) {
+	mixv := bench.DefaultRemoteMix
+	if mixSpec != "" {
+		var g, p, c, d, pr int
+		if _, err := fmt.Sscanf(mixSpec, "%d/%d/%d/%d/%d", &g, &p, &c, &d, &pr); err != nil ||
+			g < 0 || p < 0 || c < 0 || d < 0 || pr < 0 || g+p+c+d+pr != 100 {
+			fmt.Fprintf(os.Stderr, "stmbench: bad -remotemix %q (want get/put/cas/delete/privatize summing to 100, e.g. 70/20/5/4/1)\n", mixSpec)
+			os.Exit(2)
+		}
+		mixv = bench.RemoteMix{GetPct: g, PutPct: p, CASPct: c, DeletePct: d, PrivatizePct: pr}
+	}
+	var rts []bench.RemoteTenant
+	if tenantSpec != "" {
+		for _, part := range strings.Split(tenantSpec, ",") {
+			name, wstr, hasWeight := strings.Cut(part, ":")
+			if name == "" {
+				fmt.Fprintf(os.Stderr, "stmbench: bad -tenants entry %q (want name or name:weight)\n", part)
+				os.Exit(2)
+			}
+			w := 1
+			if hasWeight {
+				n, err := strconv.Atoi(wstr)
+				if err != nil || n <= 0 {
+					fmt.Fprintf(os.Stderr, "stmbench: bad -tenants weight in %q (want a positive integer)\n", part)
+					os.Exit(2)
+				}
+				w = n
+			}
+			rts = append(rts, bench.RemoteTenant{Name: name, Weight: w})
+		}
+	}
+	rc := bench.RemoteConfig{
+		Addr:     addr,
+		Conns:    conns,
+		Duration: dur,
+		Keys:     keys,
+		Batch:    batch,
+		Zipf:     zipf,
+		Seed:     seed,
+		Mix:      mixv,
+		Tenants:  rts,
+	}
+	m, err := bench.RunRemote(os.Stdout, rc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stmbench:", err)
+		os.Exit(1)
+	}
+	if jsonPath != "" {
+		label := fmt.Sprintf("remote=%s conns=%d keys=%d batch=%d zipf=%.2f",
+			addr, rc.Conns, rc.Keys, rc.Batch, zipf)
+		writeJSONTo(jsonPath, label, []*bench.Measurement{m})
 	}
 }
 

@@ -107,28 +107,42 @@ type OpCtx struct {
 	// ZipfTheta skews Key draws (0 = uniform; see RunConfig.ZipfTheta).
 	ZipfTheta float64
 	free      []stm.Addr // FreePool only
-	zipf      map[int]*rng.Zipf
+	// Sampler cache: every workload draws from one key space, so the
+	// inline entry keeps the per-draw cost at two compares; the map only
+	// backs workloads mixing several spaces.
+	zipfN int
+	zipfZ *rng.Zipf
+	zipf  map[int]*rng.Zipf
 }
 
-// Key draws a key in [0, n): uniformly by default, Zipf(ZipfTheta) when the
-// run is skewed. Zipf rank 0 is the hottest key; ranks are used directly,
+// Key draws a key in [0, n): Zipf(ZipfTheta), where theta 0 is the uniform
+// limit (rng.NewZipf handles it; the draw is bit-identical to RNG.Intn, so
+// historical uniform key streams are unchanged). Zipf rank 0 is the hottest
+// key; ranks are used directly,
 // so hot keys are the low ones (for the modulo-hashed structures this
 // spreads the hottest ranks across distinct buckets/lists). Samplers share
 // the worker's RNG stream, so paired A/B runs with one seed draw identical
 // key sequences.
 func (c *OpCtx) Key(n int) int {
-	if c.ZipfTheta <= 0 {
+	if c.ZipfTheta == 0 {
+		// Draw-for-draw identical to the theta-0 sampler (rng.Zipf
+		// documents the equivalence, zipf_test pins it); going through
+		// RNG.Intn directly keeps the draw inlined on the hottest figure
+		// paths instead of paying a sampler call per key.
 		return c.RNG.Intn(n)
 	}
-	z := c.zipf[n]
-	if z == nil {
-		if c.zipf == nil {
-			c.zipf = make(map[int]*rng.Zipf, 2)
+	if n != c.zipfN || c.zipfZ == nil {
+		z := c.zipf[n]
+		if z == nil {
+			if c.zipf == nil {
+				c.zipf = make(map[int]*rng.Zipf, 2)
+			}
+			z = rng.NewZipf(c.RNG, uint64(n), c.ZipfTheta)
+			c.zipf[n] = z
 		}
-		z = rng.NewZipf(c.RNG, uint64(n), c.ZipfTheta)
-		c.zipf[n] = z
+		c.zipfN, c.zipfZ = n, z
 	}
-	return int(z.Next())
+	return int(c.zipfZ.Next())
 }
 
 // AllocNode returns a node of nodeWords words. Under FreePool it pops the
@@ -243,7 +257,11 @@ type Measurement struct {
 	// before finishing its operation quota (FreeLeak soak cells; Ops counts
 	// the operations completed before exhaustion).
 	Exhausted bool
-	Stats     stats.Counters
+	// Remote carries the macro-run fields of an stmbench -remote cell
+	// (connection count, latency quantiles, server-side abort deltas); nil
+	// for local cells.
+	Remote *RemoteStats
+	Stats  stats.Counters
 }
 
 // StructStat is one structure's share of a mixed workload.

@@ -68,6 +68,19 @@ type jsonMeasurement struct {
 	// Structs carries per-structure op/abort attribution for mixed
 	// workloads (e.g. "map" and "queue" in the tds cell).
 	Structs map[string]jsonStructStat `json:"structs,omitempty"`
+	// remote_* fields: present only on stmbench -remote macro cells.
+	// Threads then counts client connections; RemoteWorkers is the server's
+	// STM worker-pool size (the transactional footprint the connections
+	// multiplex onto).
+	RemoteConns          int               `json:"remote_conns,omitempty"`
+	RemoteWorkers        int               `json:"remote_workers,omitempty"`
+	RemoteP50Us          float64           `json:"remote_p50_us,omitempty"`
+	RemoteP99Us          float64           `json:"remote_p99_us,omitempty"`
+	RemoteQuotaAborts    uint64            `json:"remote_quota_aborts,omitempty"`
+	RemoteTenantQuota    map[string]uint64 `json:"remote_tenant_quota_aborts,omitempty"`
+	RemoteDeadlineAborts uint64            `json:"remote_deadline_aborts,omitempty"`
+	RemotePrivatizeOps   uint64            `json:"remote_privatize_ops,omitempty"`
+	RemoteTransportErrs  uint64            `json:"remote_transport_errs,omitempty"`
 	// Exhausted marks a cell that ran the heap out of address space before
 	// completing its quota (leak-policy soak cells).
 	Exhausted bool `json:"exhausted,omitempty"`
@@ -118,6 +131,12 @@ func (jm *jsonMeasurement) cellKey() string {
 	// default) adds nothing, so old baselines keep matching.
 	if jm.ZipfTheta > 0 {
 		k += fmt.Sprintf("|z%.2f", jm.ZipfTheta)
+	}
+	// Remote macro cells are keyed by connection count too (Threads already
+	// carries it, but the explicit tag keeps local and remote cells from
+	// ever aliasing).
+	if jm.RemoteConns > 0 {
+		k += fmt.Sprintf("|c%d", jm.RemoteConns)
 	}
 	return k
 }
@@ -195,6 +214,19 @@ func WriteJSONReport(w io.Writer, label string, ms []*Measurement, micro []Micro
 		if len(m.PairDeltas) > 0 {
 			jm.PairedMedianPct = Median(m.PairDeltas)
 			jm.Pairs = len(m.PairDeltas)
+		}
+		if r := m.Remote; r != nil {
+			jm.RemoteConns = r.Conns
+			jm.RemoteWorkers = r.Workers
+			jm.RemoteP50Us = float64(r.P50.Nanoseconds()) / 1e3
+			jm.RemoteP99Us = float64(r.P99.Nanoseconds()) / 1e3
+			jm.RemoteQuotaAborts = r.QuotaAborts
+			jm.RemoteDeadlineAborts = r.DeadlineAborts
+			jm.RemotePrivatizeOps = r.PrivatizeOps
+			jm.RemoteTransportErrs = r.TransportErrs
+			if len(r.TenantQuota) > 0 {
+				jm.RemoteTenantQuota = r.TenantQuota
+			}
 		}
 		f.Cells = append(f.Cells, jm)
 	}

@@ -12,12 +12,14 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"privstm/internal/clock"
 	"privstm/internal/heap"
 	"privstm/internal/orec"
 	"privstm/internal/reclaim"
+	"privstm/internal/stats"
 	"privstm/internal/ticket"
 	"privstm/internal/txnlist"
 )
@@ -200,6 +202,18 @@ type Runtime struct {
 	// running on already-registered threads.
 	threads []atomic.Pointer[Thread]
 	nthread atomic.Int64
+
+	// Thread lifecycle: ReleaseThread unpublishes a descriptor and parks
+	// its registry slot ID on freeIDs for reuse by a later NewThread, so a
+	// pool that churns workers does not exhaust the fixed-size registry.
+	// The mutex also orders the descriptor hand-off: everything the old
+	// owner did (including flushing its reclaim front) happens-before the
+	// new owner's first use of the same slot ID. retired accumulates the
+	// op counters of released descriptors so aggregate statistics survive
+	// worker churn.
+	lifeMu  sync.Mutex
+	freeIDs []uint64
+	retired stats.Counters
 }
 
 // NewRuntime builds a runtime from opts.
@@ -256,20 +270,68 @@ func NewRuntime(opts Options) (*Runtime, error) {
 	return rt, nil
 }
 
-// NewThread registers a new thread descriptor. Descriptors are permanent
-// (the paper's central-list nodes are statically allocated per thread); a
-// worker goroutine must use its own descriptor exclusively. NewThread is
-// safe to call while other threads are running transactions.
+// NewThread registers a new thread descriptor. A worker goroutine must use
+// its own descriptor exclusively. Descriptors live until ReleaseThread
+// (stm.Thread.Close) returns their registry slot; released slot IDs are
+// reused before the high-water counter grows, so a pool that churns workers
+// stays within MaxThreads. NewThread is safe to call while other threads
+// are running transactions.
 func (rt *Runtime) NewThread() (*Thread, error) {
-	id := rt.nthread.Add(1) - 1
-	if id >= int64(len(rt.threads)) {
-		rt.nthread.Add(-1)
-		return nil, fmt.Errorf("core: thread limit %d reached", len(rt.threads))
+	var id int64 = -1
+	rt.lifeMu.Lock()
+	if n := len(rt.freeIDs); n > 0 {
+		id = int64(rt.freeIDs[n-1])
+		rt.freeIDs = rt.freeIDs[:n-1]
+	}
+	rt.lifeMu.Unlock()
+	if id < 0 {
+		id = rt.nthread.Add(1) - 1
+		if id >= int64(len(rt.threads)) {
+			rt.nthread.Add(-1)
+			return nil, fmt.Errorf("core: thread limit %d reached", len(rt.threads))
+		}
 	}
 	t := &Thread{RT: rt, ID: uint64(id), Rl: rt.Reclaim.Local(int(id))}
 	t.cm = rt.newCM()
 	rt.threads[id].Store(t)
 	return t, nil
+}
+
+// ReleaseThread unregisters a descriptor previously obtained from NewThread:
+// it flushes the thread's local reclaim front (so retired extents become
+// visible to Reclaim.Drain), folds the thread's op counters into the
+// runtime-level retired accumulator, clears the registry slot (liveness
+// checks treat the ID as dead from then on), and parks the slot ID for
+// reuse. The descriptor must be quiescent — no transaction in flight, no
+// epoch pin held. Releasing a descriptor twice, or one that is still
+// active, is an error.
+func (rt *Runtime) ReleaseThread(t *Thread) error {
+	if t == nil || t.RT != rt {
+		return fmt.Errorf("core: ReleaseThread of foreign descriptor")
+	}
+	if _, active := t.Published(); active {
+		return fmt.Errorf("core: ReleaseThread of thread %d with a transaction or epoch pin still published", t.ID)
+	}
+	if !rt.threads[t.ID].CompareAndSwap(t, nil) {
+		return fmt.Errorf("core: ReleaseThread of already-released thread %d", t.ID)
+	}
+	// Push buffered retires out of the per-thread front into the shared
+	// limbo shards; without this the extents would strand invisibly (the
+	// historical leak this release path fixes).
+	t.Rl.Flush()
+	rt.lifeMu.Lock()
+	rt.retired.Add(&t.Stats)
+	rt.freeIDs = append(rt.freeIDs, t.ID)
+	rt.lifeMu.Unlock()
+	return nil
+}
+
+// RetiredStats folds the op counters accumulated by released descriptors
+// into agg, so aggregate statistics survive worker churn.
+func (rt *Runtime) RetiredStats(agg *stats.Counters) {
+	rt.lifeMu.Lock()
+	agg.Add(&rt.retired)
+	rt.lifeMu.Unlock()
 }
 
 // ThreadByID returns the descriptor registered under id, or nil. Liveness

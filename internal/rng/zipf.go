@@ -23,14 +23,20 @@ type Zipf struct {
 	half  float64 // zeta(2, theta), the two-element partial sum
 }
 
-// NewZipf returns a Zipf(theta) sampler over [0, n) driven by r. Panics if
-// n == 0 or theta is outside (0, 1).
+// NewZipf returns a Zipf(theta) sampler over [0, n) driven by r. theta == 0
+// is the uniform limit the doc comment above promises: Next then draws
+// exactly like RNG.Intn (same reduction of the same stream), so callers no
+// longer special-case "zipf 0 means uniform" themselves. Panics if n == 0
+// or theta is outside [0, 1).
 func NewZipf(r *RNG, n uint64, theta float64) *Zipf {
 	if n == 0 {
 		panic("rng: NewZipf with n == 0")
 	}
-	if theta <= 0 || theta >= 1 {
-		panic("rng: NewZipf theta must be in (0, 1)")
+	if theta == 0 {
+		return &Zipf{r: r, n: n}
+	}
+	if theta < 0 || theta >= 1 {
+		panic("rng: NewZipf theta must be in [0, 1)")
 	}
 	zetan := zeta(n, theta)
 	z := &Zipf{
@@ -58,6 +64,11 @@ func zeta(n uint64, theta float64) float64 {
 // that want hot keys scattered across the key space should permute the rank
 // (e.g. multiply by a constant mod n) rather than use it directly.
 func (z *Zipf) Next() uint64 {
+	if z.theta == 0 {
+		// Uniform limit: one draw, reduced exactly like RNG.Intn so key
+		// streams match what "theta <= 0 ⇒ Intn" callers used to produce.
+		return (z.r.Uint64() >> 33) % z.n
+	}
 	u := float64(z.r.Uint64()>>11) / (1 << 53) // uniform [0, 1)
 	uz := u * z.zetan
 	if uz < 1 {

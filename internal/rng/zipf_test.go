@@ -55,7 +55,7 @@ func TestZipfHottestFirst(t *testing.T) {
 }
 
 func TestZipfPanics(t *testing.T) {
-	for _, bad := range []float64{0, 1, -0.5, 1.5} {
+	for _, bad := range []float64{1, -0.5, 1.5} {
 		func() {
 			defer func() {
 				if recover() == nil {
@@ -64,5 +64,33 @@ func TestZipfPanics(t *testing.T) {
 			}()
 			NewZipf(New(1), 10, bad)
 		}()
+	}
+}
+
+// TestZipfThetaZeroUniform: theta == 0 is the documented uniform limit —
+// it must not panic, must draw bit-identically to RNG.Intn on the same
+// stream (paired A/B key sequences from before the fix are preserved), and
+// must cover the range roughly evenly.
+func TestZipfThetaZeroUniform(t *testing.T) {
+	const n, draws = 64, 100000
+	z := NewZipf(New(7), n, 0)
+	ref := New(7)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		v := z.Next()
+		if want := uint64(ref.Intn(n)); v != want {
+			t.Fatalf("draw %d: theta-0 Next() = %d, RNG.Intn = %d (streams must match)", i, v, want)
+		}
+		counts[v]++
+	}
+	// Uniformity: every rank within ±25% of the expected draws/n.
+	want := float64(draws) / n
+	for k, c := range counts {
+		if math.Abs(float64(c)-want) > want/4 {
+			t.Errorf("rank %d drawn %d times, expected ~%.0f", k, c, want)
+		}
+	}
+	if z.Theta() != 0 {
+		t.Errorf("Theta() = %v, want 0", z.Theta())
 	}
 }

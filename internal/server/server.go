@@ -1,0 +1,600 @@
+// Package server implements stmd: a TCP key-value service backed by the
+// privatization-safe STM through the internal/tds semantic containers.
+//
+// Architecture: every connection gets a cheap goroutine that only frames and
+// parses requests; transactions execute on a fixed pool of workers, each
+// owning one STM thread (a registry slot bounded by Config.MaxThreads), so
+// thousands of connections multiplex onto a handful of transactional
+// contexts. Workers acquire their threads with stm.STM.NewThread and release
+// them with Thread.Close on drain — the lifecycle path that returns registry
+// slots and flushes per-thread reclaim fronts.
+//
+// Per-tenant quotas (read/write-set caps, transaction deadlines) are
+// enforced cooperatively inside transaction bodies via Tx.Cancel: a tenant
+// over budget gets a clean quota status on the wire and the connection stays
+// usable. Contention pathologies are bounded by the engine's MaxAttempts
+// escalation to the serialized-irrevocable fallback.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	stm "privstm"
+	"privstm/internal/reclaim"
+	"privstm/internal/tds"
+)
+
+// Quota-abort sentinels: Tx.Cancel(err) makes Atomic return err without
+// retrying, which execute maps onto a wire status.
+var (
+	ErrReadQuota  = errors.New("server: read-set quota exceeded")
+	ErrWriteQuota = errors.New("server: write-set quota exceeded")
+)
+
+// maxOpKeys bounds the keys/pairs of one multi-key request: past this the
+// request is malformed, not a big transaction.
+const maxOpKeys = 4096
+
+// Server is one stmd instance. Create with New, start with Serve or
+// ListenAndServe, stop with Shutdown.
+type Server struct {
+	cfg config
+	s   *stm.STM
+	m   *tds.Map
+	q   *tds.Queue
+
+	jobs     chan *job
+	workerWg sync.WaitGroup
+
+	connWg   sync.WaitGroup
+	connMu   sync.Mutex
+	conns    map[net.Conn]struct{}
+	nconns   atomic.Int64
+	draining atomic.Bool
+
+	lnMu sync.Mutex
+	ln   net.Listener
+
+	tenantMu sync.Mutex
+	tenants  map[string]*tenant
+
+	committed      atomic.Uint64
+	cancelled      atomic.Uint64
+	quotaAborts    atomic.Uint64
+	deadlineAborts atomic.Uint64
+	privatizeOps   atomic.Uint64
+	rejectedConns  atomic.Uint64
+}
+
+type tenant struct {
+	name        string
+	quota       Quota
+	quotaAborts atomic.Uint64
+}
+
+type job struct {
+	ten  *tenant
+	op   byte
+	body []byte
+	resp chan response
+}
+
+type response struct {
+	status byte
+	body   []byte
+}
+
+// New assembles a server and starts its worker pool (network listening
+// starts with Serve). The STM instance sizes MaxThreads to exactly the
+// worker count: the pool, not the connection count, is the transactional
+// footprint.
+func New(opts ...Option) (*Server, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		if o == nil {
+			continue
+		}
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	scfg := cfg.stmConfig
+	scfg.Algorithm = cfg.algorithm
+	scfg.MaxThreads = cfg.workers
+	if !cfg.hasSTMConf {
+		// Default heap sized for a service: 1<<22 words ≈ 32 MiB.
+		scfg.HeapWords = 1 << 22
+	}
+	s, err := stm.New(scfg)
+	if err != nil {
+		return nil, err
+	}
+	m, err := tds.NewMap(s, cfg.buckets, cfg.stripes)
+	if err != nil {
+		return nil, err
+	}
+	q, err := tds.NewQueue(s)
+	if err != nil {
+		return nil, err
+	}
+	srv := &Server{
+		cfg:     cfg,
+		s:       s,
+		m:       m,
+		q:       q,
+		jobs:    make(chan *job, cfg.workers*2),
+		conns:   make(map[net.Conn]struct{}),
+		tenants: make(map[string]*tenant),
+	}
+	for i := 0; i < cfg.workers; i++ {
+		th, err := s.NewThread()
+		if err != nil {
+			return nil, fmt.Errorf("server: worker %d: %w", i, err)
+		}
+		srv.workerWg.Add(1)
+		go srv.worker(th)
+	}
+	return srv, nil
+}
+
+// Algorithm reports the engine serving traffic.
+func (srv *Server) Algorithm() stm.Algorithm { return srv.cfg.algorithm }
+
+// Workers reports the worker-pool size (== the STM thread count).
+func (srv *Server) Workers() int { return srv.cfg.workers }
+
+// ReclaimStats exposes the underlying reclaimer's counters; after Shutdown
+// a healthy server reports zero quarantined extents.
+func (srv *Server) ReclaimStats() reclaim.Stats { return srv.s.ReclaimStats() }
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (srv *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return srv.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown closes it. Always returns
+// a non-nil error; after Shutdown it returns nil-wrapped ErrServerClosed
+// semantics (a plain nil).
+func (srv *Server) Serve(ln net.Listener) error {
+	srv.lnMu.Lock()
+	if srv.draining.Load() {
+		srv.lnMu.Unlock()
+		ln.Close()
+		return errors.New("server: Serve after Shutdown")
+	}
+	srv.ln = ln
+	srv.lnMu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if srv.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		reject := srv.draining.Load()
+		if !reject && srv.nconns.Add(1) > int64(srv.cfg.maxConns) {
+			srv.nconns.Add(-1)
+			reject = true
+		}
+		if reject {
+			srv.rejectedConns.Add(1)
+			_ = WriteFrame(conn, []byte{StatusDraining})
+			conn.Close()
+			continue
+		}
+		srv.connMu.Lock()
+		srv.conns[conn] = struct{}{}
+		srv.connMu.Unlock()
+		srv.connWg.Add(1)
+		go srv.handleConn(conn)
+	}
+}
+
+// Addr returns the bound listener address ("" before Serve).
+func (srv *Server) Addr() string {
+	srv.lnMu.Lock()
+	defer srv.lnMu.Unlock()
+	if srv.ln == nil {
+		return ""
+	}
+	return srv.ln.Addr().String()
+}
+
+func (srv *Server) tenantFor(name string) *tenant {
+	srv.tenantMu.Lock()
+	defer srv.tenantMu.Unlock()
+	if t, ok := srv.tenants[name]; ok {
+		return t
+	}
+	t := &tenant{name: name, quota: srv.cfg.quotaFor(name)}
+	srv.tenants[name] = t
+	return t
+}
+
+func (srv *Server) handleConn(conn net.Conn) {
+	defer func() {
+		srv.connMu.Lock()
+		delete(srv.conns, conn)
+		srv.connMu.Unlock()
+		srv.nconns.Add(-1)
+		conn.Close()
+		srv.connWg.Done()
+	}()
+	ten := srv.tenantFor("") // until HELLO names one
+	resp := make(chan response, 1)
+	for {
+		payload, err := ReadFrame(conn)
+		if err != nil {
+			// Read errors include the deadline pokes Shutdown uses to
+			// unblock idle connections — either way the conversation is
+			// over.
+			return
+		}
+		if len(payload) == 0 {
+			_ = WriteFrame(conn, []byte{StatusBadRequest})
+			continue
+		}
+		op, body := payload[0], payload[1:]
+		var r response
+		switch op {
+		case OpHello:
+			r = srv.hello(&ten, body)
+		case OpStats:
+			r = srv.statsResponse()
+		case OpGet, OpPut, OpCAS, OpDelete, OpSnapshot, OpPush, OpPop:
+			jb := &job{ten: ten, op: op, body: body, resp: resp}
+			srv.jobs <- jb
+			r = <-resp
+		default:
+			r = response{status: StatusUnsupported}
+		}
+		if err := WriteFrame(conn, append([]byte{r.status}, r.body...)); err != nil {
+			return
+		}
+		if srv.draining.Load() {
+			return
+		}
+	}
+}
+
+func (srv *Server) hello(ten **tenant, body []byte) response {
+	r := wireReader{b: body}
+	name, ok := r.str()
+	if !ok || !r.empty() {
+		return response{status: StatusBadRequest}
+	}
+	*ten = srv.tenantFor(name)
+	out, err := AppendString(nil, srv.cfg.algorithm.String())
+	if err != nil {
+		return response{status: StatusBadRequest}
+	}
+	return response{status: StatusOK, body: out}
+}
+
+// StatsSnapshot is the JSON body of a STATS response.
+type StatsSnapshot struct {
+	Algorithm      string            `json:"algorithm"`
+	Workers        int               `json:"workers"`
+	Conns          int64             `json:"conns"`
+	Committed      uint64            `json:"committed_txns"`
+	Cancelled      uint64            `json:"cancelled_txns"`
+	QuotaAborts    uint64            `json:"quota_aborts"`
+	DeadlineAborts uint64            `json:"deadline_aborts"`
+	PrivatizeOps   uint64            `json:"privatize_ops"`
+	RejectedConns  uint64            `json:"rejected_conns"`
+	TenantQuota    map[string]uint64 `json:"tenant_quota_aborts,omitempty"`
+}
+
+// Stats snapshots the server-level counters (maintained with atomics, so
+// this is safe while traffic runs — unlike raw per-thread STM counters).
+func (srv *Server) Stats() StatsSnapshot {
+	ss := StatsSnapshot{
+		Algorithm:      srv.cfg.algorithm.String(),
+		Workers:        srv.cfg.workers,
+		Conns:          srv.nconns.Load(),
+		Committed:      srv.committed.Load(),
+		Cancelled:      srv.cancelled.Load(),
+		QuotaAborts:    srv.quotaAborts.Load(),
+		DeadlineAborts: srv.deadlineAborts.Load(),
+		PrivatizeOps:   srv.privatizeOps.Load(),
+		RejectedConns:  srv.rejectedConns.Load(),
+	}
+	srv.tenantMu.Lock()
+	for name, t := range srv.tenants {
+		if n := t.quotaAborts.Load(); n > 0 {
+			if ss.TenantQuota == nil {
+				ss.TenantQuota = make(map[string]uint64)
+			}
+			ss.TenantQuota[name] = n
+		}
+	}
+	srv.tenantMu.Unlock()
+	return ss
+}
+
+func (srv *Server) statsResponse() response {
+	b, err := json.Marshal(srv.Stats())
+	if err != nil {
+		return response{status: StatusCancelled}
+	}
+	return response{status: StatusOK, body: b}
+}
+
+// worker owns one STM thread for its lifetime and executes jobs until the
+// channel closes at drain, then releases the thread (flushing its reclaim
+// front and returning the registry slot).
+func (srv *Server) worker(th *stm.Thread) {
+	defer srv.workerWg.Done()
+	defer th.Close()
+	for jb := range srv.jobs {
+		jb.resp <- srv.execute(th, jb)
+	}
+}
+
+// enforce applies the tenant's quota inside a transaction body. Pure by
+// construction: it only calls runtime accessors, so the transaction-purity
+// analyzer stays clean over the server package.
+func enforce(tx *stm.Tx, q Quota) {
+	if q.ReadSetCap > 0 && tx.ReadSetLen() > q.ReadSetCap {
+		tx.Cancel(ErrReadQuota)
+	}
+	if q.WriteSetCap > 0 && tx.WriteSetLen() > q.WriteSetCap {
+		tx.Cancel(ErrWriteQuota)
+	}
+	tx.CheckDeadline()
+}
+
+func (srv *Server) finish(ten *tenant, err error, body []byte) response {
+	switch {
+	case err == nil:
+		srv.committed.Add(1)
+		return response{status: StatusOK, body: body}
+	case errors.Is(err, ErrReadQuota):
+		ten.quotaAborts.Add(1)
+		srv.quotaAborts.Add(1)
+		return response{status: StatusReadQuota}
+	case errors.Is(err, ErrWriteQuota):
+		ten.quotaAborts.Add(1)
+		srv.quotaAborts.Add(1)
+		return response{status: StatusWriteQuota}
+	case errors.Is(err, stm.ErrDeadlineExceeded):
+		srv.deadlineAborts.Add(1)
+		return response{status: StatusDeadline}
+	default:
+		srv.cancelled.Add(1)
+		return response{status: StatusCancelled}
+	}
+}
+
+func (srv *Server) execute(th *stm.Thread, jb *job) response {
+	q := jb.ten.quota
+	if q.TxnDeadline > 0 {
+		th.SetTxnDeadline(time.Now().Add(q.TxnDeadline))
+		defer th.SetTxnDeadline(time.Time{})
+	}
+	r := wireReader{b: jb.body}
+	switch jb.op {
+	case OpGet:
+		keys, ok := readKeys(&r, 1)
+		if !ok {
+			return response{status: StatusBadRequest}
+		}
+		var out []byte
+		err := th.Atomic(func(tx *stm.Tx) {
+			out = AppendU64(out[:0], uint64(len(keys)))
+			for _, k := range keys {
+				v, found := srv.m.Get(tx, stm.Word(k))
+				var f uint64
+				if found {
+					f = 1
+				}
+				out = AppendU64(AppendU64(out, f), uint64(v))
+				enforce(tx, q)
+			}
+		})
+		return srv.finish(jb.ten, err, out)
+	case OpPut:
+		pairs, ok := readKeys(&r, 2)
+		if !ok {
+			return response{status: StatusBadRequest}
+		}
+		err := th.Atomic(func(tx *stm.Tx) {
+			for i := 0; i < len(pairs); i += 2 {
+				srv.m.Put(tx, stm.Word(pairs[i]), stm.Word(pairs[i+1]))
+				enforce(tx, q)
+			}
+		})
+		return srv.finish(jb.ten, err, nil)
+	case OpCAS:
+		triples, ok := readKeys(&r, 3)
+		if !ok {
+			return response{status: StatusBadRequest}
+		}
+		var swapped uint64
+		err := th.Atomic(func(tx *stm.Tx) {
+			swapped = 1
+			for i := 0; i < len(triples); i += 3 {
+				v, found := srv.m.Get(tx, stm.Word(triples[i]))
+				enforce(tx, q)
+				if !found || v != stm.Word(triples[i+1]) {
+					swapped = 0
+					return
+				}
+			}
+			for i := 0; i < len(triples); i += 3 {
+				srv.m.Put(tx, stm.Word(triples[i]), stm.Word(triples[i+2]))
+				enforce(tx, q)
+			}
+		})
+		return srv.finish(jb.ten, err, AppendU64(nil, swapped))
+	case OpDelete:
+		keys, ok := readKeys(&r, 1)
+		if !ok {
+			return response{status: StatusBadRequest}
+		}
+		var out []byte
+		err := th.Atomic(func(tx *stm.Tx) {
+			out = AppendU64(out[:0], uint64(len(keys)))
+			for _, k := range keys {
+				var e uint64
+				if srv.m.Delete(tx, stm.Word(k)) {
+					e = 1
+				}
+				out = AppendU64(out, e)
+				enforce(tx, q)
+			}
+		})
+		return srv.finish(jb.ten, err, out)
+	case OpSnapshot:
+		b, ok := r.u64()
+		if !ok || !r.empty() {
+			return response{status: StatusBadRequest}
+		}
+		pl, err := srv.m.PrivateSnapshot(th, int(b%uint64(srv.m.Buckets())))
+		if err != nil {
+			if errors.Is(err, tds.ErrNotPrivatizationSafe) {
+				return response{status: StatusUnsupported}
+			}
+			return srv.finish(jb.ten, err, nil)
+		}
+		// The privatizing transaction committed and weak readers are
+		// quiesced: walk the detached chain uninstrumented, then retire
+		// the nodes through the epoch reclaimer.
+		out := AppendU64(nil, uint64(pl.Count))
+		pl.EachKV(func(k, v stm.Word) bool {
+			out = AppendU64(AppendU64(out, uint64(k)), uint64(v))
+			return true
+		})
+		pl.Retire(th)
+		srv.privatizeOps.Add(1)
+		srv.committed.Add(1)
+		return response{status: StatusOK, body: out}
+	case OpPush:
+		vals, ok := readKeys(&r, 1)
+		if !ok {
+			return response{status: StatusBadRequest}
+		}
+		err := th.Atomic(func(tx *stm.Tx) {
+			for _, v := range vals {
+				srv.q.Push(tx, stm.Word(v))
+				enforce(tx, q)
+			}
+		})
+		return srv.finish(jb.ten, err, nil)
+	case OpPop:
+		n, ok := r.u64()
+		if !ok || !r.empty() || n == 0 || n > maxOpKeys {
+			return response{status: StatusBadRequest}
+		}
+		var out []byte
+		var popped []uint64
+		err := th.Atomic(func(tx *stm.Tx) {
+			popped = popped[:0]
+			for i := uint64(0); i < n; i++ {
+				v, found := srv.q.Pop(tx)
+				if !found {
+					break
+				}
+				popped = append(popped, uint64(v))
+				enforce(tx, q)
+			}
+		})
+		if err == nil {
+			out = AppendU64(nil, uint64(len(popped)))
+			for _, v := range popped {
+				out = AppendU64(out, v)
+			}
+		}
+		return srv.finish(jb.ten, err, out)
+	}
+	return response{status: StatusUnsupported}
+}
+
+// readKeys parses "count, count×group u64s" with the count bounded by
+// maxOpKeys and required to consume the body exactly.
+func readKeys(r *wireReader, group int) ([]uint64, bool) {
+	n, ok := r.u64()
+	if !ok || n > maxOpKeys {
+		return nil, false
+	}
+	vals := make([]uint64, 0, int(n)*group)
+	for i := 0; i < int(n)*group; i++ {
+		v, ok := r.u64()
+		if !ok {
+			return nil, false
+		}
+		vals = append(vals, v)
+	}
+	if !r.empty() {
+		return nil, false
+	}
+	return vals, true
+}
+
+// Shutdown drains the server: stop accepting, unblock idle connections and
+// let in-flight requests finish, retire the worker pool (each worker
+// Thread.Close()s, flushing reclaim fronts and returning registry slots),
+// then drain the epoch reclaimer. On a clean drain the reclaimer reports
+// zero quarantined extents. ctx bounds the wait; on expiry remaining
+// connections are closed forcibly and Shutdown reports the first error.
+func (srv *Server) Shutdown(ctx context.Context) error {
+	if srv.draining.Swap(true) {
+		return errors.New("server: Shutdown twice")
+	}
+	srv.lnMu.Lock()
+	if srv.ln != nil {
+		srv.ln.Close()
+	}
+	srv.lnMu.Unlock()
+
+	// Poke blocked readers; handlers notice draining after their current
+	// request and exit.
+	srv.pokeConns()
+	done := make(chan struct{})
+	go func() { srv.connWg.Wait(); close(done) }()
+	var errs []error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		errs = append(errs, fmt.Errorf("server: drain: %w", ctx.Err()))
+		srv.connMu.Lock()
+		for c := range srv.conns {
+			c.Close()
+		}
+		srv.connMu.Unlock()
+		<-done
+	}
+
+	close(srv.jobs)
+	srv.workerWg.Wait()
+
+	// All threads are closed; every retired extent is published. The final
+	// drain must clear the quarantine completely.
+	srv.s.DrainReclaim()
+	if rs := srv.s.ReclaimStats(); rs.Limbo != 0 {
+		errs = append(errs, fmt.Errorf("server: %d extents still quarantined after drain", rs.Limbo))
+	}
+	return errors.Join(errs...)
+}
+
+// pokeConns interrupts blocked ReadFrame calls so handlers observe the
+// draining flag.
+func (srv *Server) pokeConns() {
+	srv.connMu.Lock()
+	defer srv.connMu.Unlock()
+	for c := range srv.conns {
+		_ = c.SetReadDeadline(time.Now())
+	}
+}

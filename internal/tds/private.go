@@ -33,6 +33,30 @@ func (p *PrivateList) Each(fn func(node stm.Addr) bool) {
 	}
 }
 
+// EachKV walks a privatized map chain, calling fn with each node's key and
+// value until fn returns false. Panics if the list did not come from
+// Map.PrivateSnapshot (queue nodes carry no key).
+func (p *PrivateList) EachKV(fn func(k, v stm.Word) bool) {
+	if p.words != mapNodeWords {
+		panic("tds: EachKV on a non-map private list")
+	}
+	p.Each(func(n stm.Addr) bool {
+		return fn(p.s.DirectLoad(n+1), p.s.DirectLoad(n+2))
+	})
+}
+
+// EachValue walks a privatized queue chain, calling fn with each node's
+// value until fn returns false. Panics if the list did not come from
+// Queue.DrainPrivate.
+func (p *PrivateList) EachValue(fn func(v stm.Word) bool) {
+	if p.words != queueNodeWords {
+		panic("tds: EachValue on a non-queue private list")
+	}
+	p.Each(func(n stm.Addr) bool {
+		return fn(p.s.DirectLoad(n + 1))
+	})
+}
+
 // Retire walks the chain and hands every node's extent to th's epoch
 // reclaimer, emptying the list.
 func (p *PrivateList) Retire(th *stm.Thread) {

@@ -26,8 +26,10 @@
 package stm
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"privstm/internal/core"
 	"privstm/internal/heap"
@@ -416,12 +418,14 @@ func (s *STM) AtomicLoad(a Addr) Word { return s.rt.Heap.AtomicLoad(a) }
 // AtomicStore writes a word with atomic semantics outside any transaction.
 func (s *STM) AtomicStore(a Addr, w Word) { s.rt.Heap.AtomicStore(a, w) }
 
-// Stats aggregates the execution counters of every registered thread.
-// Safe to call after workers finish (per-thread counters are unsynchronized
-// while their thread runs).
+// Stats aggregates the execution counters of every registered thread plus
+// those of threads already released through Close, so totals survive worker
+// churn. Safe to call after workers finish (per-thread counters are
+// unsynchronized while their thread runs).
 func (s *STM) Stats() stats.Counters {
 	var agg stats.Counters
 	s.rt.ForEachThread(func(t *core.Thread) { agg.Add(&t.Stats) })
+	s.rt.RetiredStats(&agg)
 	return agg
 }
 
@@ -441,12 +445,17 @@ func (s *STM) ReclaimStats() reclaim.Stats { return s.rt.Reclaim.Stats() }
 func (s *STM) DrainReclaim() uint64 { return s.rt.Reclaim.Drain() }
 
 // Thread is a per-goroutine transaction context. A Thread must not be used
-// concurrently; create one per worker with NewThread.
+// concurrently; create one per worker with NewThread and release it with
+// Close when the worker retires.
 type Thread struct {
 	s *STM
 	t *core.Thread
 	// tx is the reusable transaction handle passed to Atomic bodies.
 	tx Tx
+	// deadline, when nonzero, is the wall-clock instant after which
+	// Tx.CheckDeadline cancels the running transaction. Owner-goroutine
+	// only, like the rest of the descriptor.
+	deadline time.Time
 	// trace, when non-nil, records events (see EnableTrace). Atomic so
 	// EnableTrace/DisableTrace/Trace may run concurrently with an
 	// in-flight Atomic on the owning goroutine.
@@ -471,6 +480,31 @@ func (s *STM) MustNewThread() *Thread {
 		panic(err)
 	}
 	return th
+}
+
+// ErrThreadClosed is returned by Close when the Thread was already closed.
+var ErrThreadClosed = errors.New("stm: thread already closed")
+
+// Close releases the thread's descriptor back to the runtime: buffered
+// retires are flushed to the shared reclaimer (so DrainReclaim can free
+// them), the thread's op counters are folded into STM.Stats' retired
+// accumulator, and the registry slot — a scarce resource capped by
+// Config.MaxThreads — is returned for reuse by a later NewThread. Without
+// Close a pool that recycles workers exhausts the registry and strands
+// retired extents on private fronts forever.
+//
+// The thread must be quiescent: Close must not race with an Atomic on this
+// thread, and returns an error if a transaction or weak-read epoch pin is
+// still published. After Close the Thread is dead; further use panics.
+func (th *Thread) Close() error {
+	if th.t == nil {
+		return ErrThreadClosed
+	}
+	if err := th.s.rt.ReleaseThread(th.t); err != nil {
+		return err
+	}
+	th.t = nil
+	return nil
 }
 
 // Stats returns this thread's execution counters.
@@ -530,6 +564,9 @@ func (th *Thread) FlushReclaim() { th.t.FlushReclaim() }
 // panic raised by a doomed transaction (inconsistent reads) is converted
 // into a retry, sandboxing user code against torn state.
 func (th *Thread) Atomic(body func(tx *Tx)) error {
+	if th.t == nil {
+		panic("stm: Atomic on closed Thread")
+	}
 	if th.trace.Load() == nil {
 		return core.Run(th.s.engine, th.t, func() { body(&th.tx) })
 	}
@@ -615,6 +652,39 @@ func (tx *Tx) Retry() { tx.th.t.ConflictAbort() }
 // Cancel rolls the transaction back and makes Atomic return err without
 // retrying.
 func (tx *Tx) Cancel(err error) { tx.th.t.UserCancel(err) }
+
+// ErrDeadlineExceeded is the error Atomic returns when CheckDeadline trips
+// the deadline armed with Thread.SetTxnDeadline.
+var ErrDeadlineExceeded = errors.New("stm: transaction deadline exceeded")
+
+// SetTxnDeadline arms a wall-clock deadline for subsequent transactions on
+// this thread: once it passes, any Tx.CheckDeadline call cancels the
+// transaction and Atomic returns ErrDeadlineExceeded. The zero time
+// disarms. The check is cooperative — bodies that never call CheckDeadline
+// never observe it — and the clock read happens inside the runtime, keeping
+// transaction bodies themselves free of time calls (which the purity
+// analyzer forbids in user code).
+func (th *Thread) SetTxnDeadline(t time.Time) { th.deadline = t }
+
+// CheckDeadline cancels the transaction with ErrDeadlineExceeded if the
+// thread's armed deadline (Thread.SetTxnDeadline) has passed. No-op when
+// disarmed.
+func (tx *Tx) CheckDeadline() {
+	if d := tx.th.deadline; !d.IsZero() && time.Now().After(d) {
+		tx.Cancel(ErrDeadlineExceeded)
+	}
+}
+
+// ReadSetLen reports how many logged read-set entries the transaction
+// currently holds (weak reads are unlogged and not counted). Servers use it
+// to enforce per-tenant read-set quotas via Cancel.
+func (tx *Tx) ReadSetLen() int { return tx.th.t.Reads.Len() }
+
+// WriteSetLen reports how many words the transaction has written so far —
+// redo-log entries on the lazy engines plus undo-log entries on the
+// in-place engines. Servers use it to enforce per-tenant write-set quotas
+// via Cancel.
+func (tx *Tx) WriteSetLen() int { return tx.th.t.Redo.Len() + tx.th.t.Undo.Len() }
 
 // ---- Semantic conflict layer (internal/tds, CORRECTNESS.md §15) ----
 
